@@ -1,0 +1,52 @@
+// Ablation A2: sweep of heuristic parameters 2 and 3 — the maximum number of
+// gate-masking terms per MATE and the per-wire candidate budget.
+#include "bench/common.hpp"
+#include "mate/eval.hpp"
+#include "util/strings.hpp"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main(int argc, char** argv) {
+  const bool csv = want_csv(argc, argv);
+  std::fprintf(stderr, "ablation_budget: building cores...\n");
+  const CoreSetup avr = make_avr_setup();
+  const CoreSetup msp = make_msp430_setup();
+
+  TablePrinter terms({"max terms", "AVR masked (conv)", "AVR avg #inputs",
+                      "MSP430 masked (conv)", "MSP430 avg #inputs"});
+  for (unsigned max_terms : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    std::fprintf(stderr, "ablation_budget: max_terms %u...\n", max_terms);
+    std::vector<std::string> cells = {std::to_string(max_terms)};
+    for (const CoreSetup* s : {&avr, &msp}) {
+      mate::SearchParams params;
+      params.max_terms = max_terms;
+      const mate::SearchResult r = mate::find_mates(s->netlist, s->ff_xrf, params);
+      const mate::EvalResult e = mate::evaluate_mates(r.set, s->conv_trace);
+      cells.push_back(fmt_percent(e.masked_fraction()));
+      cells.push_back(strprintf("%.1f", e.avg_inputs));
+    }
+    terms.add_row(std::move(cells));
+  }
+  emit(terms, csv);
+  std::printf("\n");
+
+  TablePrinter budget({"candidates/wire", "AVR masked (conv)",
+                       "AVR candidates", "MSP430 masked (conv)",
+                       "MSP430 candidates"});
+  for (std::size_t cap : {100u, 1000u, 10000u, 100000u}) {
+    std::fprintf(stderr, "ablation_budget: budget %zu...\n", cap);
+    std::vector<std::string> cells = {fmt_count(cap)};
+    for (const CoreSetup* s : {&avr, &msp}) {
+      mate::SearchParams params;
+      params.max_candidates_per_wire = cap;
+      const mate::SearchResult r = mate::find_mates(s->netlist, s->ff_xrf, params);
+      const mate::EvalResult e = mate::evaluate_mates(r.set, s->conv_trace);
+      cells.push_back(fmt_percent(e.masked_fraction()));
+      cells.push_back(fmt_count(r.total_candidates));
+    }
+    budget.add_row(std::move(cells));
+  }
+  emit(budget, csv);
+  return 0;
+}

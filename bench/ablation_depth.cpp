@@ -1,0 +1,38 @@
+// Ablation A1: sweep of heuristic parameter 1 (fault-propagation path depth).
+// Deeper searches see more maskable gates past the data path but enumerate
+// more paths; the masked fraction saturates once the horizon clears the
+// ALU + isolation gates of the core.
+#include "bench/common.hpp"
+#include "mate/eval.hpp"
+#include "util/strings.hpp"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main(int argc, char** argv) {
+  const bool csv = want_csv(argc, argv);
+  std::fprintf(stderr, "ablation_depth: building cores...\n");
+  const CoreSetup avr = make_avr_setup();
+  const CoreSetup msp = make_msp430_setup();
+
+  TablePrinter t({"depth", "AVR masked (fib)", "AVR #MATEs", "AVR time [s]",
+                  "MSP430 masked (fib)", "MSP430 #MATEs", "MSP430 time [s]"});
+
+  for (unsigned depth : {4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
+    std::fprintf(stderr, "ablation_depth: depth %u...\n", depth);
+    std::vector<std::string> cells = {std::to_string(depth)};
+    for (const CoreSetup* s : {&avr, &msp}) {
+      mate::SearchParams params;
+      params.path_depth = depth;
+      const mate::SearchResult r = mate::find_mates(s->netlist, s->ff_xrf, params);
+      const mate::EvalResult e = mate::evaluate_mates(r.set, s->fib_trace);
+      cells.push_back(fmt_percent(e.masked_fraction()));
+      cells.push_back(fmt_count(r.set.mates.size()));
+      cells.push_back(strprintf("%.2f", r.seconds));
+    }
+    t.add_row(std::move(cells));
+  }
+
+  emit(t, csv);
+  return 0;
+}

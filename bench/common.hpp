@@ -1,0 +1,96 @@
+// Shared setup for the benchmark harnesses: builds both cores, assembles the
+// fib/conv workloads, records the 8500-cycle traces the paper's evaluation
+// uses, and derives the two fault sets ("FF" and "FF w/o RF").
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cores/avr/core.hpp"
+#include "cores/avr/programs.hpp"
+#include "cores/avr/system.hpp"
+#include "cores/msp430/core.hpp"
+#include "cores/msp430/programs.hpp"
+#include "cores/msp430/system.hpp"
+#include "mate/search.hpp"
+#include "sim/trace.hpp"
+#include "util/table.hpp"
+
+namespace ripple::bench {
+
+/// The paper's trace length (Tables 2 and 3: "Both programs ran for 8500
+/// clock cycles").
+inline constexpr std::size_t kTraceCycles = 8500;
+
+struct CoreSetup {
+  std::string name;            // "AVR" or "MSP430"
+  netlist::Netlist netlist;
+  sim::Trace fib_trace;
+  sim::Trace conv_trace;
+  std::vector<WireId> ff;      // all flipflops
+  std::vector<WireId> ff_xrf;  // flipflops outside the register file
+};
+
+inline CoreSetup make_avr_setup(std::size_t cycles = kTraceCycles) {
+  cores::avr::AvrCore core = cores::avr::build_avr_core(true);
+  const cores::avr::Program fib = cores::avr::fib_program();
+  const cores::avr::Program conv = cores::avr::conv_program();
+  CoreSetup s;
+  s.name = "AVR";
+  {
+    cores::avr::AvrSystem sys(core, fib);
+    s.fib_trace = sys.run_trace(cycles);
+  }
+  {
+    cores::avr::AvrSystem sys(core, conv);
+    s.conv_trace = sys.run_trace(cycles);
+  }
+  s.ff = mate::all_flop_wires(core.netlist);
+  s.ff_xrf = mate::flop_wires_excluding_prefix(core.netlist,
+                                               cores::avr::kRegfilePrefix);
+  s.netlist = std::move(core.netlist);
+  return s;
+}
+
+inline CoreSetup make_msp430_setup(std::size_t cycles = kTraceCycles) {
+  cores::msp430::Msp430Core core = cores::msp430::build_msp430_core(true);
+  const cores::msp430::Image fib = cores::msp430::fib_image();
+  const cores::msp430::Image conv = cores::msp430::conv_image();
+  CoreSetup s;
+  s.name = "MSP430";
+  {
+    cores::msp430::Msp430System sys(core, fib);
+    s.fib_trace = sys.run_trace(cycles);
+  }
+  {
+    cores::msp430::Msp430System sys(core, conv);
+    s.conv_trace = sys.run_trace(cycles);
+  }
+  s.ff = mate::all_flop_wires(core.netlist);
+  s.ff_xrf = mate::flop_wires_excluding_prefix(
+      core.netlist, cores::msp430::kRegfilePrefix);
+  s.netlist = std::move(core.netlist);
+  return s;
+}
+
+/// True when "--csv" appears on the command line; benches then emit CSV
+/// instead of the pretty table.
+inline bool want_csv(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  return false;
+}
+
+inline void emit(const TablePrinter& table, bool csv) {
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+} // namespace ripple::bench

@@ -1,0 +1,47 @@
+// Reproduces the Section 6.1 argument: the FPGA LUT cost of top-N MATE sets
+// is negligible next to a HAFI platform's fault-injection control unit
+// (1500-6000 LUTs in the literature) and a mid-range Virtex-6.
+#include "bench/common.hpp"
+#include "mate/eval.hpp"
+#include "mate/lut_cost.hpp"
+#include "mate/select.hpp"
+#include "util/strings.hpp"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main(int argc, char** argv) {
+  const bool csv = want_csv(argc, argv);
+  std::fprintf(stderr, "lutcost: building cores and MATE sets...\n");
+
+  TablePrinter table({"MATE set", "#MATEs", "LUTs", "% of FI ctrl (low)",
+                      "% of Virtex-6 LX240T"});
+  const mate::HafiPlatformCosts ref;
+
+  for (auto make : {&make_avr_setup, &make_msp430_setup}) {
+    const CoreSetup setup = make(kTraceCycles);
+    const mate::SearchResult r = mate::find_mates(setup.netlist, setup.ff_xrf, {});
+    const mate::SelectionResult sel = mate::rank_mates(r.set, setup.fib_trace);
+    for (const std::size_t n : {10u, 50u, 100u, 200u}) {
+      const mate::MateSet sub = mate::top_n(r.set, sel, n);
+      const std::size_t luts = mate::set_luts(sub);
+      table.add_row(
+          {setup.name + " top " + std::to_string(n), fmt_count(sub.mates.size()),
+           fmt_count(luts),
+           strprintf("%.1f %%", 100.0 * static_cast<double>(luts) /
+                                    static_cast<double>(
+                                        ref.controller_luts_low)),
+           strprintf("%.2f %%", 100.0 * static_cast<double>(luts) /
+                                    static_cast<double>(
+                                        ref.virtex6_lx240t_luts))});
+    }
+    table.add_separator();
+  }
+
+  emit(table, csv);
+  std::printf("\nreference points: FI control unit %zu-%zu LUTs "
+              "(Entrena et al. / FLINT), Virtex-6 LX240T: %zu LUTs\n",
+              ref.controller_luts_low, ref.controller_luts_high,
+              ref.virtex6_lx240t_luts);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reproduces Table 1 of the paper: statistics of the heuristic MATE search
+// for both processors and both fault sets (all flipflops / flipflops outside
+// the register file).
+//
+// Rows: number of faulty wires, average and median fault-cone size (#gates),
+// search run time, number of unmaskable wires, number of candidates tried,
+// number of MATEs found (pre-merge, as the paper counts per-wire results).
+#include "bench/common.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+namespace {
+
+struct Column {
+  std::string label;
+  std::size_t faulty_wires = 0;
+  double avg_cone = 0;
+  double med_cone = 0;
+  double seconds = 0;
+  std::size_t unmaskable = 0;
+  std::size_t candidates = 0;
+  std::size_t mates = 0;
+};
+
+Column run(const CoreSetup& setup, const std::vector<WireId>& wires,
+           const std::string& label) {
+  mate::SearchParams params;
+  const mate::SearchResult r = find_mates(setup.netlist, wires, params);
+  Column c;
+  c.label = label;
+  c.faulty_wires = wires.size();
+  const auto cones = r.cone_sizes();
+  c.avg_cone = mean(cones);
+  c.med_cone = median(cones);
+  c.seconds = r.seconds;
+  c.unmaskable = r.unmaskable_wires;
+  c.candidates = r.total_candidates;
+  c.mates = r.total_mates;
+  return c;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = want_csv(argc, argv);
+
+  std::fprintf(stderr, "table1: building cores and tracing workloads...\n");
+  const CoreSetup avr = make_avr_setup();
+  const CoreSetup msp = make_msp430_setup();
+
+  std::vector<Column> cols;
+  for (const CoreSetup* s : {&avr, &msp}) {
+    std::fprintf(stderr, "table1: MATE search on %s...\n", s->name.c_str());
+    cols.push_back(run(*s, s->ff, s->name + " FF"));
+    cols.push_back(run(*s, s->ff_xrf, s->name + " FF w/o RF"));
+  }
+
+  TablePrinter t({"Table 1", cols[0].label, cols[1].label, cols[2].label,
+                  cols[3].label});
+  const auto row = [&](const std::string& name, auto fmt) {
+    std::vector<std::string> cells = {name};
+    for (const Column& c : cols) cells.push_back(fmt(c));
+    t.add_row(std::move(cells));
+  };
+  row("Faulty Wires", [](const Column& c) { return fmt_count(c.faulty_wires); });
+  row("Avg. Cone [#gates]",
+      [](const Column& c) { return strprintf("%.0f", c.avg_cone); });
+  row("Med. Cone [#gates]",
+      [](const Column& c) { return strprintf("%.0f", c.med_cone); });
+  row("Run Time [s]",
+      [](const Column& c) { return strprintf("%.2f", c.seconds); });
+  t.add_separator();
+  row("#Unmaskable", [](const Column& c) { return fmt_count(c.unmaskable); });
+  row("#MATE candid.", [](const Column& c) { return fmt_sci(
+                           static_cast<double>(c.candidates)); });
+  row("#MATE", [](const Column& c) { return fmt_count(c.mates); });
+
+  emit(t, csv);
+  return 0;
+}

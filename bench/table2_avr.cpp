@@ -1,0 +1,13 @@
+// Reproduces Table 2 of the paper: AVR MATE performance — effective MATEs,
+// average input count, masked fault-space fraction of the complete MATE set,
+// and the top-{10,50,100,200} subsets selected on one program and evaluated
+// on both (cross-validation).
+#include "bench/table_mates.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = ripple::bench::want_csv(argc, argv);
+  std::fprintf(stderr, "table2: building AVR core, tracing 8500 cycles...\n");
+  const ripple::bench::CoreSetup avr = ripple::bench::make_avr_setup();
+  ripple::bench::run_mate_performance_table(avr, "Table 2", csv);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table 3 of the paper: MSP430 MATE performance (same layout as
+// Table 2).
+#include "bench/table_mates.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = ripple::bench::want_csv(argc, argv);
+  std::fprintf(stderr,
+               "table3: building MSP430 core, tracing 8500 cycles...\n");
+  const ripple::bench::CoreSetup msp = ripple::bench::make_msp430_setup();
+  ripple::bench::run_mate_performance_table(msp, "Table 3", csv);
+  return 0;
+}

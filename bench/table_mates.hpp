@@ -1,0 +1,83 @@
+// Shared generator for Tables 2 (AVR) and 3 (MSP430): MATE performance on
+// the fib()/conv() traces, the top-N selection sweep and its
+// cross-validation (select on one program, evaluate on both).
+#pragma once
+
+#include "bench/common.hpp"
+#include "mate/eval.hpp"
+#include "mate/select.hpp"
+#include "util/strings.hpp"
+
+namespace ripple::bench {
+
+inline void run_mate_performance_table(const CoreSetup& setup,
+                                       const char* table_name, bool csv) {
+  TablePrinter t({std::string(table_name) + " " + setup.name + " MATEs",
+                  "fib FF", "fib FF w/o RF", "conv FF", "conv FF w/o RF"});
+
+  struct SetEval {
+    mate::SearchResult search;
+    mate::EvalResult fib;
+    mate::EvalResult conv;
+    mate::SelectionResult sel_fib;
+    mate::SelectionResult sel_conv;
+  };
+
+  // Column order: (fib FF), (fib xRF), (conv FF), (conv xRF); the fault set
+  // is per column pair, the trace alternates.
+  std::fprintf(stderr, "%s: MATE search (%s, FF)...\n", table_name,
+               setup.name.c_str());
+  SetEval ff;
+  ff.search = mate::find_mates(setup.netlist, setup.ff, {});
+  std::fprintf(stderr, "%s: MATE search (%s, FF w/o RF)...\n", table_name,
+               setup.name.c_str());
+  SetEval xrf;
+  xrf.search = mate::find_mates(setup.netlist, setup.ff_xrf, {});
+
+  for (SetEval* e : {&ff, &xrf}) {
+    e->fib = mate::evaluate_mates(e->search.set, setup.fib_trace);
+    e->conv = mate::evaluate_mates(e->search.set, setup.conv_trace);
+    e->sel_fib = mate::rank_mates(e->search.set, setup.fib_trace);
+    e->sel_conv = mate::rank_mates(e->search.set, setup.conv_trace);
+  }
+
+  const auto row4 = [&](const std::string& name, auto fn) {
+    t.add_row({name, fn(ff, true), fn(xrf, true), fn(ff, false),
+               fn(xrf, false)});
+  };
+
+  row4("#Effective MATEs", [](const SetEval& e, bool is_fib) {
+    return fmt_count(is_fib ? e.fib.effective_mates : e.conv.effective_mates);
+  });
+  row4("Avg. #inputs", [](const SetEval& e, bool is_fib) {
+    const mate::EvalResult& r = is_fib ? e.fib : e.conv;
+    return fmt_mean_sd(r.avg_inputs, r.sd_inputs);
+  });
+  row4("Masked Faults", [](const SetEval& e, bool is_fib) {
+    return fmt_percent(is_fib ? e.fib.masked_fraction()
+                              : e.conv.masked_fraction());
+  });
+
+  for (const bool select_on_fib : {true, false}) {
+    t.add_separator();
+    for (const std::size_t n : {10u, 50u, 100u, 200u}) {
+      const auto cell = [&](const SetEval& e, bool eval_fib) {
+        const mate::SelectionResult& sel =
+            select_on_fib ? e.sel_fib : e.sel_conv;
+        const mate::MateSet sub = mate::top_n(e.search.set, sel, n);
+        const mate::EvalResult r = mate::evaluate_mates(
+            sub, eval_fib ? setup.fib_trace : setup.conv_trace);
+        return fmt_percent(r.masked_fraction());
+      };
+      const std::string label = std::string("sel. ") +
+                                (select_on_fib ? "fib" : "conv") + " Top " +
+                                std::to_string(n);
+      t.add_row({label, cell(ff, true), cell(xrf, true), cell(ff, false),
+                 cell(xrf, false)});
+    }
+  }
+
+  emit(t, csv);
+}
+
+} // namespace ripple::bench

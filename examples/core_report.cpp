@@ -1,0 +1,76 @@
+// Artifact dumper: synthesis-style reports for both cores, their structural
+// Verilog netlists, and the MATE sets as JSON/CSV — everything an external
+// HAFI flow needs to integrate the pruning.
+//
+//   $ ./core_report [output-dir]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "cores/avr/core.hpp"
+#include "cores/avr/programs.hpp"
+#include "cores/avr/system.hpp"
+#include "cores/msp430/core.hpp"
+#include "cores/msp430/programs.hpp"
+#include "cores/msp430/system.hpp"
+#include "mate/eval.hpp"
+#include "mate/report.hpp"
+#include "mate/search.hpp"
+#include "netlist/verilog.hpp"
+#include "sim/stats.hpp"
+
+using namespace ripple;
+
+namespace {
+
+void report(const std::string& name, const netlist::Netlist& n,
+            const sim::Trace& trace, const std::filesystem::path& dir) {
+  sim::print_stats(sim::compute_stats(n), std::cout);
+
+  {
+    std::ofstream v(dir / (name + ".v"));
+    netlist::write_verilog(n, v);
+  }
+
+  const mate::SearchResult search =
+      mate::find_mates(n, mate::all_flop_wires(n), {});
+  const mate::EvalResult eval = mate::evaluate_mates(search.set, trace);
+  std::cout << "  MATEs: " << search.set.mates.size() << " (merged), masked "
+            << 100.0 * eval.masked_fraction() << " % of the fault space\n\n";
+
+  {
+    std::ofstream js(dir / (name + "_mates.json"));
+    write_search_json(n, search, js);
+  }
+  {
+    std::ofstream csv(dir / (name + "_mates.csv"));
+    write_mate_csv(n, search.set, &eval, csv);
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : ".";
+  std::filesystem::create_directories(dir);
+
+  {
+    std::cout << "=== AVR core ===\n";
+    const cores::avr::AvrCore core = cores::avr::build_avr_core(true);
+    const cores::avr::Program prog = cores::avr::fib_program();
+    cores::avr::AvrSystem sys(core, prog);
+    report("avr_core", core.netlist, sys.run_trace(2000), dir);
+  }
+  {
+    std::cout << "=== MSP430 core ===\n";
+    const cores::msp430::Msp430Core core =
+        cores::msp430::build_msp430_core(true);
+    const cores::msp430::Image img = cores::msp430::fib_image();
+    cores::msp430::Msp430System sys(core, img);
+    report("msp430_core", core.netlist, sys.run_trace(2000), dir);
+  }
+
+  std::cout << "artifacts written to " << dir << ": *.v netlists, "
+               "*_mates.{json,csv}\n";
+  return 0;
+}

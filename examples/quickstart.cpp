@@ -1,0 +1,70 @@
+// Quickstart: build a small synchronous circuit with the RTL DSL, derive
+// fault-masking terms (MATEs) for its flip-flops, and measure how much of
+// the fault space they prune on a short execution trace.
+//
+//   $ ./quickstart
+//
+// The circuit is a 4-bit accumulator with a write enable — the textbook
+// situation MATEs exploit: while `en` is low, an SEU in the shadow register
+// cannot reach the accumulator and is provably benign.
+#include <iostream>
+
+#include "mate/eval.hpp"
+#include "mate/search.hpp"
+#include "rtl/module.hpp"
+#include "rtl/optimize.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+using namespace ripple;
+
+int main() {
+  // --- 1. Describe a circuit with the RTL DSL -----------------------------
+  rtl::Module m("accumulator");
+  const WireId en = m.input("en");
+  const rtl::Bus in = m.input_bus("in", 4);
+
+  const rtl::Bus shadow = m.state("shadow", 4, 0); // captures `in` each cycle
+  m.next(shadow, in);
+
+  const rtl::Bus acc = m.state("acc", 4, 0); // acc += shadow while en
+  m.next_en(acc, en, m.add(acc, shadow).sum);
+  m.output_bus(acc);
+
+  // Clean the netlist up the way synthesis would.
+  netlist::Netlist n = rtl::optimize(m.take()).netlist;
+  std::cout << "circuit: " << n.num_gates() << " gates, " << n.num_flops()
+            << " flip-flops\n\n";
+
+  // --- 2. Search for MATEs -------------------------------------------------
+  const std::vector<WireId> faulty = mate::all_flop_wires(n);
+  const mate::SearchResult result = mate::find_mates(n, faulty, {});
+
+  std::cout << "MATEs found:\n";
+  for (const mate::Mate& mt : result.set.mates) {
+    std::cout << "  " << mt.cube.to_string(n) << "  masks "
+              << mt.masked_wires.size() << " flop(s)\n";
+  }
+
+  // --- 3. Replay a trace and quantify the pruning --------------------------
+  sim::Simulator sim(n);
+  Rng rng(2024);
+  sim::Trace trace =
+      sim::record_trace(sim, 64, [&](sim::Simulator& s, std::size_t) {
+        s.set_input(en, rng.next_below(4) == 0); // enable ~25% of cycles
+        s.drive_bus(in, rng.next_below(16));
+      });
+
+  const mate::EvalResult eval = mate::evaluate_mates(result.set, trace);
+  std::cout << "\nfault space: " << eval.fault_space() << " (flip-flops x "
+            << eval.num_cycles << " cycles)\n"
+            << "proven benign by MATEs: " << eval.masked_faults << " ("
+            << 100.0 * eval.masked_fraction() << " %)\n"
+            << "effective MATEs: " << eval.effective_mates << "\n";
+
+  std::cout << "\nWith `en` low three quarters of the time, most shadow-"
+               "register upsets never reach the accumulator —\nexactly the "
+               "injections a HAFI campaign can now skip.\n";
+  return 0;
+}

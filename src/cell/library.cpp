@@ -1,0 +1,167 @@
+#include "cell/library.hpp"
+
+#include <vector>
+
+namespace ripple::cell {
+namespace {
+
+// Build a truth table from a lambda over packed inputs.
+template <typename Fn>
+constexpr std::uint16_t make_truth(unsigned num_inputs, Fn fn) {
+  std::uint16_t t = 0;
+  for (std::uint32_t i = 0; i < (1u << num_inputs); ++i) {
+    if (fn(i)) t |= static_cast<std::uint16_t>(1u << i);
+  }
+  return t;
+}
+
+constexpr bool bit(std::uint32_t v, unsigned i) { return (v >> i) & 1u; }
+
+constexpr std::array<std::string_view, kMaxInputs> pins_abcd = {"A", "B", "C",
+                                                                "D"};
+constexpr std::array<std::string_view, kMaxInputs> pins_mux = {"S", "A", "B",
+                                                               ""};
+constexpr std::array<std::string_view, kMaxInputs> pins_dff = {"D", "", "",
+                                                               ""};
+
+} // namespace
+
+Library::Library() {
+  const auto def = [&](Kind k, std::string_view name, unsigned n,
+                       std::uint16_t truth,
+                       const std::array<std::string_view, kMaxInputs>& pins,
+                       double area) {
+    infos_[static_cast<std::size_t>(k)] =
+        Info{k, name, static_cast<std::uint8_t>(n), truth, pins, area};
+  };
+
+  // Areas follow the relative sizing of the NanGate 15nm OCL (X1 drive).
+  def(Kind::Tie0, "TIELO", 0, make_truth(0, [](auto) { return false; }),
+      pins_abcd, 0.098);
+  def(Kind::Tie1, "TIEHI", 0, make_truth(0, [](auto) { return true; }),
+      pins_abcd, 0.098);
+  def(Kind::Buf, "BUF_X1", 1, make_truth(1, [](auto i) { return bit(i, 0); }),
+      pins_abcd, 0.196);
+  def(Kind::Inv, "INV_X1", 1, make_truth(1, [](auto i) { return !bit(i, 0); }),
+      pins_abcd, 0.147);
+
+  def(Kind::And2, "AND2_X1", 2,
+      make_truth(2, [](auto i) { return bit(i, 0) && bit(i, 1); }), pins_abcd,
+      0.245);
+  def(Kind::And3, "AND3_X1", 3,
+      make_truth(3, [](auto i) { return bit(i, 0) && bit(i, 1) && bit(i, 2); }),
+      pins_abcd, 0.294);
+  def(Kind::And4, "AND4_X1", 4,
+      make_truth(4,
+                 [](auto i) {
+                   return bit(i, 0) && bit(i, 1) && bit(i, 2) && bit(i, 3);
+                 }),
+      pins_abcd, 0.343);
+  def(Kind::Nand2, "NAND2_X1", 2,
+      make_truth(2, [](auto i) { return !(bit(i, 0) && bit(i, 1)); }),
+      pins_abcd, 0.196);
+  def(Kind::Nand3, "NAND3_X1", 3,
+      make_truth(3,
+                 [](auto i) { return !(bit(i, 0) && bit(i, 1) && bit(i, 2)); }),
+      pins_abcd, 0.245);
+  def(Kind::Nand4, "NAND4_X1", 4,
+      make_truth(4,
+                 [](auto i) {
+                   return !(bit(i, 0) && bit(i, 1) && bit(i, 2) && bit(i, 3));
+                 }),
+      pins_abcd, 0.294);
+
+  def(Kind::Or2, "OR2_X1", 2,
+      make_truth(2, [](auto i) { return bit(i, 0) || bit(i, 1); }), pins_abcd,
+      0.245);
+  def(Kind::Or3, "OR3_X1", 3,
+      make_truth(3, [](auto i) { return bit(i, 0) || bit(i, 1) || bit(i, 2); }),
+      pins_abcd, 0.294);
+  def(Kind::Or4, "OR4_X1", 4,
+      make_truth(4,
+                 [](auto i) {
+                   return bit(i, 0) || bit(i, 1) || bit(i, 2) || bit(i, 3);
+                 }),
+      pins_abcd, 0.343);
+  def(Kind::Nor2, "NOR2_X1", 2,
+      make_truth(2, [](auto i) { return !(bit(i, 0) || bit(i, 1)); }),
+      pins_abcd, 0.196);
+  def(Kind::Nor3, "NOR3_X1", 3,
+      make_truth(3,
+                 [](auto i) { return !(bit(i, 0) || bit(i, 1) || bit(i, 2)); }),
+      pins_abcd, 0.245);
+  def(Kind::Nor4, "NOR4_X1", 4,
+      make_truth(4,
+                 [](auto i) {
+                   return !(bit(i, 0) || bit(i, 1) || bit(i, 2) || bit(i, 3));
+                 }),
+      pins_abcd, 0.294);
+
+  def(Kind::Xor2, "XOR2_X1", 2,
+      make_truth(2, [](auto i) { return bit(i, 0) != bit(i, 1); }), pins_abcd,
+      0.343);
+  def(Kind::Xnor2, "XNOR2_X1", 2,
+      make_truth(2, [](auto i) { return bit(i, 0) == bit(i, 1); }), pins_abcd,
+      0.343);
+
+  def(Kind::Mux2, "MUX2_X1", 3,
+      make_truth(3, [](auto i) { return bit(i, 0) ? bit(i, 2) : bit(i, 1); }),
+      pins_mux, 0.392);
+
+  def(Kind::Aoi21, "AOI21_X1", 3,
+      make_truth(3,
+                 [](auto i) { return !((bit(i, 0) && bit(i, 1)) || bit(i, 2)); }),
+      pins_abcd, 0.245);
+  def(Kind::Aoi22, "AOI22_X1", 4,
+      make_truth(4,
+                 [](auto i) {
+                   return !((bit(i, 0) && bit(i, 1)) ||
+                            (bit(i, 2) && bit(i, 3)));
+                 }),
+      pins_abcd, 0.294);
+  def(Kind::Oai21, "OAI21_X1", 3,
+      make_truth(3,
+                 [](auto i) { return !((bit(i, 0) || bit(i, 1)) && bit(i, 2)); }),
+      pins_abcd, 0.245);
+  def(Kind::Oai22, "OAI22_X1", 4,
+      make_truth(4,
+                 [](auto i) {
+                   return !((bit(i, 0) || bit(i, 1)) &&
+                            (bit(i, 2) || bit(i, 3)));
+                 }),
+      pins_abcd, 0.294);
+
+  def(Kind::Dff, "DFF_X1", 1, 0x2 /* Q := D */, pins_dff, 0.784);
+}
+
+const Library& Library::instance() {
+  static const Library lib;
+  return lib;
+}
+
+const Info& Library::info(Kind k) const {
+  const auto idx = static_cast<std::size_t>(k);
+  RIPPLE_ASSERT(idx < kKindCount, "bad cell kind ", idx);
+  return infos_[idx];
+}
+
+std::optional<Kind> Library::find(std::string_view name) const {
+  for (const Info& ci : infos_) {
+    if (ci.name == name) return ci.kind;
+  }
+  return std::nullopt;
+}
+
+std::span<const Kind> Library::combinational_kinds() const {
+  static const std::vector<Kind> kinds = [] {
+    std::vector<Kind> v;
+    for (std::size_t i = 0; i < kKindCount; ++i) {
+      const Kind k = static_cast<Kind>(i);
+      if (k != Kind::Dff) v.push_back(k);
+    }
+    return v;
+  }();
+  return kinds;
+}
+
+} // namespace ripple::cell

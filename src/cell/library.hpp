@@ -1,0 +1,114 @@
+// The standard-cell library.
+//
+// Mirrors the combinational subset of the 15nm NanGate Open Cell Library the
+// paper synthesized against: inverters/buffers, 2-4 input {N}AND/{N}OR,
+// XOR/XNOR, a 2:1 mux, AOI/OAI complex gates, constant ties, plus a single
+// positive-edge D flip-flop. Every combinational cell has exactly one output;
+// its logic function is stored as a truth table (<= 4 inputs -> 16 bits),
+// which is all the MATE analysis ever needs to know about a cell.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "util/assert.hpp"
+
+namespace ripple::cell {
+
+enum class Kind : std::uint8_t {
+  Tie0,
+  Tie1,
+  Buf,
+  Inv,
+  And2,
+  And3,
+  And4,
+  Nand2,
+  Nand3,
+  Nand4,
+  Or2,
+  Or3,
+  Or4,
+  Nor2,
+  Nor3,
+  Nor4,
+  Xor2,
+  Xnor2,
+  Mux2, // out = S ? B : A   (pins S, A, B)
+  Aoi21, // out = !((A & B) | C)
+  Aoi22, // out = !((A & B) | (C & D))
+  Oai21, // out = !((A | B) & C)
+  Oai22, // out = !((A | B) & (C | D))
+  Dff,  // positive-edge D flip-flop (pins D -> Q); handled by the netlist's
+        // flop table, never instantiated as a combinational gate
+};
+
+inline constexpr std::size_t kKindCount = static_cast<std::size_t>(Kind::Dff) + 1;
+inline constexpr std::size_t kMaxInputs = 4;
+
+/// Static description of one library cell.
+struct Info {
+  Kind kind;
+  std::string_view name;      // library cell name, e.g. "AOI21_X1"
+  std::uint8_t num_inputs;    // 0 for ties
+  std::uint16_t truth;        // bit i = output under input assignment i
+                              // (pin j contributes bit j of i)
+  std::array<std::string_view, kMaxInputs> pins; // pin names, A/B/C/D or S/A/B
+  double area_um2;            // cell area, used by netlist statistics
+};
+
+/// Library-wide queries. The library is immutable and global: cells are
+/// identified by Kind everywhere; names only matter for netlist (de)serialization.
+class Library {
+public:
+  /// The one global library instance.
+  static const Library& instance();
+
+  [[nodiscard]] const Info& info(Kind k) const;
+
+  /// Lookup by cell name (exact match), nullopt if unknown.
+  [[nodiscard]] std::optional<Kind> find(std::string_view name) const;
+
+  /// Evaluate a combinational cell: bit j of `inputs` is the value of pin j.
+  [[nodiscard]] bool eval(Kind k, std::uint32_t inputs) const {
+    const Info& ci = info(k);
+    RIPPLE_ASSERT(k != Kind::Dff, "DFF is not combinational");
+    RIPPLE_ASSERT((inputs >> ci.num_inputs) == 0, "stray input bits");
+    return (ci.truth >> inputs) & 1u;
+  }
+
+  [[nodiscard]] bool eval(Kind k, std::span<const bool> inputs) const {
+    std::uint32_t packed = 0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      packed |= static_cast<std::uint32_t>(inputs[i]) << i;
+    }
+    const Info& ci = info(k);
+    RIPPLE_ASSERT(inputs.size() == ci.num_inputs, "pin count mismatch for ",
+                  ci.name);
+    return eval(k, packed);
+  }
+
+  /// All combinational kinds (everything except Dff).
+  [[nodiscard]] std::span<const Kind> combinational_kinds() const;
+
+private:
+  Library();
+  std::array<Info, kKindCount> infos_;
+};
+
+/// Convenience free functions.
+[[nodiscard]] inline const Info& info(Kind k) {
+  return Library::instance().info(k);
+}
+[[nodiscard]] inline bool eval(Kind k, std::uint32_t inputs) {
+  return Library::instance().eval(k, inputs);
+}
+[[nodiscard]] inline std::string_view name(Kind k) { return info(k).name; }
+[[nodiscard]] inline std::size_t num_inputs(Kind k) {
+  return info(k).num_inputs;
+}
+
+} // namespace ripple::cell

@@ -1,0 +1,281 @@
+#include "cores/avr/assembler.hpp"
+
+#include <map>
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace ripple::cores::avr {
+namespace {
+
+struct Statement {
+  int line;
+  std::string mnemonic; // lower-case
+  std::vector<std::string> operands;
+  std::size_t address; // word address (pass 1)
+};
+
+struct BranchAlias {
+  std::string_view name;
+  Mnemonic mnemonic; // Brbs or Brbc
+  std::uint8_t bit;
+};
+
+constexpr BranchAlias kBranchAliases[] = {
+    {"brcs", Mnemonic::Brbs, kC}, {"brlo", Mnemonic::Brbs, kC},
+    {"breq", Mnemonic::Brbs, kZ}, {"brmi", Mnemonic::Brbs, kN},
+    {"brvs", Mnemonic::Brbs, kV}, {"brcc", Mnemonic::Brbc, kC},
+    {"brsh", Mnemonic::Brbc, kC}, {"brne", Mnemonic::Brbc, kZ},
+    {"brpl", Mnemonic::Brbc, kN}, {"brvc", Mnemonic::Brbc, kV},
+};
+
+class Assembler {
+public:
+  Program run(std::string_view source) {
+    pass1(source);
+    return pass2();
+  }
+
+private:
+  [[noreturn]] void fail(int line, const std::string& msg) const {
+    throw Error("avr asm, line " + std::to_string(line) + ": " + msg);
+  }
+
+  void pass1(std::string_view source) {
+    std::size_t lc = 0; // location counter, word address
+    int line_no = 0;
+    for (std::string_view raw : split(source, '\n')) {
+      ++line_no;
+      std::string_view line = raw;
+      if (const auto pos = line.find(';'); pos != std::string_view::npos) {
+        line = line.substr(0, pos);
+      }
+      if (const auto pos = line.find("//"); pos != std::string_view::npos) {
+        line = line.substr(0, pos);
+      }
+      line = trim(line);
+      if (line.empty()) continue;
+
+      // Leading labels (possibly several on one line).
+      while (true) {
+        const auto colon = line.find(':');
+        if (colon == std::string_view::npos) break;
+        const std::string_view label = trim(line.substr(0, colon));
+        if (!is_identifier(label)) {
+          fail(line_no, "bad label '" + std::string(label) + "'");
+        }
+        if (symbols_.contains(std::string(label))) {
+          fail(line_no, "duplicate symbol '" + std::string(label) + "'");
+        }
+        symbols_[std::string(label)] = static_cast<std::int64_t>(lc);
+        line = trim(line.substr(colon + 1));
+      }
+      if (line.empty()) continue;
+
+      // Split mnemonic from operand list.
+      const auto space = line.find_first_of(" \t");
+      std::string mnemonic =
+          to_lower(space == std::string_view::npos ? line
+                                                   : line.substr(0, space));
+      std::vector<std::string> operands;
+      if (space != std::string_view::npos) {
+        for (std::string_view op : split(line.substr(space + 1), ',')) {
+          operands.emplace_back(trim(op));
+        }
+      }
+
+      if (mnemonic == ".org") {
+        if (operands.size() != 1) fail(line_no, ".org needs one operand");
+        const auto v = parse_int(operands[0]);
+        if (!v || *v < 0) fail(line_no, "bad .org operand");
+        lc = static_cast<std::size_t>(*v);
+        continue;
+      }
+      if (mnemonic == ".equ") {
+        if (operands.size() != 2) fail(line_no, ".equ needs name, value");
+        const auto v = parse_int(operands[1]);
+        if (!v) fail(line_no, "bad .equ value");
+        symbols_[operands[0]] = *v;
+        continue;
+      }
+
+      statements_.push_back(Statement{line_no, std::move(mnemonic),
+                                      std::move(operands), lc});
+      ++lc;
+    }
+  }
+
+  std::int64_t eval(const Statement& s, const std::string& expr) const {
+    if (const auto v = parse_int(expr)) return *v;
+    if (!expr.empty() && (expr[0] == '-' || expr[0] == '+')) {
+      const std::int64_t v = eval(s, expr.substr(1));
+      return expr[0] == '-' ? -v : v;
+    }
+    const auto it = symbols_.find(expr);
+    if (it == symbols_.end()) {
+      fail(s.line, "undefined symbol '" + expr + "'");
+    }
+    return it->second;
+  }
+
+  std::uint8_t reg(const Statement& s, const std::string& op) const {
+    const std::string low = to_lower(op);
+    if (low.size() >= 2 && low[0] == 'r') {
+      const auto v = parse_int(low.substr(1));
+      if (v && *v >= 0 && *v < 32) return static_cast<std::uint8_t>(*v);
+    }
+    fail(s.line, "expected register, got '" + op + "'");
+  }
+
+  std::uint8_t imm8(const Statement& s, const std::string& op) const {
+    const std::int64_t v = eval(s, op);
+    if (v < -128 || v > 255) {
+      fail(s.line, "immediate out of 8-bit range: " + op);
+    }
+    return static_cast<std::uint8_t>(v & 0xff);
+  }
+
+  std::int16_t rel(const Statement& s, const std::string& op) const {
+    const std::int64_t target = eval(s, op);
+    const std::int64_t off =
+        target - (static_cast<std::int64_t>(s.address) + 1);
+    return static_cast<std::int16_t>(off);
+  }
+
+  void want_operands(const Statement& s, std::size_t n) const {
+    if (s.operands.size() != n) {
+      fail(s.line, s.mnemonic + " expects " + std::to_string(n) +
+                       " operand(s), got " + std::to_string(s.operands.size()));
+    }
+  }
+
+  Program pass2() {
+    Program prog;
+    for (const Statement& s : statements_) {
+      Instruction insn;
+      const std::string& m = s.mnemonic;
+
+      static const std::map<std::string_view, Mnemonic> rr_ops = {
+          {"add", Mnemonic::Add}, {"adc", Mnemonic::Adc},
+          {"sub", Mnemonic::Sub}, {"sbc", Mnemonic::Sbc},
+          {"and", Mnemonic::And}, {"eor", Mnemonic::Eor},
+          {"or", Mnemonic::Or},   {"mov", Mnemonic::Mov},
+          {"cp", Mnemonic::Cp},   {"cpc", Mnemonic::Cpc},
+      };
+      static const std::map<std::string_view, Mnemonic> imm_ops = {
+          {"cpi", Mnemonic::Cpi},   {"sbci", Mnemonic::Sbci},
+          {"subi", Mnemonic::Subi}, {"ori", Mnemonic::Ori},
+          {"andi", Mnemonic::Andi}, {"ldi", Mnemonic::Ldi},
+      };
+      static const std::map<std::string_view, Mnemonic> one_ops = {
+          {"com", Mnemonic::Com}, {"inc", Mnemonic::Inc},
+          {"dec", Mnemonic::Dec}, {"lsr", Mnemonic::Lsr},
+          {"ror", Mnemonic::Ror},
+      };
+
+      if (m == "nop") {
+        want_operands(s, 0);
+        insn.mnemonic = Mnemonic::Nop;
+      } else if (const auto it = rr_ops.find(m); it != rr_ops.end()) {
+        want_operands(s, 2);
+        insn.mnemonic = it->second;
+        insn.rd = reg(s, s.operands[0]);
+        insn.rr = reg(s, s.operands[1]);
+      } else if (const auto it2 = imm_ops.find(m); it2 != imm_ops.end()) {
+        want_operands(s, 2);
+        insn.mnemonic = it2->second;
+        insn.rd = reg(s, s.operands[0]);
+        insn.imm = imm8(s, s.operands[1]);
+      } else if (const auto it3 = one_ops.find(m); it3 != one_ops.end()) {
+        want_operands(s, 1);
+        insn.mnemonic = it3->second;
+        insn.rd = reg(s, s.operands[0]);
+      } else if (m == "lsl") {
+        // lsl Rd == add Rd, Rd (canonical AVR alias)
+        want_operands(s, 1);
+        insn.mnemonic = Mnemonic::Add;
+        insn.rd = insn.rr = reg(s, s.operands[0]);
+      } else if (m == "rol") {
+        // rol Rd == adc Rd, Rd
+        want_operands(s, 1);
+        insn.mnemonic = Mnemonic::Adc;
+        insn.rd = insn.rr = reg(s, s.operands[0]);
+      } else if (m == "tst") {
+        // tst Rd == and Rd, Rd
+        want_operands(s, 1);
+        insn.mnemonic = Mnemonic::And;
+        insn.rd = insn.rr = reg(s, s.operands[0]);
+      } else if (m == "clr") {
+        // clr Rd == eor Rd, Rd
+        want_operands(s, 1);
+        insn.mnemonic = Mnemonic::Eor;
+        insn.rd = insn.rr = reg(s, s.operands[0]);
+      } else if (m == "ld") {
+        want_operands(s, 2);
+        if (to_lower(s.operands[1]) != "x") {
+          fail(s.line, "only 'ld Rd, X' is supported");
+        }
+        insn.mnemonic = Mnemonic::LdX;
+        insn.rd = reg(s, s.operands[0]);
+      } else if (m == "st") {
+        want_operands(s, 2);
+        if (to_lower(s.operands[0]) != "x") {
+          fail(s.line, "only 'st X, Rr' is supported");
+        }
+        insn.mnemonic = Mnemonic::StX;
+        insn.rr = reg(s, s.operands[1]);
+      } else if (m == "rjmp") {
+        want_operands(s, 1);
+        insn.mnemonic = Mnemonic::Rjmp;
+        insn.offset = rel(s, s.operands[0]);
+      } else if (m == "brbs" || m == "brbc") {
+        want_operands(s, 2);
+        insn.mnemonic = m == "brbs" ? Mnemonic::Brbs : Mnemonic::Brbc;
+        const std::int64_t bit = eval(s, s.operands[0]);
+        if (bit < 0 || bit > 3) fail(s.line, "SREG bit outside subset (0..3)");
+        insn.sreg_bit = static_cast<std::uint8_t>(bit);
+        insn.offset = rel(s, s.operands[1]);
+      } else if (m == "out") {
+        want_operands(s, 2);
+        insn.mnemonic = Mnemonic::Out;
+        const std::int64_t port = eval(s, s.operands[0]);
+        if (port < 0 || port > 63) fail(s.line, "port out of range");
+        insn.imm = static_cast<std::uint8_t>(port);
+        insn.rr = reg(s, s.operands[1]);
+      } else {
+        bool matched = false;
+        for (const BranchAlias& alias : kBranchAliases) {
+          if (m == alias.name) {
+            want_operands(s, 1);
+            insn.mnemonic = alias.mnemonic;
+            insn.sreg_bit = alias.bit;
+            insn.offset = rel(s, s.operands[0]);
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) fail(s.line, "unknown mnemonic '" + m + "'");
+      }
+
+      if (prog.words.size() <= s.address) {
+        prog.words.resize(s.address + 1, 0);
+      }
+      try {
+        prog.words[s.address] = encode(insn);
+      } catch (const Error& e) {
+        fail(s.line, e.what());
+      }
+    }
+    return prog;
+  }
+
+  std::map<std::string, std::int64_t> symbols_;
+  std::vector<Statement> statements_;
+};
+
+} // namespace
+
+Program assemble(std::string_view source) { return Assembler().run(source); }
+
+} // namespace ripple::cores::avr

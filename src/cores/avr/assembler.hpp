@@ -1,0 +1,30 @@
+// Two-pass AVR-subset assembler.
+//
+// Grammar (one statement per line, ';' or '//' starts a comment):
+//   label:                 -- word-address label
+//   .org <expr>            -- set the location counter (word address)
+//   .equ <name>, <expr>    -- define a symbol
+//   <mnemonic> <operands>  -- one 16-bit instruction
+//
+// Operands: registers r0..r31, X (for ld/st), immediate expressions
+// (decimal, 0x.., 0b.., defined symbols), label references in branches.
+// Branch aliases: breq/brne (Z), brcs/brcc (C), brmi/brpl (N), brvs/brvc (V).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cores/avr/isa.hpp"
+
+namespace ripple::cores::avr {
+
+struct Program {
+  /// Instruction memory image, index = word address.
+  std::vector<std::uint16_t> words;
+};
+
+/// Assemble or throw ripple::Error with a line-numbered message.
+[[nodiscard]] Program assemble(std::string_view source);
+
+} // namespace ripple::cores::avr

@@ -1,0 +1,295 @@
+#include "cores/avr/core.hpp"
+
+#include "rtl/components.hpp"
+#include "rtl/optimize.hpp"
+#include "rtl/ports.hpp"
+
+namespace ripple::cores::avr {
+
+using rtl::Bus;
+using rtl::Module;
+
+namespace {
+
+/// Elaborate the unoptimized core netlist.
+///
+/// Pipeline structure (2 stages, operand capture):
+///   IF/ID: fetch `instr`, read both register-file ports with the *incoming*
+///          instruction's register fields, forward the EX result on a write/
+///          read match, and latch the operands into the EX-stage buffers
+///          opa/opb together with the instruction register ir.
+///   EX:    decode ir, compute the ALU result from opa/opb, write back,
+///          update flags, resolve branches.
+/// The operand stage buffers are what make mov/ld-style MATEs possible (the
+/// paper's Section 4 example: an operation that selects only one operand
+/// proves every fault in the other operand benign).
+netlist::Netlist elaborate() {
+  Module m("avr_core");
+
+  // --- ports ---------------------------------------------------------------
+  const Bus instr = m.input_bus("instr", kInstrBits);
+  const Bus dmem_rdata = m.input_bus("dmem_rdata", kDataBits);
+
+  // --- architectural state ---------------------------------------------------
+  rtl::RegFile rf = rtl::make_regfile(m, std::string(kRegfilePrefix), 32,
+                                      kDataBits);
+  const Bus pc = m.state("pc", kPcBits, 0);
+  const Bus ir = m.state("ir", kInstrBits, 0);
+  const Bus opa = m.state("opa", kDataBits, 0); // EX operand A stage buffer
+  const Bus opb = m.state("opb", kDataBits, 0); // EX operand B stage buffer
+  const WireId valid = m.state1("ex_valid", false);
+  const WireId flag_c = m.state1("sreg_c", false);
+  const WireId flag_z = m.state1("sreg_z", false);
+  const WireId flag_n = m.state1("sreg_n", false);
+  const WireId flag_v = m.state1("sreg_v", false);
+
+  // --- decode (of the EX-stage instruction register) -------------------------
+  const Bus op6 = Module::slice(ir, 10, 6);
+  const Bus op4 = Module::slice(ir, 12, 4);
+  const auto eq6 = [&](unsigned v) { return m.equals_const(op6, v); };
+  const auto eq4 = [&](unsigned v) { return m.equals_const(op4, v); };
+
+  const WireId is_add = eq6(0b000011);
+  const WireId is_adc = eq6(0b000111);
+  const WireId is_sub = eq6(0b000110);
+  const WireId is_sbc = eq6(0b000010);
+  const WireId is_and = eq6(0b001000);
+  const WireId is_eor = eq6(0b001001);
+  const WireId is_or = eq6(0b001010);
+  const WireId is_mov = eq6(0b001011);
+  const WireId is_cp = eq6(0b000101);
+  const WireId is_cpc = eq6(0b000001);
+
+  const WireId is_cpi = eq4(0b0011);
+  const WireId is_sbci = eq4(0b0100);
+  const WireId is_subi = eq4(0b0101);
+  const WireId is_ori = eq4(0b0110);
+  const WireId is_andi = eq4(0b0111);
+  const WireId is_ldi = eq4(0b1110);
+  const WireId is_rjmp = eq4(0b1100);
+
+  const Bus op7 = Module::slice(ir, 9, 7);
+  const Bus fn4 = Module::slice(ir, 0, 4);
+  const WireId oneop_base = m.equals_const(op7, 0b1001010);
+  const WireId is_com = m.and2(oneop_base, m.equals_const(fn4, 0b0000));
+  const WireId is_inc = m.and2(oneop_base, m.equals_const(fn4, 0b0011));
+  const WireId is_dec = m.and2(oneop_base, m.equals_const(fn4, 0b1010));
+  const WireId is_lsr = m.and2(oneop_base, m.equals_const(fn4, 0b0110));
+  const WireId is_ror = m.and2(oneop_base, m.equals_const(fn4, 0b0111));
+
+  const WireId is_ldx = m.and2(m.equals_const(op7, 0b1001000),
+                               m.equals_const(fn4, 0b1100));
+  const WireId is_stx = m.and2(m.equals_const(op7, 0b1001001),
+                               m.equals_const(fn4, 0b1100));
+
+  const WireId is_brbs = eq6(0b111100);
+  const WireId is_brbc = eq6(0b111101);
+  const WireId is_out = m.equals_const(Module::slice(ir, 11, 5), 0b10111);
+
+  const WireId is_imm =
+      m.or_all({is_cpi, is_sbci, is_subi, is_ori, is_andi, is_ldi});
+  const WireId is_oneop = m.or_all({is_com, is_inc, is_dec, is_lsr, is_ror});
+
+  // --- IF-stage register-file read (incoming instruction) -------------------
+  // The read addresses come from the *fetched* word so the operands can be
+  // captured into the opa/opb stage buffers at the clock edge. Immediate ops
+  // address r16..r31 = {instr[7:4], 1}; the same applies to the EX-side
+  // write address below (computed from ir).
+  const WireId if_is_imm = [&] {
+    // opcode[15:12] of the incoming word selects the immediate format:
+    // 0011 CPI, 0100 SBCI, 0101 SUBI, 0110 ORI, 0111 ANDI, 1110 LDI.
+    const Bus if_op4 = Module::slice(instr, 12, 4);
+    return m.or_all({m.equals_const(if_op4, 0b0011),
+                     m.equals_const(if_op4, 0b0100),
+                     m.equals_const(if_op4, 0b0101),
+                     m.equals_const(if_op4, 0b0110),
+                     m.equals_const(if_op4, 0b0111),
+                     m.equals_const(if_op4, 0b1110)});
+  }();
+  const Bus if_a_addr =
+      m.mux_bus(if_is_imm, Module::slice(instr, 4, 5),
+                Module::concat(Module::slice(instr, 4, 4), {m.one()}));
+  const Bus if_b_addr = Module::concat(Module::slice(instr, 0, 4),
+                                       {Module::slice(instr, 9, 1)[0]});
+
+  const Bus rf_a = rtl::regfile_read(m, rf, if_a_addr);
+  const Bus rf_b = rtl::regfile_read(m, rf, if_b_addr);
+
+  // EX-side destination address (write-back and forwarding source).
+  const Bus rd_field = Module::slice(ir, 4, 5);
+  const Bus rd_imm = Module::concat(Module::slice(ir, 4, 4), {m.one()});
+  const Bus a_addr = m.mux_bus(is_imm, rd_field, rd_imm);
+
+  // --- ALU (EX stage, operands from the stage buffers) ----------------------
+  const Bus imm_k = Module::concat(Module::slice(ir, 0, 4),
+                                   Module::slice(ir, 8, 4));
+  const Bus reg_a = opa;
+  const Bus op_b = m.mux_bus(is_imm, opb, imm_k);
+  const WireId is_incdec = m.or2(is_inc, is_dec);
+  const Bus op_b2 = m.mux_bus(is_incdec, op_b, m.constant_bus(kDataBits, 1));
+
+  const WireId sub_op = m.or_all(
+      {is_sub, is_sbc, is_cp, is_cpc, is_subi, is_sbci, is_cpi, is_dec});
+  const WireId use_carry = m.or_all({is_adc, is_sbc, is_cpc, is_sbci});
+  // cin: add: C if carry-using else 0; sub: !C if carry-using else 1.
+  const WireId cin = m.mux(sub_op, m.and2(use_carry, flag_c),
+                           m.mux(use_carry, m.one(), m.not_(flag_c)));
+  const Bus b_adj = m.xor_bus(op_b2, Module::splat(sub_op, kDataBits));
+  const rtl::AddResult adder = m.add(reg_a, b_adj, cin);
+
+  const WireId shift_in = m.mux(is_ror, m.zero(), flag_c);
+  const Bus shift_res = m.shift_right_const(reg_a, 1, shift_in);
+
+  const WireId use_adder = m.or_all({is_add, is_adc, is_sub, is_sbc, is_cp,
+                                     is_cpc, is_subi, is_sbci, is_cpi, is_inc,
+                                     is_dec});
+  const WireId use_shift = m.or2(is_lsr, is_ror);
+  const WireId and_grp = m.or2(is_and, is_andi);
+  const WireId or_grp = m.or2(is_or, is_ori);
+
+  // Result selection, structured by operand usage: the top mux separates the
+  // pass-through leg (MOV/LDI, operand B only) from everything that reads
+  // operand A, and the second level separates the deep adder from the
+  // shallow logic/shift tree (0 and, 1 or, 2 eor, 3 com, 4 shift). This way
+  // a single select wire isolates the whole A-operand data path.
+  const WireId use_rega = m.or_all(
+      {use_adder, and_grp, or_grp, is_eor, is_com, use_shift});
+  const Bus logic_sel = {m.or2(or_grp, is_com), m.or2(is_eor, is_com),
+                         use_shift};
+  const std::vector<Bus> logic_legs = {
+      m.and_bus(reg_a, op_b),
+      m.or_bus(reg_a, op_b),
+      m.xor_bus(reg_a, op_b),
+      m.not_bus(reg_a),
+      shift_res,
+  };
+  const Bus rega_res =
+      m.mux_bus(use_adder, m.mux_tree(logic_sel, logic_legs), adder.sum);
+  const Bus alu_res = m.mux_bus(use_rega, op_b, rega_res);
+
+  const Bus wb_result = m.mux_bus(is_ldx, alu_res, dmem_rdata);
+
+  // --- flags -------------------------------------------------------------------
+  const WireId res_zero = m.is_zero(alu_res);
+  const WireId z_chain = m.or_all({is_cpc, is_sbc, is_sbci});
+  const WireId z_val = m.mux(z_chain, res_zero, m.and2(res_zero, flag_z));
+  // C: adder ops: carry (add) / !carry = borrow (sub); shifts: old LSB;
+  // COM: 1. INC/DEC leave C alone (excluded via c_we below).
+  const WireId c_adder = m.xor2(adder.carry, sub_op);
+  const WireId c_val = m.mux(use_shift, m.mux(is_com, c_adder, m.one()),
+                             reg_a[0]);
+  const WireId n_val = alu_res[kDataBits - 1];
+  const WireId v_val = m.mux(
+      use_adder, m.mux(use_shift, m.zero(), m.xor2(n_val, c_val)),
+      adder.overflow);
+
+  const WireId sets_flags = m.or_all(
+      {is_add, is_adc, is_sub, is_sbc, is_and, is_eor, is_or, is_cp, is_cpc,
+       is_cpi, is_sbci, is_subi, is_ori, is_andi, is_oneop});
+  const WireId flag_we = m.and2(valid, sets_flags);
+  // C is untouched by INC/DEC and by the logic group (AND/OR/EOR and their
+  // immediate forms); COM does set C (to 1).
+  const WireId c_we = m.and2(
+      flag_we,
+      m.not_(m.or_all({is_incdec, and_grp, or_grp, is_eor})));
+
+  // Flag-input isolation (operand isolation on the flag data path): the
+  // values only matter while the write enable is high, and gating them here
+  // concentrates the masking capability of all flag logic into one literal.
+  m.next_en(flag_c, c_we, m.and2(c_val, c_we));
+  m.next_en(flag_z, flag_we, m.and2(z_val, flag_we));
+  m.next_en(flag_n, flag_we, m.and2(n_val, flag_we));
+  m.next_en(flag_v, flag_we, m.and2(v_val, flag_we));
+
+  // --- register writeback --------------------------------------------------------
+  const WireId writes_reg = m.or_all(
+      {is_add, is_adc, is_sub, is_sbc, is_and, is_eor, is_or, is_mov, is_sbci,
+       is_subi, is_ori, is_andi, is_ldi, is_oneop, is_ldx});
+  const WireId wen = m.and2(valid, writes_reg);
+  rtl::regfile_write(m, rf, a_addr, wen, wb_result);
+
+  // --- operand capture with EX->IF forwarding --------------------------------
+  // The IF-stage read happens while EX is still writing back; on a write/read
+  // address match the EX result is captured instead of the stale value.
+  const WireId fwd_a = m.and2(wen, m.equals(a_addr, if_a_addr));
+  const WireId fwd_b = m.and2(wen, m.equals(a_addr, if_b_addr));
+  m.next(opa, m.mux_bus(fwd_a, rf_a, wb_result));
+  m.next(opb, m.mux_bus(fwd_b, rf_b, wb_result));
+
+  // --- branches / next PC -----------------------------------------------------
+  const WireId flag_sel =
+      m.mux_tree1(Module::slice(ir, 0, 2),
+                  std::vector<WireId>{flag_c, flag_z, flag_n, flag_v});
+  const WireId taken = m.and2(
+      valid, m.or_all({is_rjmp, m.and2(is_brbs, flag_sel),
+                       m.and2(is_brbc, m.not_(flag_sel))}));
+
+  const Bus k_rjmp = Module::slice(ir, 0, kPcBits); // 12-bit offset
+  const Bus k_br = m.sign_extend(Module::slice(ir, 3, 7), kPcBits);
+  const Bus k = m.mux_bus(is_rjmp, k_br, k_rjmp);
+  const Bus target = m.add(pc, k).sum;
+  const Bus pc_inc = m.add(pc, m.constant_bus(kPcBits, 1)).sum;
+  const Bus pc_next = m.mux_bus(taken, pc_inc, target);
+
+  m.next(pc, pc_next);
+  m.next(ir, instr);
+  m.next(valid, m.not_(taken));
+
+  // --- output ports -----------------------------------------------------------
+  // Bus payloads are qualified by their strobes, as on a real bus interface:
+  // externally, dmem_wdata/io_data carry meaning only while the strobe is
+  // high, so they are driven low otherwise. (This also matters for the fault
+  // model: an ungated bus would make every register-read fault "externally
+  // visible" even in cycles where no bus transaction happens.)
+  const WireId mem_strobe = m.and2(valid, m.or2(is_ldx, is_stx));
+  const WireId st_strobe = m.and2(valid, is_stx);
+  const WireId out_strobe = m.and2(valid, is_out);
+  // dmem_wdata and io_data both carry the A operand and are each sampled
+  // only under their own strobe, so one shared gated copy drives both.
+  const WireId bus_out_en = m.or2(st_strobe, out_strobe);
+  const Bus reg_a_out =
+      m.and_bus(reg_a, Module::splat(bus_out_en, kDataBits));
+
+  rtl::name_output_bus(m, pc, "imem_addr");
+  rtl::name_output_bus(m, m.and_bus(rf.regs[26], Module::splat(mem_strobe,
+                                                               kDataBits)),
+                       "dmem_addr");
+  rtl::name_output_bus(m, reg_a_out, "dmem_wdata");
+  rtl::name_output(m, st_strobe, "dmem_we");
+  const Bus io_addr = Module::concat(Module::slice(ir, 0, 4),
+                                     Module::slice(ir, 9, 2));
+  rtl::name_output_bus(m, m.and_bus(io_addr, Module::splat(out_strobe, 6)),
+                       "io_addr");
+  rtl::name_output_bus(m, reg_a_out, "io_data");
+  rtl::name_output(m, out_strobe, "io_we");
+
+  return m.take();
+}
+
+} // namespace
+
+AvrPorts resolve_avr_ports(const netlist::Netlist& n) {
+  AvrPorts p;
+  p.instr = rtl::find_bus(n, "instr", kInstrBits);
+  p.dmem_rdata = rtl::find_bus(n, "dmem_rdata", kDataBits);
+  p.imem_addr = rtl::find_bus(n, "imem_addr", kPcBits);
+  p.dmem_addr = rtl::find_bus(n, "dmem_addr", kDataBits);
+  p.dmem_wdata = rtl::find_bus(n, "dmem_wdata", kDataBits);
+  p.dmem_we = rtl::find_wire_checked(n, "dmem_we");
+  p.io_addr = rtl::find_bus(n, "io_addr", 6);
+  p.io_data = rtl::find_bus(n, "io_data", kDataBits);
+  p.io_we = rtl::find_wire_checked(n, "io_we");
+  return p;
+}
+
+AvrCore build_avr_core(bool optimized) {
+  netlist::Netlist n = elaborate();
+  if (optimized) {
+    n = rtl::optimize(n).netlist;
+  }
+  AvrPorts ports = resolve_avr_ports(n);
+  AvrCore core{std::move(n), std::move(ports)};
+  return core;
+}
+
+} // namespace ripple::cores::avr

@@ -1,0 +1,52 @@
+// Gate-level AVR-subset core: 8-bit data path, 32x8 register file, two-stage
+// fetch/execute pipeline, C/Z/N/V status flags — the architecture class of
+// the paper's first evaluation target.
+//
+// Memories are external (system-model Section 2 keeps the fault space to the
+// CPU): the core exposes an instruction-fetch port and a combinational-read
+// data port served by the AvrSystem harness. The X pointer's low byte (r26)
+// addresses 256 bytes of data memory; OUT drives the I/O port that serves as
+// the architecturally visible output.
+#pragma once
+
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+#include "rtl/module.hpp"
+
+namespace ripple::cores::avr {
+
+inline constexpr std::size_t kPcBits = 12;
+inline constexpr std::size_t kDataBits = 8;
+inline constexpr std::size_t kInstrBits = 16;
+/// Register-file flop-name prefix; defines the "FF w/o RF" fault set.
+inline constexpr std::string_view kRegfilePrefix = "rf";
+
+struct AvrPorts {
+  // inputs
+  rtl::Bus instr;      // fetched instruction word
+  rtl::Bus dmem_rdata; // data-memory combinational read value
+  // outputs
+  rtl::Bus imem_addr;  // program counter (word address)
+  rtl::Bus dmem_addr;  // data address (r26)
+  rtl::Bus dmem_wdata; // store value
+  WireId dmem_we;      // store strobe
+  rtl::Bus io_addr;    // OUT port number
+  rtl::Bus io_data;    // OUT value
+  WireId io_we;        // OUT strobe
+};
+
+struct AvrCore {
+  netlist::Netlist netlist;
+  AvrPorts ports;
+};
+
+/// Elaborate the core. With `optimized` the netlist is passed through
+/// rtl::optimize(), mirroring the paper's area-optimized synthesis.
+[[nodiscard]] AvrCore build_avr_core(bool optimized = true);
+
+/// Resolve the port buses against a core netlist (used after deserializing a
+/// netlist from Verilog).
+[[nodiscard]] AvrPorts resolve_avr_ports(const netlist::Netlist& n);
+
+} // namespace ripple::cores::avr

@@ -1,0 +1,296 @@
+#include "cores/avr/isa.hpp"
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace ripple::cores::avr {
+namespace {
+
+/// Pack a register-register ALU operation: oooo oord dddd rrrr.
+std::uint16_t pack_rr(std::uint16_t opcode6, std::uint8_t rd,
+                      std::uint8_t rr) {
+  RIPPLE_CHECK(rd < 32 && rr < 32, "AVR register out of range");
+  return static_cast<std::uint16_t>((opcode6 << 10) |
+                                    ((rr & 0x10u) << 5) | (rd << 4) |
+                                    (rr & 0x0fu));
+}
+
+/// Pack a register-immediate operation: oooo KKKK dddd KKKK (Rd = r16..r31).
+std::uint16_t pack_imm(std::uint16_t opcode4, std::uint8_t rd,
+                       std::uint8_t imm) {
+  RIPPLE_CHECK(rd >= 16 && rd < 32, "immediate ops require r16..r31, got r",
+               int(rd));
+  return static_cast<std::uint16_t>((opcode4 << 12) |
+                                    ((imm & 0xf0u) << 4) |
+                                    ((rd - 16) << 4) | (imm & 0x0fu));
+}
+
+/// Pack a single-register operation: 1001 010d dddd ffff.
+std::uint16_t pack_one(std::uint8_t rd, std::uint16_t fn4) {
+  RIPPLE_CHECK(rd < 32, "AVR register out of range");
+  return static_cast<std::uint16_t>(0x9400u | (rd << 4) | fn4);
+}
+
+} // namespace
+
+std::uint16_t encode(const Instruction& insn) {
+  switch (insn.mnemonic) {
+    case Mnemonic::Nop:
+      return 0x0000;
+    case Mnemonic::Add:
+      return pack_rr(0b000011, insn.rd, insn.rr);
+    case Mnemonic::Adc:
+      return pack_rr(0b000111, insn.rd, insn.rr);
+    case Mnemonic::Sub:
+      return pack_rr(0b000110, insn.rd, insn.rr);
+    case Mnemonic::Sbc:
+      return pack_rr(0b000010, insn.rd, insn.rr);
+    case Mnemonic::And:
+      return pack_rr(0b001000, insn.rd, insn.rr);
+    case Mnemonic::Eor:
+      return pack_rr(0b001001, insn.rd, insn.rr);
+    case Mnemonic::Or:
+      return pack_rr(0b001010, insn.rd, insn.rr);
+    case Mnemonic::Mov:
+      return pack_rr(0b001011, insn.rd, insn.rr);
+    case Mnemonic::Cp:
+      return pack_rr(0b000101, insn.rd, insn.rr);
+    case Mnemonic::Cpc:
+      return pack_rr(0b000001, insn.rd, insn.rr);
+    case Mnemonic::Cpi:
+      return pack_imm(0b0011, insn.rd, insn.imm);
+    case Mnemonic::Sbci:
+      return pack_imm(0b0100, insn.rd, insn.imm);
+    case Mnemonic::Subi:
+      return pack_imm(0b0101, insn.rd, insn.imm);
+    case Mnemonic::Ori:
+      return pack_imm(0b0110, insn.rd, insn.imm);
+    case Mnemonic::Andi:
+      return pack_imm(0b0111, insn.rd, insn.imm);
+    case Mnemonic::Ldi:
+      return pack_imm(0b1110, insn.rd, insn.imm);
+    case Mnemonic::Com:
+      return pack_one(insn.rd, 0b0000);
+    case Mnemonic::Inc:
+      return pack_one(insn.rd, 0b0011);
+    case Mnemonic::Dec:
+      return pack_one(insn.rd, 0b1010);
+    case Mnemonic::Lsr:
+      return pack_one(insn.rd, 0b0110);
+    case Mnemonic::Ror:
+      return pack_one(insn.rd, 0b0111);
+    case Mnemonic::LdX:
+      RIPPLE_CHECK(insn.rd < 32, "AVR register out of range");
+      return static_cast<std::uint16_t>(0x900cu | (insn.rd << 4));
+    case Mnemonic::StX:
+      RIPPLE_CHECK(insn.rr < 32, "AVR register out of range");
+      return static_cast<std::uint16_t>(0x920cu | (insn.rr << 4));
+    case Mnemonic::Rjmp:
+      RIPPLE_CHECK(insn.offset >= -2048 && insn.offset < 2048,
+                   "RJMP offset out of range: ", insn.offset);
+      return static_cast<std::uint16_t>(0xc000u |
+                                        (static_cast<std::uint16_t>(
+                                             insn.offset) &
+                                         0x0fffu));
+    case Mnemonic::Brbs:
+    case Mnemonic::Brbc: {
+      RIPPLE_CHECK(insn.offset >= -64 && insn.offset < 64,
+                   "branch offset out of range: ", insn.offset);
+      RIPPLE_CHECK(insn.sreg_bit < 4, "SREG bit out of subset");
+      const std::uint16_t base =
+          insn.mnemonic == Mnemonic::Brbs ? 0xf000u : 0xf400u;
+      return static_cast<std::uint16_t>(
+          base |
+          ((static_cast<std::uint16_t>(insn.offset) & 0x7fu) << 3) |
+          insn.sreg_bit);
+    }
+    case Mnemonic::Out:
+      RIPPLE_CHECK(insn.rr < 32 && insn.imm < 64, "OUT operand out of range");
+      return static_cast<std::uint16_t>(0xb800u | ((insn.imm & 0x30u) << 5) |
+                                        (insn.rr << 4) | (insn.imm & 0x0fu));
+  }
+  RIPPLE_UNREACHABLE("unhandled mnemonic");
+}
+
+std::optional<Instruction> decode(std::uint16_t w) {
+  Instruction insn;
+  const auto rr_fields = [&] {
+    insn.rd = static_cast<std::uint8_t>((w >> 4) & 0x1f);
+    insn.rr = static_cast<std::uint8_t>(((w >> 5) & 0x10) | (w & 0x0f));
+  };
+  const auto imm_fields = [&] {
+    insn.rd = static_cast<std::uint8_t>(16 + ((w >> 4) & 0x0f));
+    insn.imm = static_cast<std::uint8_t>(((w >> 4) & 0xf0) | (w & 0x0f));
+  };
+
+  if (w == 0x0000) {
+    insn.mnemonic = Mnemonic::Nop;
+    return insn;
+  }
+
+  switch (w >> 10) {
+    case 0b000011: insn.mnemonic = Mnemonic::Add; rr_fields(); return insn;
+    case 0b000111: insn.mnemonic = Mnemonic::Adc; rr_fields(); return insn;
+    case 0b000110: insn.mnemonic = Mnemonic::Sub; rr_fields(); return insn;
+    case 0b000010: insn.mnemonic = Mnemonic::Sbc; rr_fields(); return insn;
+    case 0b001000: insn.mnemonic = Mnemonic::And; rr_fields(); return insn;
+    case 0b001001: insn.mnemonic = Mnemonic::Eor; rr_fields(); return insn;
+    case 0b001010: insn.mnemonic = Mnemonic::Or; rr_fields(); return insn;
+    case 0b001011: insn.mnemonic = Mnemonic::Mov; rr_fields(); return insn;
+    case 0b000101: insn.mnemonic = Mnemonic::Cp; rr_fields(); return insn;
+    case 0b000001: insn.mnemonic = Mnemonic::Cpc; rr_fields(); return insn;
+    default: break;
+  }
+
+  switch (w >> 12) {
+    case 0b0011: insn.mnemonic = Mnemonic::Cpi; imm_fields(); return insn;
+    case 0b0100: insn.mnemonic = Mnemonic::Sbci; imm_fields(); return insn;
+    case 0b0101: insn.mnemonic = Mnemonic::Subi; imm_fields(); return insn;
+    case 0b0110: insn.mnemonic = Mnemonic::Ori; imm_fields(); return insn;
+    case 0b0111: insn.mnemonic = Mnemonic::Andi; imm_fields(); return insn;
+    case 0b1110: insn.mnemonic = Mnemonic::Ldi; imm_fields(); return insn;
+    case 0b1100: {
+      insn.mnemonic = Mnemonic::Rjmp;
+      std::int16_t k = static_cast<std::int16_t>(w & 0x0fff);
+      if (k & 0x0800) k -= 0x1000;
+      insn.offset = k;
+      return insn;
+    }
+    default: break;
+  }
+
+  if ((w & 0xfe0f) == 0x900c) {
+    insn.mnemonic = Mnemonic::LdX;
+    insn.rd = static_cast<std::uint8_t>((w >> 4) & 0x1f);
+    return insn;
+  }
+  if ((w & 0xfe0f) == 0x920c) {
+    insn.mnemonic = Mnemonic::StX;
+    insn.rr = static_cast<std::uint8_t>((w >> 4) & 0x1f);
+    return insn;
+  }
+
+  if ((w & 0xfe00) == 0x9400) {
+    insn.rd = static_cast<std::uint8_t>((w >> 4) & 0x1f);
+    switch (w & 0x000f) {
+      case 0b0000: insn.mnemonic = Mnemonic::Com; return insn;
+      case 0b0011: insn.mnemonic = Mnemonic::Inc; return insn;
+      case 0b1010: insn.mnemonic = Mnemonic::Dec; return insn;
+      case 0b0110: insn.mnemonic = Mnemonic::Lsr; return insn;
+      case 0b0111: insn.mnemonic = Mnemonic::Ror; return insn;
+      default: return std::nullopt;
+    }
+  }
+
+  if ((w & 0xf800) == 0xf000 || (w & 0xf800) == 0xf800) {
+    const std::uint8_t bit = static_cast<std::uint8_t>(w & 0x7);
+    if (bit >= 4) return std::nullopt; // S/H/T/I outside the subset
+    insn.mnemonic = (w & 0x0400) ? Mnemonic::Brbc : Mnemonic::Brbs;
+    insn.sreg_bit = bit;
+    std::int16_t k = static_cast<std::int16_t>((w >> 3) & 0x7f);
+    if (k & 0x40) k -= 0x80;
+    insn.offset = k;
+    return insn;
+  }
+
+  if ((w & 0xf800) == 0xb800) {
+    insn.mnemonic = Mnemonic::Out;
+    insn.rr = static_cast<std::uint8_t>((w >> 4) & 0x1f);
+    insn.imm = static_cast<std::uint8_t>(((w >> 5) & 0x30) | (w & 0x0f));
+    return insn;
+  }
+
+  return std::nullopt;
+}
+
+std::string_view mnemonic_name(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::Nop: return "nop";
+    case Mnemonic::Add: return "add";
+    case Mnemonic::Adc: return "adc";
+    case Mnemonic::Sub: return "sub";
+    case Mnemonic::Sbc: return "sbc";
+    case Mnemonic::And: return "and";
+    case Mnemonic::Eor: return "eor";
+    case Mnemonic::Or: return "or";
+    case Mnemonic::Mov: return "mov";
+    case Mnemonic::Cp: return "cp";
+    case Mnemonic::Cpc: return "cpc";
+    case Mnemonic::Cpi: return "cpi";
+    case Mnemonic::Sbci: return "sbci";
+    case Mnemonic::Subi: return "subi";
+    case Mnemonic::Ori: return "ori";
+    case Mnemonic::Andi: return "andi";
+    case Mnemonic::Ldi: return "ldi";
+    case Mnemonic::Com: return "com";
+    case Mnemonic::Inc: return "inc";
+    case Mnemonic::Dec: return "dec";
+    case Mnemonic::Lsr: return "lsr";
+    case Mnemonic::Ror: return "ror";
+    case Mnemonic::LdX: return "ld";
+    case Mnemonic::StX: return "st";
+    case Mnemonic::Rjmp: return "rjmp";
+    case Mnemonic::Brbs: return "brbs";
+    case Mnemonic::Brbc: return "brbc";
+    case Mnemonic::Out: return "out";
+  }
+  RIPPLE_UNREACHABLE("unhandled mnemonic");
+}
+
+std::string disassemble(std::uint16_t word) {
+  const auto insn = decode(word);
+  if (!insn) return strprintf(".word 0x%04x", word);
+  const Instruction& i = *insn;
+  switch (i.mnemonic) {
+    case Mnemonic::Nop:
+      return "nop";
+    case Mnemonic::Add:
+    case Mnemonic::Adc:
+    case Mnemonic::Sub:
+    case Mnemonic::Sbc:
+    case Mnemonic::And:
+    case Mnemonic::Eor:
+    case Mnemonic::Or:
+    case Mnemonic::Mov:
+    case Mnemonic::Cp:
+    case Mnemonic::Cpc:
+      return strprintf("%s r%d, r%d",
+                       std::string(mnemonic_name(i.mnemonic)).c_str(), i.rd,
+                       i.rr);
+    case Mnemonic::Cpi:
+    case Mnemonic::Sbci:
+    case Mnemonic::Subi:
+    case Mnemonic::Ori:
+    case Mnemonic::Andi:
+    case Mnemonic::Ldi:
+      return strprintf("%s r%d, 0x%02x",
+                       std::string(mnemonic_name(i.mnemonic)).c_str(), i.rd,
+                       i.imm);
+    case Mnemonic::Com:
+    case Mnemonic::Inc:
+    case Mnemonic::Dec:
+    case Mnemonic::Lsr:
+    case Mnemonic::Ror:
+      return strprintf("%s r%d",
+                       std::string(mnemonic_name(i.mnemonic)).c_str(), i.rd);
+    case Mnemonic::LdX:
+      return strprintf("ld r%d, X", i.rd);
+    case Mnemonic::StX:
+      return strprintf("st X, r%d", i.rr);
+    case Mnemonic::Rjmp:
+      return strprintf("rjmp .%+d", i.offset);
+    case Mnemonic::Brbs: {
+      static const char* names[4] = {"brcs", "breq", "brmi", "brvs"};
+      return strprintf("%s .%+d", names[i.sreg_bit], i.offset);
+    }
+    case Mnemonic::Brbc: {
+      static const char* names[4] = {"brcc", "brne", "brpl", "brvc"};
+      return strprintf("%s .%+d", names[i.sreg_bit], i.offset);
+    }
+    case Mnemonic::Out:
+      return strprintf("out 0x%02x, r%d", i.imm, i.rr);
+  }
+  RIPPLE_UNREACHABLE("unhandled mnemonic");
+}
+
+} // namespace ripple::cores::avr

@@ -1,0 +1,84 @@
+// AVR instruction subset: mnemonics, real AVR encodings, encode/decode.
+//
+// The subset covers what the evaluation workloads (fib, conv) and the
+// 2-stage core need: register-register ALU, 8-bit immediates, X-indirect
+// load/store, single-register ops, relative jump, SREG-conditional branches
+// and the OUT port write used as the architectural observable.
+//
+// All instructions are one 16-bit word; encodings follow the AVR instruction
+// set manual, so binaries disassemble meaningfully in standard tools.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ripple::cores::avr {
+
+enum class Mnemonic : std::uint8_t {
+  Nop,
+  // register-register (Rd, Rr)
+  Add,
+  Adc,
+  Sub,
+  Sbc,
+  And,
+  Eor,
+  Or,
+  Mov,
+  Cp,
+  Cpc,
+  // register-immediate (Rd in r16..r31, K 8-bit)
+  Cpi,
+  Sbci,
+  Subi,
+  Ori,
+  Andi,
+  Ldi,
+  // single register
+  Com,
+  Inc,
+  Dec,
+  Lsr,
+  Ror,
+  // memory via X (r26)
+  LdX, // LD Rd, X
+  StX, // ST X, Rr
+  // control flow
+  Rjmp,
+  Brbs, // branch if SREG bit set   (BRCS/BREQ/BRMI/BRVS)
+  Brbc, // branch if SREG bit clear (BRCC/BRNE/BRPL/BRVC)
+  // I/O
+  Out,
+};
+
+/// SREG bit indices used by branches (subset: C, Z, N, V).
+enum SregBit : std::uint8_t { kC = 0, kZ = 1, kN = 2, kV = 3 };
+
+struct Instruction {
+  Mnemonic mnemonic = Mnemonic::Nop;
+  std::uint8_t rd = 0;     // destination register (0..31)
+  std::uint8_t rr = 0;     // source register (0..31)
+  std::uint8_t imm = 0;    // 8-bit immediate (imm ops) / 6-bit port (OUT)
+  std::int16_t offset = 0; // signed word offset (RJMP: 12 bit, BRxx: 7 bit)
+  std::uint8_t sreg_bit = kC; // BRBS/BRBC flag selector
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Encode to the 16-bit instruction word. Throws ripple::Error on operand
+/// range violations (e.g. LDI with Rd < 16).
+[[nodiscard]] std::uint16_t encode(const Instruction& insn);
+
+/// Decode a word. Unknown encodings decode to nullopt (the core executes
+/// them as NOP; the disassembler prints ".word").
+[[nodiscard]] std::optional<Instruction> decode(std::uint16_t word);
+
+/// Mnemonic spelling as used by assembler and disassembler ("add", "brbs").
+[[nodiscard]] std::string_view mnemonic_name(Mnemonic m);
+
+/// One-line disassembly, e.g. "add r16, r17".
+[[nodiscard]] std::string disassemble(std::uint16_t word);
+
+} // namespace ripple::cores::avr

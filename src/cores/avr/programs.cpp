@@ -1,0 +1,105 @@
+#include "cores/avr/programs.hpp"
+
+namespace ripple::cores::avr {
+
+std::string_view fib_source() {
+  return R"(
+; fib: 16-bit iterative Fibonacci, repeated forever.
+; r16:r17 = a, r18:r19 = b, r20:r21 = tmp, r22 = loop counter
+start:
+    ldi r16, 0          ; a = 0
+    ldi r17, 0
+    ldi r18, 1          ; b = 1
+    ldi r19, 0
+    ldi r22, 20         ; iterations
+loop:
+    mov r20, r16        ; tmp = a
+    mov r21, r17
+    add r20, r18        ; tmp += b
+    adc r21, r19
+    mov r16, r18        ; a = b
+    mov r17, r19
+    mov r18, r20        ; b = tmp
+    mov r19, r21
+    dec r22
+    brne loop
+    out 0x00, r16       ; emit fib(20) & 0xff
+    out 0x01, r17       ; emit fib(20) >> 8
+    rjmp start
+)";
+}
+
+std::string_view conv_source() {
+  return R"(
+; conv: y[n] = sum_k x[n+k] * h[k]  for n = 0..4, k = 0..3
+; x[8] and h[4] live in data memory; products are 8-bit (wraparound),
+; multiplication is a software shift-add loop (the core has no multiplier).
+.equ XBASE, 0x10
+.equ HBASE, 0x30
+.equ YBASE, 0x40
+start:
+    ; x[i] = 3 + 7*i
+    ldi r26, XBASE
+    ldi r16, 3
+    ldi r17, 8
+fillx:
+    st X, r16
+    subi r16, -7        ; r16 += 7
+    inc r26
+    dec r17
+    brne fillx
+    ; h = {1, 2, 3, 1}
+    ldi r26, HBASE
+    ldi r16, 1
+    st X, r16
+    inc r26
+    ldi r16, 2
+    st X, r16
+    inc r26
+    ldi r16, 3
+    st X, r16
+    inc r26
+    ldi r16, 1
+    st X, r16
+    ; outer loop over n (r20)
+    ldi r20, 0
+convn:
+    ldi r24, 0          ; acc
+    ldi r21, 0          ; k
+convk:
+    mov r26, r20        ; load x[n+k]
+    add r26, r21
+    subi r26, -XBASE
+    ld r18, X
+    mov r26, r21        ; load h[k]
+    subi r26, -HBASE
+    ld r19, X
+    ldi r25, 0          ; 8x8 shift-add multiply: r25 = r18 * r19 (mod 256)
+    ldi r22, 8
+mul1:
+    lsr r19
+    brcc mul2
+    add r25, r18
+mul2:
+    lsl r18
+    dec r22
+    brne mul1
+    add r24, r25        ; acc += product
+    inc r21
+    cpi r21, 4
+    brne convk
+    mov r26, r20        ; y[n] = acc
+    subi r26, -YBASE
+    st X, r24
+    out 0x02, r24
+    inc r20
+    cpi r20, 5
+    brne convn
+    rjmp start
+)";
+}
+
+Program fib_program() { return assemble(fib_source()); }
+Program conv_program() { return assemble(conv_source()); }
+
+} // namespace ripple::cores::avr

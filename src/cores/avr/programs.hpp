@@ -1,0 +1,24 @@
+// The two evaluation workloads of the paper for the AVR core: an iterative
+// Fibonacci computation and a 1-D convolution. Both loop forever so a trace
+// of any length (the paper records 8500 cycles) exercises them continuously,
+// and both report results through the OUT port so fault-injection campaigns
+// have an architectural observable.
+#pragma once
+
+#include <string_view>
+
+#include "cores/avr/assembler.hpp"
+
+namespace ripple::cores::avr {
+
+/// 16-bit Fibonacci in registers; emits fib(20) on ports 0/1 each round.
+[[nodiscard]] std::string_view fib_source();
+
+/// Convolution of x[8] (in data memory) with h[4], 8-bit shift-add multiply;
+/// emits each y[n] on port 2.
+[[nodiscard]] std::string_view conv_source();
+
+[[nodiscard]] Program fib_program();
+[[nodiscard]] Program conv_program();
+
+} // namespace ripple::cores::avr

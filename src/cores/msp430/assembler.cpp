@@ -1,0 +1,328 @@
+#include "cores/msp430/assembler.hpp"
+
+#include <map>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace ripple::cores::msp430 {
+namespace {
+
+struct Statement {
+  int line;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+  std::size_t address; // byte address
+  bool is_word_directive = false;
+};
+
+class Assembler {
+public:
+  Image run(std::string_view source) {
+    pass1(source);
+    return pass2();
+  }
+
+private:
+  [[noreturn]] void fail(int line, const std::string& msg) const {
+    throw Error("msp430 asm, line " + std::to_string(line) + ": " + msg);
+  }
+
+  std::int64_t eval(int line, const std::string& expr) const {
+    if (const auto v = parse_int(expr)) return *v;
+    if (!expr.empty() && (expr[0] == '-' || expr[0] == '+')) {
+      const std::int64_t v = eval(line, expr.substr(1));
+      return expr[0] == '-' ? -v : v;
+    }
+    // name+const / name-const for array addressing
+    const auto plus = expr.find_last_of("+-");
+    if (plus != std::string::npos && plus > 0) {
+      const std::int64_t lhs = eval(line, expr.substr(0, plus));
+      const std::int64_t rhs = eval(line, expr.substr(plus + 1));
+      return expr[plus] == '+' ? lhs + rhs : lhs - rhs;
+    }
+    const auto it = symbols_.find(expr);
+    if (it == symbols_.end()) {
+      // During pass 1 forward label references are fine: the value never
+      // affects instruction length, so size with 0 and resolve in pass 2.
+      if (!resolving_) return 0;
+      fail(line, "undefined symbol '" + expr + "'");
+    }
+    return it->second;
+  }
+
+  std::uint8_t parse_reg(int line, std::string_view text) const {
+    const std::string low = to_lower(trim(text));
+    if (low == "pc") return 0;
+    if (low == "sp") return 1;
+    if (low.size() >= 2 && low[0] == 'r') {
+      if (const auto v = parse_int(low.substr(1));
+          v && *v >= 0 && *v <= 15) {
+        return static_cast<std::uint8_t>(*v);
+      }
+    }
+    fail(line, "expected register, got '" + std::string(text) + "'");
+  }
+
+  /// Parse one source operand.
+  Operand parse_src(int line, const std::string& text) const {
+    Operand op;
+    const std::string_view t = trim(text);
+    RIPPLE_CHECK(!t.empty(), "empty operand");
+    if (t[0] == '#') {
+      op.mode = SrcMode::Immediate;
+      op.reg = 0;
+      op.ext = static_cast<std::uint16_t>(eval(line, std::string(t.substr(1))));
+      return op;
+    }
+    if (t[0] == '&') {
+      op.mode = SrcMode::Absolute;
+      op.reg = 2;
+      op.ext = static_cast<std::uint16_t>(eval(line, std::string(t.substr(1))));
+      return op;
+    }
+    if (t[0] == '@') {
+      std::string_view rest = t.substr(1);
+      if (!rest.empty() && rest.back() == '+') {
+        op.mode = SrcMode::AutoInc;
+        rest.remove_suffix(1);
+      } else {
+        op.mode = SrcMode::Indirect;
+      }
+      op.reg = parse_reg(line, rest);
+      return op;
+    }
+    if (t.back() == ')') {
+      const auto open = t.find('(');
+      if (open == std::string_view::npos) fail(line, "malformed operand");
+      op.mode = SrcMode::Indexed;
+      op.ext = static_cast<std::uint16_t>(
+          eval(line, std::string(t.substr(0, open))));
+      op.reg = parse_reg(line, t.substr(open + 1, t.size() - open - 2));
+      return op;
+    }
+    op.mode = SrcMode::Reg;
+    op.reg = parse_reg(line, t);
+    return op;
+  }
+
+  void parse_dst(int line, const std::string& text, Instruction& insn) const {
+    const std::string_view t = trim(text);
+    RIPPLE_CHECK(!t.empty(), "empty operand");
+    if (t[0] == '&') {
+      insn.dst_mode = DstMode::Absolute;
+      insn.dst_reg = 2;
+      insn.dst_ext =
+          static_cast<std::uint16_t>(eval(line, std::string(t.substr(1))));
+      return;
+    }
+    if (t.back() == ')') {
+      const auto open = t.find('(');
+      if (open == std::string_view::npos) fail(line, "malformed operand");
+      insn.dst_mode = DstMode::Indexed;
+      insn.dst_ext = static_cast<std::uint16_t>(
+          eval(line, std::string(t.substr(0, open))));
+      insn.dst_reg = parse_reg(line, t.substr(open + 1, t.size() - open - 2));
+      return;
+    }
+    insn.dst_mode = DstMode::Reg;
+    insn.dst_reg = parse_reg(line, t);
+  }
+
+  /// Build the instruction for sizing (pass 1) and encoding (pass 2).
+  /// In pass 1 label operands may be unresolved; expressions then evaluate
+  /// as 0, which never changes instruction length.
+  Instruction build(const Statement& s, bool resolve) const {
+    resolving_ = resolve;
+    static const std::map<std::string_view, Op1> fmt1 = {
+        {"mov", Op1::Mov},   {"add", Op1::Add}, {"addc", Op1::Addc},
+        {"subc", Op1::Subc}, {"sub", Op1::Sub}, {"cmp", Op1::Cmp},
+        {"bit", Op1::Bit},   {"bic", Op1::Bic}, {"bis", Op1::Bis},
+        {"xor", Op1::Xor},   {"and", Op1::And},
+    };
+    static const std::map<std::string_view, Op2> fmt2 = {
+        {"rrc", Op2::Rrc},
+        {"swpb", Op2::Swpb},
+        {"rra", Op2::Rra},
+        {"sxt", Op2::Sxt},
+    };
+    static const std::map<std::string_view, Cond> jumps = {
+        {"jne", Cond::Jne}, {"jnz", Cond::Jne}, {"jeq", Cond::Jeq},
+        {"jz", Cond::Jeq},  {"jnc", Cond::Jnc}, {"jlo", Cond::Jnc},
+        {"jc", Cond::Jc},   {"jhs", Cond::Jc},  {"jn", Cond::Jn},
+        {"jge", Cond::Jge}, {"jl", Cond::Jl},   {"jmp", Cond::Jmp},
+    };
+
+    Instruction insn;
+    const std::string& m = s.mnemonic;
+
+    if (m == "nop") {
+      want(s, 0);
+      insn.format = Instruction::Format::One;
+      insn.op1 = Op1::Mov;
+      insn.src = {SrcMode::Reg, 3, 0};
+      insn.dst_mode = DstMode::Reg;
+      insn.dst_reg = 3;
+      return insn;
+    }
+    if (m == "br") {
+      want(s, 1);
+      insn.format = Instruction::Format::One;
+      insn.op1 = Op1::Mov;
+      insn.src = parse_src(s.line, s.operands[0]);
+      insn.dst_mode = DstMode::Reg;
+      insn.dst_reg = 0;
+      return insn;
+    }
+    if (m == "clr") {
+      want(s, 1);
+      insn.format = Instruction::Format::One;
+      insn.op1 = Op1::Mov;
+      insn.src = {SrcMode::Immediate, 0, 0};
+      parse_dst(s.line, s.operands[0], insn);
+      return insn;
+    }
+    if (const auto it = fmt1.find(m); it != fmt1.end()) {
+      want(s, 2);
+      insn.format = Instruction::Format::One;
+      insn.op1 = it->second;
+      insn.src = parse_src(s.line, s.operands[0]);
+      parse_dst(s.line, s.operands[1], insn);
+      return insn;
+    }
+    if (const auto it = fmt2.find(m); it != fmt2.end()) {
+      want(s, 1);
+      insn.format = Instruction::Format::Two;
+      insn.op2 = it->second;
+      insn.reg2 = parse_reg(s.line, s.operands[0]);
+      return insn;
+    }
+    if (const auto it = jumps.find(m); it != jumps.end()) {
+      want(s, 1);
+      insn.format = Instruction::Format::Jump;
+      insn.cond = it->second;
+      if (resolve) {
+        const std::int64_t target = eval(s.line, s.operands[0]);
+        const std::int64_t delta =
+            target - (static_cast<std::int64_t>(s.address) + 2);
+        if (delta % 2 != 0) fail(s.line, "odd jump distance");
+        insn.offset = static_cast<std::int16_t>(delta / 2);
+      }
+      return insn;
+    }
+    fail(s.line, "unknown mnemonic '" + m + "'");
+  }
+
+  void want(const Statement& s, std::size_t n) const {
+    if (s.operands.size() != n) {
+      fail(s.line, s.mnemonic + " expects " + std::to_string(n) +
+                       " operand(s), got " +
+                       std::to_string(s.operands.size()));
+    }
+  }
+
+  void pass1(std::string_view source) {
+    std::size_t lc = 0; // byte address
+    int line_no = 0;
+    std::vector<std::pair<std::string, int>> pending_labels;
+
+    for (std::string_view raw : split(source, '\n')) {
+      ++line_no;
+      std::string_view line = raw;
+      if (const auto pos = line.find(';'); pos != std::string_view::npos) {
+        line = line.substr(0, pos);
+      }
+      if (const auto pos = line.find("//"); pos != std::string_view::npos) {
+        line = line.substr(0, pos);
+      }
+      line = trim(line);
+      if (line.empty()) continue;
+
+      while (true) {
+        const auto colon = line.find(':');
+        if (colon == std::string_view::npos) break;
+        const std::string_view label = trim(line.substr(0, colon));
+        if (!is_identifier(label)) {
+          fail(line_no, "bad label '" + std::string(label) + "'");
+        }
+        if (symbols_.contains(std::string(label))) {
+          fail(line_no, "duplicate symbol '" + std::string(label) + "'");
+        }
+        symbols_[std::string(label)] = static_cast<std::int64_t>(lc);
+        line = trim(line.substr(colon + 1));
+      }
+      if (line.empty()) continue;
+
+      const auto space = line.find_first_of(" \t");
+      std::string mnemonic = to_lower(
+          space == std::string_view::npos ? line : line.substr(0, space));
+      std::vector<std::string> operands;
+      if (space != std::string_view::npos) {
+        for (std::string_view op : split(line.substr(space + 1), ',')) {
+          operands.emplace_back(trim(op));
+        }
+      }
+
+      if (mnemonic == ".org") {
+        if (operands.size() != 1) fail(line_no, ".org needs one operand");
+        const std::int64_t v = eval(line_no, operands[0]);
+        if (v < 0 || v % 2 != 0) fail(line_no, "bad .org (odd or negative)");
+        lc = static_cast<std::size_t>(v);
+        continue;
+      }
+      if (mnemonic == ".equ") {
+        if (operands.size() != 2) fail(line_no, ".equ needs name, value");
+        symbols_[operands[0]] = eval(line_no, operands[1]);
+        continue;
+      }
+
+      Statement s{line_no, std::move(mnemonic), std::move(operands), lc,
+                  false};
+      if (s.mnemonic == ".word") {
+        s.is_word_directive = true;
+        lc += 2 * s.operands.size();
+      } else {
+        lc += 2 * encoded_length(build(s, /*resolve=*/false));
+      }
+      statements_.push_back(std::move(s));
+    }
+  }
+
+  Image pass2() {
+    resolving_ = true;
+    Image image;
+    const auto emit = [&](std::size_t byte_addr, std::uint16_t word) {
+      const std::size_t idx = byte_addr / 2;
+      if (image.words.size() <= idx) image.words.resize(idx + 1, 0);
+      image.words[idx] = word;
+    };
+    for (const Statement& s : statements_) {
+      if (s.is_word_directive) {
+        for (std::size_t i = 0; i < s.operands.size(); ++i) {
+          emit(s.address + 2 * i,
+               static_cast<std::uint16_t>(eval(s.line, s.operands[i])));
+        }
+        continue;
+      }
+      try {
+        const auto words = encode(build(s, /*resolve=*/true));
+        for (std::size_t i = 0; i < words.size(); ++i) {
+          emit(s.address + 2 * i, words[i]);
+        }
+      } catch (const Error& e) {
+        fail(s.line, e.what());
+      }
+    }
+    return image;
+  }
+
+  std::map<std::string, std::int64_t> symbols_;
+  std::vector<Statement> statements_;
+  mutable bool resolving_ = true; // .org/.equ/.word always resolve
+};
+
+} // namespace
+
+Image assemble(std::string_view source) { return Assembler().run(source); }
+
+} // namespace ripple::cores::msp430

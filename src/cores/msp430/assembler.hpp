@@ -1,0 +1,31 @@
+// Two-pass MSP430-subset assembler.
+//
+// Grammar (one statement per line, ';' or '//' starts a comment):
+//   label:                    -- byte-address label (kept word-aligned)
+//   .org <expr>               -- set the location counter (byte address)
+//   .word <expr>[, <expr>...] -- literal data words
+//   .equ <name>, <expr>       -- define a symbol
+//   <mnemonic> <operands>
+//
+// Operand syntax: rN (r1, r3..r15), #expr (immediate), expr(rN) (indexed),
+// @rN, @rN+, &expr (absolute), pc (as a mov destination). Jump targets are
+// labels or absolute byte addresses. `nop` expands to `mov r3, r3`,
+// `br #x` to `mov #x, pc`, `clr rN` to `mov #0, rN`.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cores/msp430/isa.hpp"
+
+namespace ripple::cores::msp430 {
+
+struct Image {
+  /// Memory image, index = byte address / 2.
+  std::vector<std::uint16_t> words;
+};
+
+[[nodiscard]] Image assemble(std::string_view source);
+
+} // namespace ripple::cores::msp430

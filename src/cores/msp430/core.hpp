@@ -1,0 +1,51 @@
+// Gate-level MSP430-subset core: 16-bit data path, multi-cycle FSM
+// (fetch / decode / operand fetch / execute / write-back), 14 x 16-bit
+// register file (R1, R3..R15; PC and SR are dedicated flops) — the
+// architecture class of the paper's second evaluation target.
+//
+// The core exposes one unified von-Neumann memory port (word-wide,
+// combinational read) served by the Msp430System harness; stores to
+// addresses >= 0xff00 are treated as the output port.
+#pragma once
+
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+#include "rtl/module.hpp"
+
+namespace ripple::cores::msp430 {
+
+inline constexpr std::size_t kWordBits = 16;
+/// Register-file flop-name prefix; defines the "FF w/o RF" fault set.
+inline constexpr std::string_view kRegfilePrefix = "rf";
+/// Stores at or above this address are I/O, not memory.
+inline constexpr std::uint16_t kIoBase = 0xff00;
+
+/// FSM state encoding (3-bit state register).
+enum State : unsigned {
+  kFetch = 0,
+  kDecode = 1,
+  kSrcExt = 2,
+  kSrcRead = 3,
+  kDstExt = 4,
+  kDstRead = 5,
+  kExec = 6,
+  kDstWrite = 7,
+};
+
+struct Msp430Ports {
+  rtl::Bus mem_rdata; // input: combinational word read
+  rtl::Bus mem_addr;  // output (byte address, bit 0 always 0)
+  rtl::Bus mem_wdata; // output
+  WireId mem_we;      // output
+};
+
+struct Msp430Core {
+  netlist::Netlist netlist;
+  Msp430Ports ports;
+};
+
+[[nodiscard]] Msp430Core build_msp430_core(bool optimized = true);
+[[nodiscard]] Msp430Ports resolve_msp430_ports(const netlist::Netlist& n);
+
+} // namespace ripple::cores::msp430

@@ -1,0 +1,302 @@
+#include "cores/msp430/isa.hpp"
+
+#include "util/strings.hpp"
+
+namespace ripple::cores::msp430 {
+namespace {
+
+constexpr std::uint8_t kPcReg = 0;
+constexpr std::uint8_t kSrReg = 2;
+
+struct SrcBits {
+  std::uint8_t as;
+  std::uint8_t reg;
+  bool has_ext;
+};
+
+SrcBits src_bits(const Operand& src) {
+  switch (src.mode) {
+    case SrcMode::Reg:
+      return {0b00, src.reg, false};
+    case SrcMode::Indexed:
+      return {0b01, src.reg, true};
+    case SrcMode::Absolute:
+      return {0b01, kSrReg, true};
+    case SrcMode::Indirect:
+      return {0b10, src.reg, false};
+    case SrcMode::AutoInc:
+      return {0b11, src.reg, false};
+    case SrcMode::Immediate:
+      return {0b11, kPcReg, true};
+  }
+  RIPPLE_UNREACHABLE("bad source mode");
+}
+
+void check_gp_reg(std::uint8_t reg, const char* what) {
+  RIPPLE_CHECK(reg <= 15, "register out of range");
+  RIPPLE_CHECK(reg != kPcReg && reg != kSrReg, what,
+               " must be a general-purpose register (not PC/SR)");
+}
+
+} // namespace
+
+std::vector<std::uint16_t> encode(const Instruction& insn) {
+  std::vector<std::uint16_t> words;
+  switch (insn.format) {
+    case Instruction::Format::One: {
+      if (insn.src.mode == SrcMode::Reg || insn.src.mode == SrcMode::Indexed ||
+          insn.src.mode == SrcMode::Indirect ||
+          insn.src.mode == SrcMode::AutoInc) {
+        check_gp_reg(insn.src.reg, "source");
+      }
+      const SrcBits src = src_bits(insn.src);
+      std::uint8_t ad = 0;
+      std::uint8_t dreg = insn.dst_reg;
+      bool dst_ext = false;
+      switch (insn.dst_mode) {
+        case DstMode::Reg:
+          // R0 as plain destination = absolute branch (mov #addr, pc).
+          RIPPLE_CHECK(dreg != kSrReg, "SR is not a writable destination");
+          break;
+        case DstMode::Indexed:
+          check_gp_reg(dreg, "destination base");
+          ad = 1;
+          dst_ext = true;
+          break;
+        case DstMode::Absolute:
+          ad = 1;
+          dreg = kSrReg;
+          dst_ext = true;
+          break;
+      }
+      words.push_back(static_cast<std::uint16_t>(
+          (static_cast<std::uint16_t>(insn.op1) << 12) | (src.reg << 8) |
+          (ad << 7) | (src.as << 4) | dreg));
+      if (src.has_ext) words.push_back(insn.src.ext);
+      if (dst_ext) words.push_back(insn.dst_ext);
+      return words;
+    }
+    case Instruction::Format::Two: {
+      check_gp_reg(insn.reg2, "operand");
+      words.push_back(static_cast<std::uint16_t>(
+          0x1000u | (static_cast<std::uint16_t>(insn.op2) << 7) | insn.reg2));
+      return words;
+    }
+    case Instruction::Format::Jump: {
+      RIPPLE_CHECK(insn.offset >= -512 && insn.offset < 512,
+                   "jump offset out of range: ", insn.offset);
+      words.push_back(static_cast<std::uint16_t>(
+          0x2000u | (static_cast<std::uint16_t>(insn.cond) << 10) |
+          (static_cast<std::uint16_t>(insn.offset) & 0x3ff)));
+      return words;
+    }
+  }
+  RIPPLE_UNREACHABLE("bad format");
+}
+
+std::size_t encoded_length(const Instruction& insn) {
+  switch (insn.format) {
+    case Instruction::Format::One: {
+      std::size_t len = 1;
+      if (insn.src.mode == SrcMode::Indexed ||
+          insn.src.mode == SrcMode::Absolute ||
+          insn.src.mode == SrcMode::Immediate) {
+        ++len;
+      }
+      if (insn.dst_mode != DstMode::Reg) ++len;
+      return len;
+    }
+    case Instruction::Format::Two:
+    case Instruction::Format::Jump:
+      return 1;
+  }
+  RIPPLE_UNREACHABLE("bad format");
+}
+
+std::optional<Instruction> decode(const std::vector<std::uint16_t>& words,
+                                  std::size_t pos) {
+  if (pos >= words.size()) return std::nullopt;
+  const std::uint16_t w = words[pos];
+  std::size_t next_ext = pos + 1;
+  const auto take_ext = [&]() -> std::optional<std::uint16_t> {
+    if (next_ext >= words.size()) return std::nullopt;
+    return words[next_ext++];
+  };
+
+  Instruction insn;
+  const std::uint16_t top4 = w >> 12;
+
+  if ((w & 0xfc00) == 0x1000) {
+    const std::uint16_t op = (w >> 7) & 0x7;
+    if (op > 3) return std::nullopt;        // PUSH/CALL/RETI outside subset
+    if ((w & 0x0070) != 0) return std::nullopt; // B/W or non-register mode
+    insn.format = Instruction::Format::Two;
+    insn.op2 = static_cast<Op2>(op);
+    insn.reg2 = static_cast<std::uint8_t>(w & 0xf);
+    if (insn.reg2 == kPcReg || insn.reg2 == kSrReg) return std::nullopt;
+    return insn;
+  }
+
+  if ((w & 0xe000) == 0x2000) {
+    insn.format = Instruction::Format::Jump;
+    insn.cond = static_cast<Cond>((w >> 10) & 0x7);
+    std::int16_t off = static_cast<std::int16_t>(w & 0x3ff);
+    if (off & 0x200) off -= 0x400;
+    insn.offset = off;
+    return insn;
+  }
+
+  if (top4 >= 0x4 && top4 != 0xa) {
+    insn.format = Instruction::Format::One;
+    insn.op1 = static_cast<Op1>(top4);
+    if (w & 0x0040) return std::nullopt; // byte mode outside subset
+    const std::uint8_t sreg = (w >> 8) & 0xf;
+    const std::uint8_t as = (w >> 4) & 0x3;
+    const std::uint8_t ad = (w >> 7) & 0x1;
+    const std::uint8_t dreg = w & 0xf;
+
+    switch (as) {
+      case 0b00:
+        if (sreg == kPcReg || sreg == kSrReg) return std::nullopt;
+        insn.src = {SrcMode::Reg, sreg, 0};
+        break;
+      case 0b01: {
+        const auto ext = take_ext();
+        if (!ext) return std::nullopt;
+        if (sreg == kSrReg) {
+          insn.src = {SrcMode::Absolute, kSrReg, *ext};
+        } else if (sreg == kPcReg) {
+          return std::nullopt; // symbolic mode outside subset
+        } else {
+          insn.src = {SrcMode::Indexed, sreg, *ext};
+        }
+        break;
+      }
+      case 0b10:
+        if (sreg == kPcReg || sreg == kSrReg) return std::nullopt;
+        insn.src = {SrcMode::Indirect, sreg, 0};
+        break;
+      case 0b11:
+        if (sreg == kPcReg) {
+          const auto ext = take_ext();
+          if (!ext) return std::nullopt;
+          insn.src = {SrcMode::Immediate, kPcReg, *ext};
+        } else if (sreg == kSrReg) {
+          return std::nullopt; // constant generator outside subset
+        } else {
+          insn.src = {SrcMode::AutoInc, sreg, 0};
+        }
+        break;
+    }
+
+    if (ad == 0) {
+      if (dreg == kSrReg) return std::nullopt;
+      insn.dst_mode = DstMode::Reg;
+      insn.dst_reg = dreg;
+    } else {
+      const auto ext = take_ext();
+      if (!ext) return std::nullopt;
+      if (dreg == kSrReg) {
+        insn.dst_mode = DstMode::Absolute;
+        insn.dst_reg = kSrReg;
+      } else if (dreg == kPcReg) {
+        return std::nullopt;
+      } else {
+        insn.dst_mode = DstMode::Indexed;
+        insn.dst_reg = dreg;
+      }
+      insn.dst_ext = *ext;
+    }
+    return insn;
+  }
+
+  return std::nullopt;
+}
+
+std::string_view op1_name(Op1 op) {
+  switch (op) {
+    case Op1::Mov: return "mov";
+    case Op1::Add: return "add";
+    case Op1::Addc: return "addc";
+    case Op1::Subc: return "subc";
+    case Op1::Sub: return "sub";
+    case Op1::Cmp: return "cmp";
+    case Op1::Bit: return "bit";
+    case Op1::Bic: return "bic";
+    case Op1::Bis: return "bis";
+    case Op1::Xor: return "xor";
+    case Op1::And: return "and";
+  }
+  RIPPLE_UNREACHABLE("bad op1");
+}
+
+std::string_view op2_name(Op2 op) {
+  switch (op) {
+    case Op2::Rrc: return "rrc";
+    case Op2::Swpb: return "swpb";
+    case Op2::Rra: return "rra";
+    case Op2::Sxt: return "sxt";
+  }
+  RIPPLE_UNREACHABLE("bad op2");
+}
+
+std::string_view cond_name(Cond c) {
+  switch (c) {
+    case Cond::Jne: return "jne";
+    case Cond::Jeq: return "jeq";
+    case Cond::Jnc: return "jnc";
+    case Cond::Jc: return "jc";
+    case Cond::Jn: return "jn";
+    case Cond::Jge: return "jge";
+    case Cond::Jl: return "jl";
+    case Cond::Jmp: return "jmp";
+  }
+  RIPPLE_UNREACHABLE("bad cond");
+}
+
+std::string disassemble(const std::vector<std::uint16_t>& words,
+                        std::size_t pos) {
+  const auto insn = decode(words, pos);
+  if (!insn) {
+    return pos < words.size() ? strprintf(".word 0x%04x", words[pos])
+                              : std::string(".word ???");
+  }
+  const auto src_str = [&](const Operand& o) -> std::string {
+    switch (o.mode) {
+      case SrcMode::Reg: return strprintf("r%d", o.reg);
+      case SrcMode::Indexed: return strprintf("%d(r%d)", o.ext, o.reg);
+      case SrcMode::Absolute: return strprintf("&0x%04x", o.ext);
+      case SrcMode::Indirect: return strprintf("@r%d", o.reg);
+      case SrcMode::AutoInc: return strprintf("@r%d+", o.reg);
+      case SrcMode::Immediate: return strprintf("#0x%04x", o.ext);
+    }
+    return "?";
+  };
+  switch (insn->format) {
+    case Instruction::Format::One: {
+      std::string dst;
+      switch (insn->dst_mode) {
+        case DstMode::Reg:
+          dst = insn->dst_reg == 0 ? "pc" : strprintf("r%d", insn->dst_reg);
+          break;
+        case DstMode::Indexed:
+          dst = strprintf("%d(r%d)", insn->dst_ext, insn->dst_reg);
+          break;
+        case DstMode::Absolute:
+          dst = strprintf("&0x%04x", insn->dst_ext);
+          break;
+      }
+      return std::string(op1_name(insn->op1)) + " " + src_str(insn->src) +
+             ", " + dst;
+    }
+    case Instruction::Format::Two:
+      return strprintf("%s r%d", std::string(op2_name(insn->op2)).c_str(),
+                       insn->reg2);
+    case Instruction::Format::Jump:
+      return strprintf("%s .%+d", std::string(cond_name(insn->cond)).c_str(),
+                       insn->offset);
+  }
+  RIPPLE_UNREACHABLE("bad format");
+}
+
+} // namespace ripple::cores::msp430

@@ -1,0 +1,115 @@
+// MSP430 instruction subset: real Format I / Format II / jump encodings.
+//
+// Subset: word mode (.W) only; Format II limited to register operands;
+// no constant generators (immediates always use the @PC+ extension word);
+// R0 = PC and R2 = SR are not general-purpose operands (R0 is legal as a
+// move destination — an absolute branch — and as the implicit @PC+ source).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ripple::cores::msp430 {
+
+/// Format I opcodes (bits 15:12).
+enum class Op1 : std::uint8_t {
+  Mov = 0x4,
+  Add = 0x5,
+  Addc = 0x6,
+  Subc = 0x7,
+  Sub = 0x8,
+  Cmp = 0x9,
+  Bit = 0xb,
+  Bic = 0xc,
+  Bis = 0xd,
+  Xor = 0xe,
+  And = 0xf,
+};
+
+/// Format II opcodes (bits 9:7 under the 000100 prefix).
+enum class Op2 : std::uint8_t {
+  Rrc = 0,
+  Swpb = 1,
+  Rra = 2,
+  Sxt = 3,
+};
+
+/// Jump conditions (bits 12:10 under the 001 prefix).
+enum class Cond : std::uint8_t {
+  Jne = 0,
+  Jeq = 1,
+  Jnc = 2,
+  Jc = 3,
+  Jn = 4,
+  Jge = 5,
+  Jl = 6,
+  Jmp = 7,
+};
+
+/// Source addressing mode (As plus register special cases).
+enum class SrcMode : std::uint8_t {
+  Reg,       // Rn            As=00
+  Indexed,   // X(Rn)         As=01 + ext word
+  Absolute,  // &ADDR         As=01, reg=SR + ext word
+  Indirect,  // @Rn           As=10
+  AutoInc,   // @Rn+          As=11
+  Immediate, // #N            As=11, reg=PC + ext word
+};
+
+enum class DstMode : std::uint8_t {
+  Reg,      // Rn             Ad=0
+  Indexed,  // X(Rn)          Ad=1 + ext word
+  Absolute, // &ADDR          Ad=1, reg=SR + ext word
+};
+
+struct Operand {
+  SrcMode mode = SrcMode::Reg;
+  std::uint8_t reg = 3;
+  std::uint16_t ext = 0; // immediate / index / absolute address
+
+  bool operator==(const Operand&) const = default;
+};
+
+struct Instruction {
+  enum class Format : std::uint8_t { One, Two, Jump } format = Format::Jump;
+  // Format I
+  Op1 op1 = Op1::Mov;
+  Operand src;
+  DstMode dst_mode = DstMode::Reg;
+  std::uint8_t dst_reg = 3;
+  std::uint16_t dst_ext = 0;
+  // Format II (register operand only)
+  Op2 op2 = Op2::Rra;
+  std::uint8_t reg2 = 3;
+  // Jump
+  Cond cond = Cond::Jmp;
+  std::int16_t offset = 0; // word offset, PC-relative after fetch
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Encode into 1-3 words (instruction word [+ src ext] [+ dst ext]).
+[[nodiscard]] std::vector<std::uint16_t> encode(const Instruction& insn);
+
+/// Number of words the instruction occupies.
+[[nodiscard]] std::size_t encoded_length(const Instruction& insn);
+
+/// Decode the instruction at words[pos]; consumes extension words. Returns
+/// nullopt for encodings outside the subset.
+[[nodiscard]] std::optional<Instruction> decode(
+    const std::vector<std::uint16_t>& words, std::size_t pos);
+
+[[nodiscard]] std::string_view op1_name(Op1 op);
+[[nodiscard]] std::string_view op2_name(Op2 op);
+[[nodiscard]] std::string_view cond_name(Cond c);
+
+/// One-line disassembly of the instruction at words[pos].
+[[nodiscard]] std::string disassemble(const std::vector<std::uint16_t>& words,
+                                      std::size_t pos);
+
+} // namespace ripple::cores::msp430

@@ -1,0 +1,94 @@
+#include "cores/msp430/programs.hpp"
+
+namespace ripple::cores::msp430 {
+
+std::string_view fib_source() {
+  return R"(
+; fib: 16-bit iterative Fibonacci, repeated forever.
+; r4 = a, r5 = b, r6 = tmp, r7 = loop counter
+.equ OUT0, 0xff00
+start:
+    mov #0, r4
+    mov #1, r5
+    mov #20, r7
+loop:
+    mov r4, r6          ; tmp = a
+    add r5, r6          ; tmp += b
+    mov r5, r4          ; a = b
+    mov r6, r5          ; b = tmp
+    sub #1, r7
+    jne loop
+    mov r4, &OUT0       ; emit fib(20)
+    jmp start
+)";
+}
+
+std::string_view conv_source() {
+  return R"(
+; conv: y[n] = sum_k x[n+k] * h[k]  for n = 0..4, k = 0..3 (16-bit values)
+; x[8] at XB, h[4] at HB, y[5] at YB; software shift-add multiply.
+.equ XB,   0x200
+.equ HB,   0x220
+.equ YB,   0x240
+.equ OUT2, 0xff04
+start:
+    ; x[i] = 3 + 7*i
+    mov #XB, r4
+    mov #3, r5
+    mov #8, r6
+fillx:
+    mov r5, 0(r4)
+    add #7, r5
+    add #2, r4
+    sub #1, r6
+    jne fillx
+    ; h = {1, 2, 3, 1}
+    mov #HB, r4
+    mov #1, 0(r4)
+    mov #2, 2(r4)
+    mov #3, 4(r4)
+    mov #1, 6(r4)
+    ; outer loop over n (r7)
+    mov #0, r7
+convn:
+    mov #0, r8          ; acc
+    mov #0, r9          ; k
+convk:
+    mov r7, r10         ; x[n+k]
+    add r9, r10
+    add r10, r10        ; byte offset
+    add #XB, r10
+    mov @r10, r11
+    mov r9, r10         ; h[k]
+    add r10, r10
+    add #HB, r10
+    mov @r10, r12
+    mov #0, r13         ; r13 = r11 * r12 (shift-add; r12 > 0 and small)
+mul1:
+    bit #1, r12
+    jeq mul2
+    add r11, r13
+mul2:
+    add r11, r11
+    rra r12
+    jne mul1
+    add r13, r8         ; acc += product
+    add #1, r9
+    cmp #4, r9
+    jne convk
+    mov r7, r10         ; y[n] = acc
+    add r10, r10
+    add #YB, r10
+    mov r8, 0(r10)
+    mov r8, &OUT2       ; emit y[n]
+    add #1, r7
+    cmp #5, r7
+    jne convn
+    jmp start
+)";
+}
+
+Image fib_image() { return assemble(fib_source()); }
+Image conv_image() { return assemble(conv_source()); }
+
+} // namespace ripple::cores::msp430

@@ -1,0 +1,19 @@
+// The two evaluation workloads of the paper for the MSP430 core (16-bit
+// variants of the AVR ones): iterative Fibonacci and a 1-D convolution with
+// software shift-add multiply. Both loop forever and report results through
+// the memory-mapped output port.
+#pragma once
+
+#include <string_view>
+
+#include "cores/msp430/assembler.hpp"
+
+namespace ripple::cores::msp430 {
+
+[[nodiscard]] std::string_view fib_source();
+[[nodiscard]] std::string_view conv_source();
+
+[[nodiscard]] Image fib_image();
+[[nodiscard]] Image conv_image();
+
+} // namespace ripple::cores::msp430

@@ -1,0 +1,29 @@
+#include "hafi/avr_dut.hpp"
+
+#include <memory>
+
+#include "util/strings.hpp"
+
+namespace ripple::hafi {
+
+std::string AvrDut::observable() const {
+  std::string out;
+  for (const cores::avr::IoEvent& e : system_.io_log()) {
+    out += strprintf("%llu:%02x=%02x;", static_cast<unsigned long long>(
+                                            e.cycle),
+                     e.addr, e.data);
+  }
+  return out;
+}
+
+std::string AvrDut::architectural_state() const {
+  const auto& dmem = system_.dmem();
+  return std::string(reinterpret_cast<const char*>(dmem.data()), dmem.size());
+}
+
+DutFactory make_avr_factory(const cores::avr::AvrCore& core,
+                            const cores::avr::Program& program) {
+  return [&core, &program] { return std::make_unique<AvrDut>(core, program); };
+}
+
+} // namespace ripple::hafi

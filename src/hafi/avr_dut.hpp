@@ -1,0 +1,35 @@
+// Dut adapter for the AVR core + its memory/I/O environment.
+#pragma once
+
+#include "cores/avr/system.hpp"
+#include "hafi/dut.hpp"
+
+namespace ripple::hafi {
+
+class AvrDut final : public Dut {
+public:
+  AvrDut(const cores::avr::AvrCore& core, const cores::avr::Program& program)
+      : system_(core, program) {}
+
+  [[nodiscard]] const netlist::Netlist& netlist() const override {
+    return system_.core().netlist;
+  }
+  [[nodiscard]] sim::Simulator& simulator() override {
+    return system_.simulator();
+  }
+  void step(sim::Trace* trace = nullptr) override { system_.step(trace); }
+  [[nodiscard]] std::string observable() const override;
+  [[nodiscard]] std::string architectural_state() const override;
+
+  [[nodiscard]] cores::avr::AvrSystem& system() { return system_; }
+
+private:
+  cores::avr::AvrSystem system_;
+};
+
+/// Factory capturing core and program by reference (both must outlive the
+/// campaign).
+[[nodiscard]] DutFactory make_avr_factory(const cores::avr::AvrCore& core,
+                                          const cores::avr::Program& program);
+
+} // namespace ripple::hafi

@@ -1,0 +1,117 @@
+#include "hafi/campaign.hpp"
+
+#include <unordered_map>
+
+#include "mate/faultspace.hpp"
+#include "sim/trace.hpp"
+#include "util/assert.hpp"
+
+namespace ripple::hafi {
+
+Campaign::Campaign(DutFactory factory, CampaignConfig config)
+    : factory_(std::move(factory)), config_(config) {
+  RIPPLE_CHECK(config_.run_cycles > 0, "campaign needs at least one cycle");
+}
+
+std::vector<InjectionPoint> Campaign::injection_points(
+    const netlist::Netlist& n) const {
+  std::vector<InjectionPoint> points;
+  const std::size_t space = n.num_flops() * config_.run_cycles;
+  if (config_.sample == 0 || config_.sample >= space) {
+    points.reserve(space);
+    for (FlopId f : n.all_flops()) {
+      for (std::size_t c = 0; c < config_.run_cycles; ++c) {
+        points.push_back(InjectionPoint{f, c});
+      }
+    }
+    return points;
+  }
+  Rng rng(config_.seed);
+  points.reserve(config_.sample);
+  for (std::size_t i = 0; i < config_.sample; ++i) {
+    const std::uint64_t flat = rng.next_below(space);
+    points.push_back(InjectionPoint{
+        FlopId{static_cast<FlopId::value_type>(flat / config_.run_cycles)},
+        flat % config_.run_cycles});
+  }
+  return points;
+}
+
+CampaignResult Campaign::run(const mate::MateSet* mates) {
+  // --- golden run -----------------------------------------------------------
+  auto golden = factory_();
+  const netlist::Netlist& n = golden->netlist();
+
+  // Record the golden trace when pruning: the per-cycle MATE evaluation is
+  // exactly what the FPGA fabric would compute online.
+  sim::Trace golden_trace(n);
+  for (std::size_t c = 0; c < config_.run_cycles; ++c) {
+    golden->step(mates != nullptr ? &golden_trace : nullptr);
+  }
+  const std::string golden_obs = golden->observable();
+  const std::string golden_state = golden->architectural_state();
+
+  // Per-cycle MATE evaluation over the golden trace — exactly what the FPGA
+  // fabric would compute online while the workload runs.
+  std::vector<std::vector<bool>> benign; // [fault index][cycle]
+  std::unordered_map<FlopId, std::size_t> fault_index;
+  if (mates != nullptr) {
+    benign = mate::benign_matrix(*mates, golden_trace);
+    for (std::size_t i = 0; i < mates->faulty_wires.size(); ++i) {
+      const netlist::Wire& w = n.wire(mates->faulty_wires[i]);
+      RIPPLE_CHECK(w.driver_kind == netlist::DriverKind::Flop,
+                   "campaign MATE sets must target flop outputs");
+      fault_index.emplace(w.driver_flop, i);
+    }
+  }
+
+  // --- experiments -----------------------------------------------------------
+  CampaignResult result;
+  const std::vector<InjectionPoint> points = injection_points(n);
+  result.total = points.size();
+
+  for (const InjectionPoint& point : points) {
+    Experiment exp;
+    exp.point = point;
+
+    if (mates != nullptr) {
+      const auto it = fault_index.find(point.flop);
+      if (it != fault_index.end() && benign[it->second][point.cycle]) {
+        exp.pruned = true;
+        ++result.pruned;
+      }
+    }
+
+    if (!exp.pruned || config_.validate_pruned) {
+      auto dut = factory_();
+      for (std::size_t c = 0; c < point.cycle; ++c) dut->step();
+      // Flip the flop's state at the start of the injection cycle, i.e. the
+      // SEU corrupts the value the flop carries *into* this cycle.
+      dut->simulator().flip_flop(point.flop);
+      for (std::size_t c = point.cycle; c < config_.run_cycles; ++c) {
+        dut->step();
+      }
+      exp.executed = true;
+      ++result.executed;
+
+      if (dut->observable() != golden_obs) {
+        exp.outcome = Outcome::Sdc;
+        ++result.sdc;
+      } else if (dut->architectural_state() != golden_state) {
+        exp.outcome = Outcome::Latent;
+        ++result.latent;
+      } else {
+        exp.outcome = Outcome::Benign;
+        ++result.benign;
+      }
+      if (exp.pruned && exp.outcome == Outcome::Benign) {
+        ++result.pruned_confirmed;
+      }
+    }
+
+    result.experiments.push_back(exp);
+  }
+  return result;
+}
+
+} // namespace ripple::hafi

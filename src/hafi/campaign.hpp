@@ -1,0 +1,81 @@
+// Fault-injection campaign controller (Section 1.1 / Section 6).
+//
+// Emulates what an FPGA-based HAFI platform does: run the workload once
+// (golden run), then re-run it once per fault-space point, flipping one flop
+// in one cycle, and classify the outcome against the golden run. With a MATE
+// set installed, injections whose fault the triggered MATEs prove benign are
+// skipped — the paper's fault-space pruning — and can optionally still be
+// executed to validate soundness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hafi/dut.hpp"
+#include "mate/mate.hpp"
+#include "util/rng.hpp"
+
+namespace ripple::hafi {
+
+struct InjectionPoint {
+  FlopId flop;
+  std::uint64_t cycle;
+};
+
+enum class Outcome {
+  Benign,     // observable and architectural state match the golden run
+  Latent,     // observable matches, architectural state differs at the end
+  Sdc,        // observable diverged: silent data corruption / wrong output
+};
+
+struct Experiment {
+  InjectionPoint point;
+  bool pruned = false; // a MATE proved it benign; skipped unless validating
+  bool executed = false;
+  Outcome outcome = Outcome::Benign;
+};
+
+struct CampaignConfig {
+  /// Cycles each run executes (golden and faulty alike).
+  std::size_t run_cycles = 2000;
+  /// Number of injection points sampled uniformly from flops x cycles;
+  /// 0 = exhaustive (every flop, every cycle — large!).
+  std::size_t sample = 1000;
+  std::uint64_t seed = 1;
+  /// Execute pruned injections anyway and check they really are benign.
+  bool validate_pruned = false;
+};
+
+struct CampaignResult {
+  std::vector<Experiment> experiments;
+
+  std::size_t total = 0;
+  std::size_t pruned = 0;       // skipped (or validated) thanks to MATEs
+  std::size_t executed = 0;     // actually simulated
+  std::size_t benign = 0;
+  std::size_t latent = 0;
+  std::size_t sdc = 0;
+  /// validate_pruned only: pruned experiments whose execution confirmed
+  /// Benign. Soundness demands pruned_confirmed == pruned.
+  std::size_t pruned_confirmed = 0;
+};
+
+class Campaign {
+public:
+  Campaign(DutFactory factory, CampaignConfig config);
+
+  /// Run the campaign. `mates` may be null (baseline: no pruning). The MATE
+  /// set must target flop Q wires of the DUT netlist.
+  [[nodiscard]] CampaignResult run(const mate::MateSet* mates);
+
+  /// The sampled injection points (stable across runs for a fixed config, so
+  /// baseline and pruned campaigns compare like for like).
+  [[nodiscard]] std::vector<InjectionPoint> injection_points(
+      const netlist::Netlist& n) const;
+
+private:
+  DutFactory factory_;
+  CampaignConfig config_;
+};
+
+} // namespace ripple::hafi

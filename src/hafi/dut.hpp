@@ -1,0 +1,40 @@
+// Device-under-test abstraction for the (simulated) HAFI platform.
+//
+// A Dut is one bootable instance of a target system: the core netlist plus
+// its environment (memories, I/O). The campaign boots many instances — one
+// golden run plus one per injection experiment — through a DutFactory.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace ripple::hafi {
+
+class Dut {
+public:
+  virtual ~Dut() = default;
+
+  [[nodiscard]] virtual const netlist::Netlist& netlist() const = 0;
+  [[nodiscard]] virtual sim::Simulator& simulator() = 0;
+
+  /// Advance one clock cycle (including environment service). When `trace`
+  /// is non-null, the cycle's settled wire values are appended to it.
+  virtual void step(sim::Trace* trace = nullptr) = 0;
+
+  /// Externally visible behaviour so far (e.g. serialized I/O event log).
+  /// Divergence from the golden run = the fault became an *error*.
+  [[nodiscard]] virtual std::string observable() const = 0;
+
+  /// ISA-visible state (memory, register contents) for latent-corruption
+  /// classification at experiment end.
+  [[nodiscard]] virtual std::string architectural_state() const = 0;
+};
+
+using DutFactory = std::function<std::unique_ptr<Dut>()>;
+
+} // namespace ripple::hafi

@@ -1,0 +1,133 @@
+#include "hafi/instrument.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace ripple::hafi {
+
+using netlist::Kind;
+using netlist::Netlist;
+
+InstrumentedNetlist instrument_with_mates(const Netlist& n,
+                                          const mate::MateSet& set) {
+  InstrumentedNetlist out;
+  out.netlist = n; // value copy; ids stay identical
+  Netlist& nl = out.netlist;
+  const std::size_t gates_before = nl.num_gates();
+
+  // Shared inverters for negative literals.
+  std::unordered_map<WireId, WireId> inverted;
+  const auto literal_wire = [&](const mate::Literal& lit) -> WireId {
+    if (lit.value) return lit.wire;
+    const auto it = inverted.find(lit.wire);
+    if (it != inverted.end()) return it->second;
+    const WireId inv = nl.add_gate_new(
+        Kind::Inv, {lit.wire},
+        "mate_n" + std::to_string(inverted.size()));
+    inverted.emplace(lit.wire, inv);
+    return inv;
+  };
+
+  std::size_t fresh = 0;
+  const auto and_tree = [&](std::vector<WireId> level,
+                            const std::string& out_name) -> WireId {
+    RIPPLE_ASSERT(!level.empty());
+    while (level.size() > 1) {
+      std::vector<WireId> next;
+      for (std::size_t i = 0; i < level.size();) {
+        const std::size_t rest = level.size() - i;
+        const std::size_t take = rest >= 4 ? 4 : rest >= 3 ? 3 : 2;
+        if (rest == 1) {
+          next.push_back(level[i]);
+          i += 1;
+          continue;
+        }
+        const Kind kind = take == 4   ? Kind::And4
+                          : take == 3 ? Kind::And3
+                                      : Kind::And2;
+        std::vector<WireId> ins(level.begin() +
+                                    static_cast<std::ptrdiff_t>(i),
+                                level.begin() +
+                                    static_cast<std::ptrdiff_t>(i + take));
+        const bool last = rest == take && next.empty();
+        next.push_back(nl.add_gate_new(
+            kind, ins,
+            last ? out_name : "mate_t" + std::to_string(fresh++)));
+        i += take;
+      }
+      level = std::move(next);
+    }
+    // Single-literal MATE: buffer it into the named trigger wire.
+    if (nl.wire(level[0]).name != out_name) {
+      return nl.add_gate_new(Kind::Buf, {level[0]}, out_name);
+    }
+    return level[0];
+  };
+
+  const auto or_tree = [&](std::vector<WireId> level,
+                           const std::string& out_name) -> WireId {
+    while (level.size() > 1) {
+      std::vector<WireId> next;
+      for (std::size_t i = 0; i < level.size();) {
+        const std::size_t rest = level.size() - i;
+        const std::size_t take = rest >= 4 ? 4 : rest >= 3 ? 3 : 2;
+        if (rest == 1) {
+          next.push_back(level[i]);
+          i += 1;
+          continue;
+        }
+        const Kind kind = take == 4   ? Kind::Or4
+                          : take == 3 ? Kind::Or3
+                                      : Kind::Or2;
+        std::vector<WireId> ins(level.begin() +
+                                    static_cast<std::ptrdiff_t>(i),
+                                level.begin() +
+                                    static_cast<std::ptrdiff_t>(i + take));
+        const bool last = rest == take && next.empty();
+        next.push_back(nl.add_gate_new(
+            kind, ins,
+            last ? out_name : "mate_o" + std::to_string(fresh++)));
+        i += take;
+      }
+      level = std::move(next);
+    }
+    if (nl.wire(level[0]).name != out_name) {
+      return nl.add_gate_new(Kind::Buf, {level[0]}, out_name);
+    }
+    return level[0];
+  };
+
+  out.triggers.reserve(set.mates.size());
+  for (std::size_t m = 0; m < set.mates.size(); ++m) {
+    const mate::Mate& mate = set.mates[m];
+    const std::string name = "mate_trigger[" + std::to_string(m) + "]";
+    WireId trig;
+    if (mate.cube.empty()) {
+      trig = nl.add_gate_new(Kind::Tie1, {}, name);
+    } else {
+      std::vector<WireId> lits;
+      lits.reserve(mate.cube.size());
+      for (const mate::Literal& lit : mate.cube.literals()) {
+        lits.push_back(literal_wire(lit));
+      }
+      trig = and_tree(std::move(lits), name);
+    }
+    nl.mark_output(trig);
+    out.triggers.push_back(trig);
+  }
+
+  if (out.triggers.empty()) {
+    out.any_trigger = nl.add_gate_new(Kind::Tie0, {}, "mate_any");
+  } else {
+    out.any_trigger = or_tree(out.triggers, "mate_any");
+  }
+  nl.mark_output(out.any_trigger);
+
+  out.added_gates = nl.num_gates() - gates_before;
+  nl.check();
+  return out;
+}
+
+} // namespace ripple::hafi

@@ -1,0 +1,37 @@
+// Netlist instrumentation for the HAFI platform (Sections 1.1 and 6.1).
+//
+// A real HAFI flow does not evaluate MATEs in software: the selected MATEs
+// are synthesized into the emulated design, and the injection control unit
+// reads their trigger outputs while the workload runs. This module performs
+// exactly that instrumentation — it appends, for each MATE, an AND tree over
+// the (possibly inverted) border wires and exposes the triggers as primary
+// outputs ("mate_trigger[i]"), plus their OR ("mate_any").
+//
+// The instrumented netlist is a plain library-cell netlist again, so it can
+// be simulated, re-serialized to Verilog for an FPGA flow, or even analyzed
+// recursively.
+#pragma once
+
+#include <vector>
+
+#include "mate/mate.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ripple::hafi {
+
+struct InstrumentedNetlist {
+  netlist::Netlist netlist;
+  /// Trigger wires, one per MATE of the set (same order).
+  std::vector<WireId> triggers;
+  /// OR over all triggers ("at least one injection is prunable this cycle").
+  WireId any_trigger;
+  /// Cells added by the instrumentation (the hardware cost).
+  std::size_t added_gates = 0;
+};
+
+/// Append checker logic for `set` to a copy of `n`. The set's cubes must
+/// only reference wires of `n` (which border MATEs by construction do).
+[[nodiscard]] InstrumentedNetlist instrument_with_mates(
+    const netlist::Netlist& n, const mate::MateSet& set);
+
+} // namespace ripple::hafi

@@ -1,0 +1,59 @@
+#include "mate/cube.hpp"
+
+#include <algorithm>
+
+namespace ripple::mate {
+
+Cube::Cube(std::vector<Literal> literals) : lits_(std::move(literals)) {
+  std::sort(lits_.begin(), lits_.end());
+  for (std::size_t i = 1; i < lits_.size(); ++i) {
+    RIPPLE_CHECK(lits_[i].wire != lits_[i - 1].wire || lits_[i] == lits_[i - 1],
+                 "contradictory cube literals on one wire");
+  }
+  lits_.erase(std::unique(lits_.begin(), lits_.end()), lits_.end());
+}
+
+std::optional<Cube> Cube::conjoin(const Cube& o) const {
+  std::vector<Literal> merged;
+  merged.reserve(lits_.size() + o.lits_.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < lits_.size() && j < o.lits_.size()) {
+    if (lits_[i].wire == o.lits_[j].wire) {
+      if (lits_[i].value != o.lits_[j].value) return std::nullopt;
+      merged.push_back(lits_[i]);
+      ++i;
+      ++j;
+    } else if (lits_[i].wire < o.lits_[j].wire) {
+      merged.push_back(lits_[i++]);
+    } else {
+      merged.push_back(o.lits_[j++]);
+    }
+  }
+  merged.insert(merged.end(), lits_.begin() + static_cast<std::ptrdiff_t>(i),
+                lits_.end());
+  merged.insert(merged.end(), o.lits_.begin() + static_cast<std::ptrdiff_t>(j),
+                o.lits_.end());
+  Cube out;
+  out.lits_ = std::move(merged); // already sorted and duplicate-free
+  return out;
+}
+
+bool Cube::implies(const Cube& o) const {
+  // this => o iff every literal of o appears in this.
+  return std::includes(lits_.begin(), lits_.end(), o.lits_.begin(),
+                       o.lits_.end());
+}
+
+std::string Cube::to_string(const netlist::Netlist& n) const {
+  if (lits_.empty()) return "(true)";
+  std::string out = "(";
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    if (i) out += " & ";
+    if (!lits_[i].value) out += "!";
+    out += n.wire(lits_[i].wire).name;
+  }
+  return out + ")";
+}
+
+} // namespace ripple::mate

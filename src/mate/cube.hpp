@@ -1,0 +1,85 @@
+// Cubes: conjunctions of boolean literals.
+//
+// Two flavours are used by the MATE machinery:
+//   * PinCube  -- over the input pins of a single library cell (<= 4 pins),
+//                 the result of the gate-masking analysis;
+//   * Cube     -- over netlist wires, the instantiated form ("border wires
+//                 f=0 and h=1"), which is what a MATE ultimately is.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/assert.hpp"
+#include "util/bitvec.hpp"
+
+namespace ripple::mate {
+
+/// A conjunction over cell input pins: pin i is constrained iff bit i of
+/// `care` is set; its required value is bit i of `value` (value bits outside
+/// care are zero).
+struct PinCube {
+  std::uint8_t care = 0;
+  std::uint8_t value = 0;
+
+  [[nodiscard]] std::size_t num_literals() const {
+    return static_cast<std::size_t>(__builtin_popcount(care));
+  }
+
+  /// Does a full pin assignment satisfy this cube?
+  [[nodiscard]] bool matches(std::uint32_t assignment) const {
+    return (assignment & care) == value;
+  }
+
+  bool operator==(const PinCube&) const = default;
+};
+
+/// One wire literal: wire == value.
+struct Literal {
+  WireId wire;
+  bool value = false;
+
+  bool operator==(const Literal&) const = default;
+  auto operator<=>(const Literal&) const = default;
+};
+
+/// A conjunction of wire literals, kept sorted by wire id and free of
+/// duplicates. An empty cube is the constant true.
+class Cube {
+public:
+  Cube() = default;
+  explicit Cube(std::vector<Literal> literals);
+
+  [[nodiscard]] const std::vector<Literal>& literals() const { return lits_; }
+  [[nodiscard]] std::size_t size() const { return lits_.size(); }
+  [[nodiscard]] bool empty() const { return lits_.empty(); }
+
+  /// Conjoin with another cube; nullopt if they conflict (x and !x).
+  [[nodiscard]] std::optional<Cube> conjoin(const Cube& o) const;
+
+  /// True if this cube's constraints are a superset of `o`'s (this => o).
+  [[nodiscard]] bool implies(const Cube& o) const;
+
+  /// Evaluate against a wire-value snapshot (Simulator::values() or a trace
+  /// row): true iff every literal holds.
+  [[nodiscard]] bool eval(const BitVec& values) const {
+    for (const Literal& l : lits_) {
+      if (values.get(l.wire.index()) != l.value) return false;
+    }
+    return true;
+  }
+
+  /// Human-readable form, e.g. "(!f & h)".
+  [[nodiscard]] std::string to_string(const netlist::Netlist& n) const;
+
+  bool operator==(const Cube&) const = default;
+  auto operator<=>(const Cube&) const = default;
+
+private:
+  std::vector<Literal> lits_;
+};
+
+} // namespace ripple::mate

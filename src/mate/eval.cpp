@@ -1,0 +1,70 @@
+#include "mate/eval.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/stats.hpp"
+
+namespace ripple::mate {
+
+EvalResult evaluate_mates(const MateSet& set, const sim::Trace& trace,
+                          bool keep_trigger_lists) {
+  EvalResult result;
+  result.num_cycles = trace.num_cycles();
+  result.num_faulty_wires = set.faulty_wires.size();
+  result.per_mate.resize(set.mates.size());
+
+  // Faulty wire -> dense index for the per-cycle union bitset.
+  std::unordered_map<WireId, std::size_t> fault_index;
+  fault_index.reserve(set.faulty_wires.size());
+  for (std::size_t i = 0; i < set.faulty_wires.size(); ++i) {
+    fault_index.emplace(set.faulty_wires[i], i);
+  }
+
+  // Pre-resolve each MATE's masked wires to dense indices.
+  std::vector<std::vector<std::uint32_t>> masked_idx(set.mates.size());
+  for (std::size_t m = 0; m < set.mates.size(); ++m) {
+    for (WireId w : set.mates[m].masked_wires) {
+      const auto it = fault_index.find(w);
+      RIPPLE_ASSERT(it != fault_index.end(),
+                    "MATE masks a wire outside the faulty set");
+      masked_idx[m].push_back(static_cast<std::uint32_t>(it->second));
+    }
+  }
+
+  if (keep_trigger_lists) {
+    result.triggered_by_cycle.resize(trace.num_cycles());
+  }
+
+  BitVec masked(set.faulty_wires.size());
+  for (std::size_t cycle = 0; cycle < trace.num_cycles(); ++cycle) {
+    const BitVec& values = trace.cycle_values(cycle);
+    masked.clear_all();
+    for (std::size_t m = 0; m < set.mates.size(); ++m) {
+      if (!set.mates[m].cube.eval(values)) continue;
+      MateTraceStats& stats = result.per_mate[m];
+      ++stats.triggers;
+      stats.masked_total += masked_idx[m].size();
+      for (std::uint32_t idx : masked_idx[m]) masked.set(idx, true);
+      if (keep_trigger_lists) {
+        result.triggered_by_cycle[cycle].push_back(
+            static_cast<std::uint32_t>(m));
+      }
+    }
+    result.masked_faults += masked.popcount();
+  }
+
+  std::vector<double> input_counts;
+  for (std::size_t m = 0; m < set.mates.size(); ++m) {
+    if (result.per_mate[m].triggers > 0) {
+      ++result.effective_mates;
+      input_counts.push_back(
+          static_cast<double>(set.mates[m].num_inputs()));
+    }
+  }
+  result.avg_inputs = mean(input_counts);
+  result.sd_inputs = stddev(input_counts);
+  return result;
+}
+
+} // namespace ripple::mate

@@ -1,0 +1,31 @@
+#include "mate/example.hpp"
+
+namespace ripple::mate {
+
+Figure1Circuit build_figure1_circuit() {
+  using cell::Kind;
+  Figure1Circuit fig;
+  netlist::Netlist& n = fig.netlist;
+  n.set_name("figure1");
+
+  fig.a = n.add_input("a");
+  fig.b = n.add_input("b");
+  fig.c = n.add_input("c");
+  fig.d = n.add_input("d");
+  fig.e = n.add_input("e");
+
+  fig.f = n.add_gate_new(Kind::Nand2, {fig.a, fig.b}, "f"); // gate A
+  fig.g = n.add_gate_new(Kind::Xor2, {fig.c, fig.d}, "g");  // gate B
+  fig.h = n.add_gate_new(Kind::Inv, {fig.e}, "h");          // gate F
+  fig.k = n.add_gate_new(Kind::And2, {fig.g, fig.f}, "k");  // gate D
+  fig.l = n.add_gate_new(Kind::Or2, {fig.g, fig.h}, "l");   // gate E
+  fig.m = n.add_gate_new(Kind::Xnor2, {fig.e, fig.c}, "m"); // gate C
+
+  n.mark_output(fig.k);
+  n.mark_output(fig.l);
+  n.mark_output(fig.m);
+  n.check();
+  return fig;
+}
+
+} // namespace ripple::mate

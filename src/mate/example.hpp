@@ -1,0 +1,28 @@
+// The running example of the paper's Figure 1: a five-input combinational
+// circuit whose input d has the fault cone {d, g, k, l} with border wires
+// {c, f, h} and the MATE (!f & h), whose inputs a/b are masked by (!b)/(!a),
+// and whose inputs c/e are unmaskable because of a path through the
+// XNOR gate C. Used by tests and by the fig1 bench.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace ripple::mate {
+
+struct Figure1Circuit {
+  netlist::Netlist netlist;
+  // primary inputs (the example's faulty wires)
+  WireId a, b, c, d, e;
+  // internal wires
+  WireId f; // NAND(a, b)   -- gate A
+  WireId g; // XOR(c, d)    -- gate B
+  WireId h; // INV(e)       -- gate F
+  // outputs
+  WireId k; // AND(g, f)    -- gate D
+  WireId l; // OR(g, h)     -- gate E
+  WireId m; // XNOR(e, c)   -- gate C (maskless path for c and e)
+};
+
+[[nodiscard]] Figure1Circuit build_figure1_circuit();
+
+} // namespace ripple::mate

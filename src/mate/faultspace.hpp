@@ -1,0 +1,26 @@
+// Fault-space rendering and accounting helpers (Figure 1b).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mate/eval.hpp"
+#include "mate/mate.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/trace.hpp"
+
+namespace ripple::mate {
+
+/// Render the (wires x cycles) fault space as the paper's Figure 1b grid:
+/// '*' = possibly effective, 'o' = proven benign by a triggered MATE.
+/// Rows follow `set.faulty_wires`.
+[[nodiscard]] std::string render_fault_grid(const netlist::Netlist& n,
+                                            const MateSet& set,
+                                            const sim::Trace& trace);
+
+/// Per-(wire, cycle) benign matrix: benign[w][c] with w indexing
+/// set.faulty_wires.
+[[nodiscard]] std::vector<std::vector<bool>> benign_matrix(
+    const MateSet& set, const sim::Trace& trace);
+
+} // namespace ripple::mate

@@ -1,0 +1,113 @@
+#include "mate/gate_masking.hpp"
+
+#include <algorithm>
+
+namespace ripple::mate {
+namespace {
+
+/// Does assigning the free pins per (care, value) make the output independent
+/// of the faulty pins? Free pins outside `care` range over all values too —
+/// a cube is masking only if *every* completion masks, which keeps cubes
+/// maximal-and-sound.
+bool cube_masks(const cell::Info& ci, std::uint8_t faulty_mask, PinCube cube) {
+  const std::uint32_t n = ci.num_inputs;
+  const std::uint32_t free_mask =
+      static_cast<std::uint32_t>(~faulty_mask) & ((1u << n) - 1);
+
+  // Enumerate assignments of the unconstrained free pins.
+  const std::uint32_t wild_mask = free_mask & ~cube.care;
+  for (std::uint32_t wild = 0;; wild = (wild - wild_mask) & wild_mask) {
+    const std::uint32_t base = (cube.value & cube.care) | wild;
+    // The output must be constant over all faulty-pin combinations.
+    bool first = true;
+    bool expected = false;
+    for (std::uint32_t fault = 0;;
+         fault = (fault - faulty_mask) & faulty_mask) {
+      const bool out = ((ci.truth >> (base | fault)) & 1u) != 0;
+      if (first) {
+        expected = out;
+        first = false;
+      } else if (out != expected) {
+        return false;
+      }
+      if (fault == faulty_mask) break;
+    }
+    if (wild == wild_mask) break;
+  }
+  return true;
+}
+
+} // namespace
+
+std::vector<PinCube> compute_masking_cubes(cell::Kind kind,
+                                           std::uint8_t faulty_mask) {
+  const cell::Info& ci = cell::info(kind);
+  RIPPLE_CHECK(kind != cell::Kind::Dff, "DFF has no combinational masking");
+  const std::uint32_t n = ci.num_inputs;
+  RIPPLE_CHECK(faulty_mask != 0 && (faulty_mask >> n) == 0,
+               "bad faulty-pin mask");
+
+  const std::uint8_t free_mask =
+      static_cast<std::uint8_t>(~faulty_mask & ((1u << n) - 1));
+
+  // Enumerate all cubes over the free pins: choose care ⊆ free, value ⊆ care.
+  std::vector<PinCube> masking;
+  for (std::uint32_t care = 0;; care = (care - free_mask) & free_mask) {
+    for (std::uint32_t value = 0;; value = (value - care) & care) {
+      const PinCube cube{static_cast<std::uint8_t>(care),
+                         static_cast<std::uint8_t>(value)};
+      if (cube_masks(ci, faulty_mask, cube)) masking.push_back(cube);
+      if (value == care) break;
+    }
+    if (care == free_mask) break;
+  }
+
+  // Keep prime cubes only: drop any cube that another (more general) cube
+  // subsumes. Cube A subsumes B if A.care ⊆ B.care and values agree on A.care.
+  std::vector<PinCube> prime;
+  for (const PinCube& c : masking) {
+    const bool subsumed = std::any_of(
+        masking.begin(), masking.end(), [&](const PinCube& o) {
+          return !(o == c) && (o.care & ~c.care) == 0 &&
+                 (c.value & o.care) == o.value;
+        });
+    if (!subsumed) prime.push_back(c);
+  }
+  // Deterministic order: fewer literals first, then lexicographic.
+  std::sort(prime.begin(), prime.end(), [](const PinCube& a, const PinCube& b) {
+    if (a.num_literals() != b.num_literals()) {
+      return a.num_literals() < b.num_literals();
+    }
+    if (a.care != b.care) return a.care < b.care;
+    return a.value < b.value;
+  });
+  return prime;
+}
+
+GateMaskingTable::GateMaskingTable() {
+  table_.resize(cell::kKindCount);
+  for (cell::Kind kind : cell::Library::instance().combinational_kinds()) {
+    const cell::Info& ci = cell::info(kind);
+    if (ci.num_inputs == 0) continue;
+    auto& per_mask = table_[static_cast<std::size_t>(kind)];
+    per_mask.resize(1u << ci.num_inputs);
+    for (std::uint32_t m = 1; m < (1u << ci.num_inputs); ++m) {
+      per_mask[m] = compute_masking_cubes(kind, static_cast<std::uint8_t>(m));
+    }
+  }
+}
+
+const GateMaskingTable& GateMaskingTable::instance() {
+  static const GateMaskingTable table;
+  return table;
+}
+
+const std::vector<PinCube>& GateMaskingTable::terms(
+    cell::Kind kind, std::uint8_t faulty_mask) const {
+  static const std::vector<PinCube> empty;
+  const auto& per_mask = table_[static_cast<std::size_t>(kind)];
+  if (faulty_mask == 0 || faulty_mask >= per_mask.size()) return empty;
+  return per_mask[faulty_mask];
+}
+
+} // namespace ripple::mate

@@ -1,0 +1,52 @@
+// Fault-masking capabilities of library cells (Section 4, step 1).
+//
+// For every cell type and every non-empty set S of *faulty* input pins we
+// compute the gate-masking terms GM(cell, S): all maximal partial assignments
+// (prime cubes) of the remaining pins under which the cell output is
+// independent of the pins in S. When such a cube holds, a fault confined to S
+// cannot pass this gate — the output equals the fault-free output no matter
+// what values the faulty pins take.
+//
+// Examples reproduced from the paper:
+//   GM(AND2, {A}) = { (B=0) }              -- an AND masks when a side is 0
+//   GM(OR2,  {A}) = { (B=1) }
+//   GM(XOR2, {A}) = {}                     -- XOR never masks
+//   GM(MUX2, {S}) = { (A=0 & B=0), (A=1 & B=1) }
+#pragma once
+
+#include <vector>
+
+#include "cell/library.hpp"
+#include "mate/cube.hpp"
+
+namespace ripple::mate {
+
+/// Analysis results for the whole library, computed once and cached.
+class GateMaskingTable {
+public:
+  static const GateMaskingTable& instance();
+
+  /// Masking cubes for `kind` with faulty-pin set `faulty_mask` (bit i set =>
+  /// pin i faulty). Empty vector means this gate cannot stop such a fault.
+  [[nodiscard]] const std::vector<PinCube>& terms(cell::Kind kind,
+                                                  std::uint8_t faulty_mask)
+      const;
+
+  /// True if the cell has at least one masking cube for the faulty set.
+  [[nodiscard]] bool can_mask(cell::Kind kind, std::uint8_t faulty_mask) const {
+    return !terms(kind, faulty_mask).empty();
+  }
+
+private:
+  GateMaskingTable();
+
+  // Indexed [kind][faulty_mask]; masks run over 1 .. 2^num_inputs - 1.
+  std::vector<std::vector<std::vector<PinCube>>> table_;
+};
+
+/// Direct computation (exposed for tests): prime masking cubes of one cell
+/// for one faulty-pin set.
+[[nodiscard]] std::vector<PinCube> compute_masking_cubes(
+    cell::Kind kind, std::uint8_t faulty_mask);
+
+} // namespace ripple::mate

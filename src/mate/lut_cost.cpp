@@ -1,0 +1,24 @@
+#include "mate/lut_cost.hpp"
+
+#include "util/assert.hpp"
+
+namespace ripple::mate {
+
+std::size_t mate_luts(const Mate& mate, const LutCostModel& model) {
+  RIPPLE_CHECK(model.lut_inputs >= 2, "LUTs need at least two inputs");
+  const std::size_t n = mate.num_inputs();
+  if (n <= 1) return n; // constant-true MATEs cost nothing
+  if (n <= model.lut_inputs) return 1;
+  // First LUT eats lut_inputs literals, each cascade LUT eats lut_inputs - 1.
+  const std::size_t rest = n - model.lut_inputs;
+  const std::size_t per_stage = model.lut_inputs - 1;
+  return 1 + (rest + per_stage - 1) / per_stage;
+}
+
+std::size_t set_luts(const MateSet& set, const LutCostModel& model) {
+  std::size_t total = 0;
+  for (const Mate& m : set.mates) total += mate_luts(m, model);
+  return total;
+}
+
+} // namespace ripple::mate

@@ -1,0 +1,36 @@
+// FPGA LUT-cost model for MATE sets (Section 6.1).
+//
+// A MATE is a single AND of (possibly negated) wires: a k-input LUT absorbs
+// up to k literals; wider conjunctions cascade, each further LUT adding
+// (k - 1) fresh literals (one input carries the partial result).
+#pragma once
+
+#include <cstddef>
+
+#include "mate/mate.hpp"
+
+namespace ripple::mate {
+
+struct LutCostModel {
+  /// LUT input width of the target FPGA family (6 for Virtex-6, the paper's
+  /// reference platform).
+  std::size_t lut_inputs = 6;
+};
+
+/// LUTs needed to realize one MATE.
+[[nodiscard]] std::size_t mate_luts(const Mate& mate,
+                                    const LutCostModel& model = {});
+
+/// LUTs for a whole set (per-MATE cost summed; trigger outputs are collected
+/// by the injection control unit, which is accounted separately).
+[[nodiscard]] std::size_t set_luts(const MateSet& set,
+                                   const LutCostModel& model = {});
+
+/// Reference points from the literature, for the Section 6.1 comparison.
+struct HafiPlatformCosts {
+  std::size_t controller_luts_low = 1500;  // [9]  Entrena et al.
+  std::size_t controller_luts_high = 6000; // [19] FLINT
+  std::size_t virtex6_lx240t_luts = 150720;
+};
+
+} // namespace ripple::mate

@@ -1,0 +1,29 @@
+// The MATE itself (Definition, Section 3): a conjunction over border wires
+// that, when true in the current circuit state, proves one or more faults
+// benign within the running clock cycle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mate/cube.hpp"
+
+namespace ripple::mate {
+
+struct Mate {
+  Cube cube;
+  /// Faulty wires this MATE proves benign while it holds. One MATE often
+  /// covers several faults (Section 4, step 3): e.g. a mov-style operand
+  /// select masks every bit of the unused operand.
+  std::vector<WireId> masked_wires;
+
+  [[nodiscard]] std::size_t num_inputs() const { return cube.size(); }
+};
+
+/// A MATE set plus the faulty-wire universe it was computed against.
+struct MateSet {
+  std::vector<Mate> mates;
+  std::vector<WireId> faulty_wires;
+};
+
+} // namespace ripple::mate

@@ -1,0 +1,77 @@
+#include "mate/paths.hpp"
+
+namespace ripple::mate {
+namespace {
+
+class Enumerator {
+public:
+  Enumerator(const netlist::Netlist& n, const FaultCone& cone,
+             const PathEnumParams& params)
+      : n_(n), params_(params) {
+    (void)cone;
+  }
+
+  PathEnumResult run(std::span<const WireId> origins) {
+    for (WireId origin : origins) {
+      origin_ = origin;
+      const netlist::Wire& w = n_.wire(origin);
+      if (w.is_primary_output || !w.flop_fanout.empty()) {
+        result_.origin_observable = true;
+        // Record the empty closed path: it has no gates, so no candidate
+        // can block it and the wire is correctly classified unmaskable.
+        result_.paths.push_back(Path{origin, {}, false});
+      }
+      visit(origin);
+      if (!result_.complete) break;
+    }
+    return std::move(result_);
+  }
+
+private:
+  /// Extend the current gate stack through every fanout gate of `wire`.
+  void visit(WireId wire) {
+    if (!result_.complete) return;
+    for (GateId g : n_.wire(wire).gate_fanout) {
+      stack_.push_back(g);
+      const WireId y = n_.gate(g).output;
+      const netlist::Wire& yw = n_.wire(y);
+      const bool observed = yw.is_primary_output || !yw.flop_fanout.empty();
+      if (observed) emit(/*open=*/false);
+      if (stack_.size() >= params_.max_depth) {
+        // Horizon reached. If the fault can still travel on (more gates, or
+        // it just reached an observer and continues), record an open path so
+        // the prefix must be masked.
+        if (!yw.gate_fanout.empty()) emit(/*open=*/true);
+      } else {
+        visit(y);
+      }
+      stack_.pop_back();
+      if (!result_.complete) return;
+    }
+  }
+
+  void emit(bool open) {
+    if (result_.paths.size() >= params_.max_paths) {
+      result_.complete = false;
+      return;
+    }
+    result_.paths.push_back(Path{origin_, stack_, open});
+  }
+
+  const netlist::Netlist& n_;
+  const PathEnumParams& params_;
+  WireId origin_;
+  std::vector<GateId> stack_;
+  PathEnumResult result_;
+};
+
+} // namespace
+
+PathEnumResult enumerate_paths(const netlist::Netlist& n,
+                               const FaultCone& cone,
+                               const PathEnumParams& params) {
+  RIPPLE_CHECK(params.max_depth >= 1, "path depth must be at least 1");
+  return Enumerator(n, cone, params).run(cone.origins);
+}
+
+} // namespace ripple::mate

@@ -1,0 +1,46 @@
+// Fault-propagation path enumeration (Section 4, step 2).
+//
+// A path is the ordered list of cone gates a wrong value travels through. A
+// path is *closed* when it reaches an observable wire (primary output or flop
+// D input) and *open* when it is cut off by the depth horizon — open paths
+// must be masked within their recorded prefix for the analysis to stay sound.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mate/cone.hpp"
+
+namespace ripple::mate {
+
+struct PathEnumParams {
+  /// Heuristic parameter 1 of the paper: how many gates deep to follow the
+  /// fault (the evaluation uses 8).
+  unsigned max_depth = 8;
+  /// Implementation safety valve; wires whose cone explodes past this are
+  /// treated like unmaskable wires.
+  std::size_t max_paths = 50000;
+};
+
+struct Path {
+  /// Which fault origin this propagation starts from (multi-bit groups
+  /// enumerate paths per origin).
+  WireId origin;
+  std::vector<GateId> gates;
+  bool open = false;
+};
+
+struct PathEnumResult {
+  std::vector<Path> paths;
+  /// False when max_paths was hit and enumeration gave up.
+  bool complete = true;
+  /// True when some faulty origin wire itself is observable (=> unmaskable:
+  /// the empty path cannot contain a masking gate).
+  bool origin_observable = false;
+};
+
+[[nodiscard]] PathEnumResult enumerate_paths(const netlist::Netlist& n,
+                                             const FaultCone& cone,
+                                             const PathEnumParams& params);
+
+} // namespace ripple::mate

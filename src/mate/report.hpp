@@ -1,0 +1,26 @@
+// Machine-readable exports of MATE search and evaluation results, so
+// downstream tooling (campaign planners, plotting scripts) can consume them
+// without linking the library: JSON for structure, CSV for spreadsheets.
+#pragma once
+
+#include <iosfwd>
+
+#include "mate/eval.hpp"
+#include "mate/search.hpp"
+
+namespace ripple::mate {
+
+/// JSON document with the per-wire outcomes, the merged MATE set (cube
+/// literals by wire name) and the aggregate statistics of a search.
+void write_search_json(const netlist::Netlist& n, const SearchResult& result,
+                       std::ostream& os);
+
+/// CSV with one row per MATE: id, #inputs, #masked wires, cube text, plus —
+/// when an evaluation is supplied — trigger count and masked-fault volume.
+void write_mate_csv(const netlist::Netlist& n, const MateSet& set,
+                    const EvalResult* eval, std::ostream& os);
+
+/// JSON escape helper (exposed for tests).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+} // namespace ripple::mate

@@ -1,0 +1,351 @@
+#include "mate/search.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "mate/gate_masking.hpp"
+#include "sim/levelize.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ripple::mate {
+namespace {
+
+/// Search state for a single faulty wire.
+class WireSearch {
+public:
+  WireSearch(const netlist::Netlist& n, const SearchParams& params,
+             const std::vector<std::uint32_t>& topo)
+      : n_(n), params_(params), topo_(topo) {}
+
+  /// Runs the per-wire pipeline; fills `outcome` and returns found MATEs.
+  std::vector<Cube> run(WireId wire, WireOutcome& outcome) {
+    const WireId group[1] = {wire};
+    return run_group(std::span<const WireId>(group, 1), outcome);
+  }
+
+  /// Same pipeline for a multi-bit fault group (union cone, paths from every
+  /// origin, a candidate must block all of them).
+  std::vector<Cube> run_group(std::span<const WireId> group,
+                              WireOutcome& outcome) {
+    outcome.wire = group[0];
+
+    const FaultCone cone = compute_cone(n_, group, topo_);
+    outcome.cone_gates = cone.gates.size();
+    outcome.border_wires = cone.border_wires.size();
+
+    PathEnumParams pp;
+    pp.max_depth = params_.path_depth;
+    pp.max_paths = params_.max_paths_per_wire;
+    const PathEnumResult pr = enumerate_paths(n_, cone, pp);
+    outcome.num_paths = pr.paths.size();
+    if (!pr.complete) {
+      outcome.status = WireStatus::PathBudget;
+      return {};
+    }
+    if (pr.paths.empty()) {
+      // The fault dies inside the cone without ever reaching an observer
+      // (dangling logic): trivially benign in every cycle -> the constant-
+      // true MATE masks it.
+      outcome.status = WireStatus::Found;
+      outcome.mates_found = 1;
+      return {Cube{}};
+    }
+    num_paths_ = pr.paths.size();
+
+    if (!collect_terms(cone, pr)) {
+      outcome.status = WireStatus::Unmaskable;
+      return {};
+    }
+
+    // Order terms by coverage (most-blocking first) for effective pruning.
+    order_.resize(terms_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+    std::sort(order_.begin(), order_.end(),
+              [&](std::size_t a, std::size_t b) {
+                const std::size_t ca = terms_[a].blocks.popcount();
+                const std::size_t cb = terms_[b].blocks.popcount();
+                if (ca != cb) return ca > cb;
+                return terms_[a].cube < terms_[b].cube;
+              });
+
+    // Suffix coverage: union of blocks of order_[i..]; prunes branches that
+    // can no longer reach full coverage.
+    suffix_.assign(order_.size() + 1, BitVec(num_paths_));
+    for (std::size_t i = order_.size(); i-- > 0;) {
+      suffix_[i] = suffix_[i + 1];
+      suffix_[i] |= terms_[order_[i]].blocks;
+    }
+    full_ = BitVec(num_paths_, true);
+    if (!(suffix_[0] == full_)) {
+      // Even all terms together cannot block every path.
+      outcome.status = WireStatus::Unmaskable;
+      return {};
+    }
+
+    found_.clear();
+    found_sets_.clear();
+    candidates_ = 0;
+    chosen_.clear();
+    dfs(0, Cube{}, BitVec(num_paths_));
+
+    outcome.candidates_tried = candidates_;
+    outcome.mates_found = found_.size();
+    outcome.status = found_.empty() ? WireStatus::NoMate : WireStatus::Found;
+    return std::move(found_);
+  }
+
+private:
+  struct Term {
+    Cube cube;
+    BitVec blocks; // over paths
+  };
+
+  /// Collect instantiated gate-masking terms for every (gate, entry wire)
+  /// pair on some path. A path's fault enters each of its gates through a
+  /// known wire (the previous gate's output, or the faulty origin); only the
+  /// pins bound to that wire are treated as faulty for the gate-masking
+  /// lookup. This per-entry semantics is sound — any taint chain from the
+  /// origin to an observer is an enumerated path, and blocking each path at
+  /// its entry pin breaks every such chain — and is far less conservative
+  /// than distrusting every cone pin at once: reconvergent cones would
+  /// otherwise saturate gates ("all pins faulty") and lose all masking
+  /// capability.
+  ///
+  /// Returns false when a path has no maskable gate at all (early abort,
+  /// paper Section 4: such a wire is unmaskable within the depth horizon).
+  bool collect_terms(const FaultCone& cone, const PathEnumResult& pr) {
+    std::map<Cube, std::size_t> term_index;
+    std::map<std::pair<GateId, WireId>, std::vector<std::size_t>> terms_of;
+
+    const GateMaskingTable& gm = GateMaskingTable::instance();
+    const auto collect = [&](GateId g, WireId entry)
+        -> const std::vector<std::size_t>& {
+      const auto key = std::make_pair(g, entry);
+      const auto found = terms_of.find(key);
+      if (found != terms_of.end()) return found->second;
+      auto& slot = terms_of[key];
+
+      const netlist::Gate& gate = n_.gate(g);
+      std::uint8_t faulty_mask = 0;
+      for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
+        if (gate.inputs[pin] == entry) {
+          faulty_mask |= static_cast<std::uint8_t>(1u << pin);
+        }
+      }
+      RIPPLE_ASSERT(faulty_mask != 0, "path gate does not read its entry");
+      for (const PinCube& pc : gm.terms(gate.kind, faulty_mask)) {
+        // Instantiate over border wires; a cube relying on a mistrusted
+        // (cone) wire cannot be evaluated on golden values.
+        bool usable = true;
+        std::vector<Literal> lits;
+        for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
+          if (!(pc.care & (1u << pin))) continue;
+          const WireId in = gate.inputs[pin];
+          if (cone.contains_wire(in)) {
+            usable = false;
+            break;
+          }
+          lits.push_back(Literal{in, ((pc.value >> pin) & 1u) != 0});
+        }
+        if (!usable) continue;
+        Cube cube{std::move(lits)};
+        const auto [it, inserted] =
+            term_index.try_emplace(std::move(cube), terms_.size());
+        if (inserted) {
+          terms_.push_back(Term{it->first, BitVec(num_paths_)});
+        }
+        slot.push_back(it->second);
+      }
+      return slot;
+    };
+
+    for (std::size_t pi = 0; pi < pr.paths.size(); ++pi) {
+      const Path& p = pr.paths[pi];
+      bool maskable = false;
+      WireId entry = p.origin;
+      for (GateId g : p.gates) {
+        for (std::size_t t : collect(g, entry)) {
+          terms_[t].blocks.set(pi, true);
+          maskable = true;
+        }
+        entry = n_.gate(g).output;
+      }
+      if (!maskable && !p.gates.empty()) return false;
+      if (p.gates.empty()) return false; // origin itself is observable
+    }
+    return true;
+  }
+
+  /// Depth-first enumeration of term combinations in `order_` index order.
+  /// `conj` is the conjunction of the chosen terms, `covered` the union of
+  /// their blocked paths.
+  void dfs(std::size_t from, const Cube& conj, const BitVec& covered) {
+    if (budget_exhausted()) return;
+    for (std::size_t i = from; i < order_.size(); ++i) {
+      if (budget_exhausted()) return;
+      if (chosen_.size() >= params_.max_terms) return;
+      if (found_.size() >= params_.max_mates_per_wire) return;
+
+      // Prune: remaining terms (including i) can no longer complete coverage.
+      {
+        BitVec reachable = covered;
+        reachable |= suffix_[i];
+        if (!(reachable == full_)) return;
+      }
+
+      const Term& t = terms_[order_[i]];
+
+      // Useless term: adds no newly blocked path.
+      {
+        BitVec added = t.blocks;
+        added |= covered;
+        if (added == covered) continue;
+      }
+
+      const std::optional<Cube> next = conj.conjoin(t.cube);
+      ++candidates_;
+      if (!next) continue; // contradictory literals
+
+      chosen_.push_back(order_[i]);
+      BitVec next_cov = covered;
+      next_cov |= t.blocks;
+
+      if (next_cov == full_) {
+        record(*next);
+      } else {
+        dfs(i + 1, *next, next_cov);
+      }
+      chosen_.pop_back();
+    }
+  }
+
+  bool budget_exhausted() const {
+    return candidates_ >= params_.max_candidates_per_wire;
+  }
+
+  void record(const Cube& cube) {
+    // Skip supersets of an already-recorded term set (minimality): those add
+    // literals without masking more.
+    std::vector<std::size_t> set = chosen_;
+    std::sort(set.begin(), set.end());
+    for (const auto& prev : found_sets_) {
+      if (std::includes(set.begin(), set.end(), prev.begin(), prev.end())) {
+        return;
+      }
+    }
+    found_sets_.push_back(std::move(set));
+    found_.push_back(cube);
+  }
+
+  const netlist::Netlist& n_;
+  const SearchParams& params_;
+  const std::vector<std::uint32_t>& topo_;
+
+  std::size_t num_paths_ = 0;
+  std::vector<Term> terms_;
+  std::vector<std::size_t> order_;
+  std::vector<BitVec> suffix_;
+  BitVec full_;
+
+  std::vector<Cube> found_;
+  std::vector<std::vector<std::size_t>> found_sets_;
+  std::vector<std::size_t> chosen_;
+  std::size_t candidates_ = 0;
+};
+
+} // namespace
+
+std::vector<std::size_t> SearchResult::cone_sizes() const {
+  std::vector<std::size_t> v;
+  v.reserve(outcomes.size());
+  for (const WireOutcome& o : outcomes) v.push_back(o.cone_gates);
+  return v;
+}
+
+std::vector<WireId> all_flop_wires(const netlist::Netlist& n) {
+  std::vector<WireId> out;
+  out.reserve(n.num_flops());
+  for (FlopId f : n.all_flops()) out.push_back(n.flop(f).q);
+  return out;
+}
+
+std::vector<WireId> flop_wires_excluding_prefix(const netlist::Netlist& n,
+                                                std::string_view prefix) {
+  std::vector<WireId> out;
+  for (FlopId f : n.all_flops()) {
+    if (!starts_with(n.flop(f).name, prefix)) out.push_back(n.flop(f).q);
+  }
+  return out;
+}
+
+SearchResult find_mates(const netlist::Netlist& n,
+                        const std::vector<WireId>& faulty_wires,
+                        const SearchParams& params) {
+  RIPPLE_CHECK(params.max_terms >= 1, "max_terms must be at least 1");
+  n.check();
+
+  Stopwatch watch;
+  const sim::Levelization level = sim::levelize(n);
+  std::vector<std::uint32_t> topo(n.num_gates());
+  for (std::size_t i = 0; i < level.order.size(); ++i) {
+    topo[level.order[i].index()] = static_cast<std::uint32_t>(i);
+  }
+
+  SearchResult result;
+  result.outcomes.resize(faulty_wires.size());
+  std::vector<std::vector<Cube>> cubes_per_wire(faulty_wires.size());
+
+  ThreadPool pool(params.threads);
+  pool.parallel_for_index(faulty_wires.size(), [&](std::size_t i) {
+    WireSearch search(n, params, topo);
+    cubes_per_wire[i] = search.run(faulty_wires[i], result.outcomes[i]);
+  });
+
+  // Merge identical cubes across wires: one MATE can prove several faults
+  // benign (Section 4, step 3).
+  std::map<Cube, std::size_t> by_cube;
+  for (std::size_t i = 0; i < faulty_wires.size(); ++i) {
+    const WireOutcome& o = result.outcomes[i];
+    result.total_candidates += o.candidates_tried;
+    result.total_mates += o.mates_found;
+    if (o.status == WireStatus::Unmaskable) ++result.unmaskable_wires;
+    for (const Cube& c : cubes_per_wire[i]) {
+      const auto [it, inserted] =
+          by_cube.try_emplace(c, result.set.mates.size());
+      if (inserted) {
+        result.set.mates.push_back(Mate{c, {}});
+      }
+      result.set.mates[it->second].masked_wires.push_back(faulty_wires[i]);
+    }
+  }
+  result.set.faulty_wires = faulty_wires;
+  result.seconds = watch.seconds();
+  return result;
+}
+
+GroupOutcome find_group_mates(const netlist::Netlist& n,
+                              std::span<const WireId> group,
+                              const SearchParams& params) {
+  RIPPLE_CHECK(!group.empty(), "empty fault group");
+  n.check();
+  const sim::Levelization level = sim::levelize(n);
+  std::vector<std::uint32_t> topo(n.num_gates());
+  for (std::size_t i = 0; i < level.order.size(); ++i) {
+    topo[level.order[i].index()] = static_cast<std::uint32_t>(i);
+  }
+  WireSearch search(n, params, topo);
+  WireOutcome outcome;
+  GroupOutcome out;
+  out.wires.assign(group.begin(), group.end());
+  out.mates = search.run_group(group, outcome);
+  out.status = outcome.status;
+  out.cone_gates = outcome.cone_gates;
+  out.num_paths = outcome.num_paths;
+  out.candidates_tried = outcome.candidates_tried;
+  return out;
+}
+
+} // namespace ripple::mate
+

@@ -1,0 +1,87 @@
+#include "mate/select.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace ripple::mate {
+
+SelectionResult rank_mates(const MateSet& set, const sim::Trace& trace) {
+  // Pass 1: whole-trace masking volume per MATE + per-cycle trigger lists.
+  const EvalResult eval = evaluate_mates(set, trace, /*keep_trigger_lists=*/
+                                         true);
+
+  // Global visit order: most-masking MATE first (the paper's "beginning from
+  // the MATE that masks the most faults").
+  std::vector<std::size_t> global_order(set.mates.size());
+  for (std::size_t i = 0; i < global_order.size(); ++i) global_order[i] = i;
+  std::sort(global_order.begin(), global_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (eval.per_mate[a].masked_total !=
+                  eval.per_mate[b].masked_total) {
+                return eval.per_mate[a].masked_total >
+                       eval.per_mate[b].masked_total;
+              }
+              return a < b;
+            });
+  std::vector<std::size_t> rank_of(set.mates.size());
+  for (std::size_t i = 0; i < global_order.size(); ++i) {
+    rank_of[global_order[i]] = i;
+  }
+
+  std::unordered_map<WireId, std::size_t> fault_index;
+  for (std::size_t i = 0; i < set.faulty_wires.size(); ++i) {
+    fault_index.emplace(set.faulty_wires[i], i);
+  }
+
+  // Pass 2: per-cycle marginal gains.
+  SelectionResult out;
+  out.hits.assign(set.mates.size(), 0);
+  BitVec masked(set.faulty_wires.size());
+  std::vector<std::uint32_t> triggered;
+  for (std::size_t cycle = 0; cycle < trace.num_cycles(); ++cycle) {
+    triggered = eval.triggered_by_cycle[cycle];
+    if (triggered.empty()) continue;
+    std::sort(triggered.begin(), triggered.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return rank_of[a] < rank_of[b];
+              });
+    masked.clear_all();
+    for (std::uint32_t m : triggered) {
+      std::size_t gained = 0;
+      for (WireId w : set.mates[m].masked_wires) {
+        const std::size_t idx = fault_index.at(w);
+        if (!masked.get(idx)) {
+          masked.set(idx, true);
+          ++gained;
+        }
+      }
+      out.hits[m] += gained;
+    }
+  }
+
+  out.ranking.resize(set.mates.size());
+  for (std::size_t i = 0; i < out.ranking.size(); ++i) out.ranking[i] = i;
+  std::sort(out.ranking.begin(), out.ranking.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (out.hits[a] != out.hits[b]) return out.hits[a] > out.hits[b];
+              return a < b;
+            });
+  return out;
+}
+
+MateSet top_n(const MateSet& set, const SelectionResult& sel, std::size_t n) {
+  RIPPLE_ASSERT(sel.ranking.size() == set.mates.size(),
+                "selection does not belong to this MATE set");
+  MateSet out;
+  out.faulty_wires = set.faulty_wires;
+  const std::size_t count = std::min(n, sel.ranking.size());
+  out.mates.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.mates.push_back(set.mates[sel.ranking[i]]);
+  }
+  return out;
+}
+
+} // namespace ripple::mate

@@ -1,0 +1,34 @@
+// Greedy top-N MATE selection (Section 4, step 3).
+//
+// Replays a trace; per cycle, MATEs are visited in descending order of their
+// whole-trace masking volume and each MATE is credited with the faults it
+// masks that no earlier MATE of the same cycle already masked (its marginal
+// gain). The top-N MATEs by accumulated credit form the subset synthesized
+// into the HAFI platform.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mate/eval.hpp"
+#include "mate/mate.hpp"
+#include "sim/trace.hpp"
+
+namespace ripple::mate {
+
+struct SelectionResult {
+  /// MATE indices sorted by accumulated hit counter, best first.
+  std::vector<std::size_t> ranking;
+  /// hit[i] = marginal-gain counter of MATE i (MateSet order).
+  std::vector<std::size_t> hits;
+};
+
+[[nodiscard]] SelectionResult rank_mates(const MateSet& set,
+                                         const sim::Trace& trace);
+
+/// The top-N subset of `set` according to a ranking (N is clamped to the set
+/// size). Faulty-wire universe is preserved.
+[[nodiscard]] MateSet top_n(const MateSet& set, const SelectionResult& sel,
+                            std::size_t n);
+
+} // namespace ripple::mate

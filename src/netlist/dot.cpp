@@ -1,0 +1,94 @@
+#include "netlist/dot.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace ripple::netlist {
+
+void write_dot(const Netlist& n, std::ostream& os, const DotOptions& options) {
+  const auto wire_highlighted = [&](WireId w) {
+    return std::find(options.highlight_wires.begin(),
+                     options.highlight_wires.end(),
+                     w) != options.highlight_wires.end();
+  };
+  const auto gate_highlighted = [&](GateId g) {
+    return std::find(options.highlight_gates.begin(),
+                     options.highlight_gates.end(),
+                     g) != options.highlight_gates.end();
+  };
+
+  os << "digraph \"" << n.name() << "\" {\n";
+  os << "  rankdir=LR;\n  node [fontname=\"monospace\"];\n";
+
+  for (WireId w : n.primary_inputs()) {
+    os << "  \"w" << w.value() << "\" [shape=plaintext,label=\""
+       << n.wire(w).name << "\"";
+    if (wire_highlighted(w)) os << ",fontcolor=red";
+    os << "];\n";
+  }
+  for (GateId g : n.all_gates()) {
+    const Gate& gate = n.gate(g);
+    os << "  \"g" << g.value() << "\" [shape=box,label=\""
+       << cell::name(gate.kind);
+    if (!options.compact) os << "\\ng" << g.value();
+    os << "\"";
+    if (gate_highlighted(g)) os << ",style=filled,fillcolor=orange";
+    os << "];\n";
+  }
+  for (FlopId f : n.all_flops()) {
+    os << "  \"f" << f.value() << "\" [shape=box,style=rounded,label=\"DFF\\n"
+       << n.flop(f).name << "\"];\n";
+  }
+
+  const auto wire_source = [&](WireId w) -> std::string {
+    const Wire& wire = n.wire(w);
+    switch (wire.driver_kind) {
+      case DriverKind::PrimaryInput:
+        return "\"w" + std::to_string(w.value()) + "\"";
+      case DriverKind::Gate:
+        return "\"g" + std::to_string(wire.driver_gate.value()) + "\"";
+      case DriverKind::Flop:
+        return "\"f" + std::to_string(wire.driver_flop.value()) + "\"";
+      case DriverKind::None:
+        return "\"undriven\"";
+    }
+    return {};
+  };
+
+  const auto edge_attr = [&](WireId w) {
+    std::string attr = " [label=\"" + n.wire(w).name + "\"";
+    if (wire_highlighted(w)) attr += ",color=red,fontcolor=red";
+    return attr + "]";
+  };
+
+  for (GateId g : n.all_gates()) {
+    for (WireId in : n.gate(g).inputs) {
+      os << "  " << wire_source(in) << " -> \"g" << g.value() << "\""
+         << edge_attr(in) << ";\n";
+    }
+  }
+  for (FlopId f : n.all_flops()) {
+    const WireId d = n.flop(f).d;
+    if (d.valid()) {
+      os << "  " << wire_source(d) << " -> \"f" << f.value() << "\""
+         << edge_attr(d) << ";\n";
+    }
+  }
+  for (WireId w : n.primary_outputs()) {
+    os << "  \"out_w" << w.value() << "\" [shape=plaintext,label=\""
+       << n.wire(w).name << "\"];\n";
+    os << "  " << wire_source(w) << " -> \"out_w" << w.value() << "\""
+       << edge_attr(w) << ";\n";
+  }
+
+  os << "}\n";
+}
+
+std::string to_dot(const Netlist& n, const DotOptions& options) {
+  std::ostringstream os;
+  write_dot(n, os, options);
+  return os.str();
+}
+
+} // namespace ripple::netlist

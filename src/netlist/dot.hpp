@@ -1,0 +1,26 @@
+// Graphviz export for debugging and for the Figure-1 example rendering.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ripple::netlist {
+
+struct DotOptions {
+  /// Wires to highlight (e.g. a fault cone); drawn filled red.
+  std::vector<WireId> highlight_wires;
+  /// Gates to highlight; drawn filled orange.
+  std::vector<GateId> highlight_gates;
+  /// If true, label gates with the cell kind only (no instance id).
+  bool compact = false;
+};
+
+void write_dot(const Netlist& n, std::ostream& os,
+               const DotOptions& options = {});
+[[nodiscard]] std::string to_dot(const Netlist& n,
+                                 const DotOptions& options = {});
+
+} // namespace ripple::netlist

@@ -1,0 +1,220 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace ripple::netlist {
+namespace {
+
+bool valid_wire_name(std::string_view name) {
+  // Identifier characters with optional flat bus-bit segments "[123]"
+  // anywhere after the first character (flop Q wires are "<flop>[i]__q").
+  if (name.empty()) return false;
+  const char head = name.front();
+  if (!(std::isalpha(static_cast<unsigned char>(head)) || head == '_')) {
+    return false;
+  }
+  bool in_bracket = false;
+  bool bracket_has_digit = false;
+  for (char c : name.substr(1)) {
+    if (in_bracket) {
+      if (c == ']') {
+        if (!bracket_has_digit) return false;
+        in_bracket = false;
+      } else if (c >= '0' && c <= '9') {
+        bracket_has_digit = true;
+      } else {
+        return false;
+      }
+    } else if (c == '[') {
+      in_bracket = true;
+      bracket_has_digit = false;
+    } else if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                 c == '$' || c == '.')) {
+      return false;
+    }
+  }
+  return !in_bracket;
+}
+
+} // namespace
+
+WireId Netlist::add_wire(std::string_view name) {
+  RIPPLE_CHECK(valid_wire_name(name), "bad wire name '", std::string(name),
+               "'");
+  RIPPLE_CHECK(!wire_by_name_.contains(std::string(name)),
+               "duplicate wire name '", std::string(name), "'");
+  const WireId id{static_cast<WireId::value_type>(wires_.size())};
+  Wire w;
+  w.name = std::string(name);
+  wires_.push_back(std::move(w));
+  wire_by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+WireId Netlist::add_input(std::string_view name) {
+  const WireId id = add_wire(name);
+  wires_[id.index()].driver_kind = DriverKind::PrimaryInput;
+  inputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_gate(Kind kind, std::span<const WireId> inputs,
+                         WireId output) {
+  RIPPLE_CHECK(kind != Kind::Dff, "use add_flop for flip-flops");
+  const cell::Info& ci = cell::info(kind);
+  RIPPLE_CHECK(inputs.size() == ci.num_inputs, "cell ", ci.name, " needs ",
+               static_cast<int>(ci.num_inputs), " inputs, got ",
+               inputs.size());
+  RIPPLE_ASSERT(output.index() < wires_.size());
+  Wire& out = wires_[output.index()];
+  RIPPLE_CHECK(out.driver_kind == DriverKind::None, "wire '", out.name,
+               "' already driven");
+
+  const GateId id{static_cast<GateId::value_type>(gates_.size())};
+  Gate g;
+  g.kind = kind;
+  g.inputs.assign(inputs.begin(), inputs.end());
+  g.output = output;
+  gates_.push_back(std::move(g));
+
+  out.driver_kind = DriverKind::Gate;
+  out.driver_gate = id;
+  for (WireId in : inputs) {
+    RIPPLE_ASSERT(in.index() < wires_.size());
+    wires_[in.index()].gate_fanout.push_back(id);
+  }
+  return id;
+}
+
+WireId Netlist::add_gate_new(Kind kind, std::span<const WireId> inputs,
+                             std::string_view output_name) {
+  const WireId out = add_wire(output_name);
+  add_gate(kind, inputs, out);
+  return out;
+}
+
+FlopId Netlist::add_flop(std::string_view name, bool init) {
+  RIPPLE_CHECK(is_identifier(name) || valid_wire_name(name),
+               "bad flop name '", std::string(name), "'");
+  RIPPLE_CHECK(!flop_by_name_.contains(std::string(name)),
+               "duplicate flop name '", std::string(name), "'");
+  const FlopId id{static_cast<FlopId::value_type>(flops_.size())};
+  const WireId q = add_wire(std::string(name) + "__q");
+  flops_.push_back(Flop{.name = std::string(name),
+                        .d = WireId{},
+                        .q = q,
+                        .init = init});
+  wires_[q.index()].driver_kind = DriverKind::Flop;
+  wires_[q.index()].driver_flop = id;
+  flop_by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+FlopId Netlist::adopt_flop(std::string_view name, bool init, WireId q) {
+  RIPPLE_CHECK(!flop_by_name_.contains(std::string(name)),
+               "duplicate flop name '", std::string(name), "'");
+  RIPPLE_ASSERT(q.index() < wires_.size());
+  Wire& qw = wires_[q.index()];
+  RIPPLE_CHECK(qw.driver_kind == DriverKind::None, "wire '", qw.name,
+               "' already driven, cannot be a flop Q");
+  const FlopId id{static_cast<FlopId::value_type>(flops_.size())};
+  flops_.push_back(Flop{.name = std::string(name),
+                        .d = WireId{},
+                        .q = q,
+                        .init = init});
+  qw.driver_kind = DriverKind::Flop;
+  qw.driver_flop = id;
+  flop_by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+void Netlist::connect_flop(FlopId f, WireId d) {
+  RIPPLE_ASSERT(f.index() < flops_.size());
+  RIPPLE_ASSERT(d.index() < wires_.size());
+  Flop& ff = flops_[f.index()];
+  RIPPLE_CHECK(!ff.d.valid(), "flop '", ff.name, "' already connected");
+  ff.d = d;
+  wires_[d.index()].flop_fanout.push_back(f);
+}
+
+void Netlist::mark_output(WireId w) {
+  RIPPLE_ASSERT(w.index() < wires_.size());
+  Wire& wire = wires_[w.index()];
+  if (!wire.is_primary_output) {
+    wire.is_primary_output = true;
+    outputs_.push_back(w);
+  }
+}
+
+std::optional<WireId> Netlist::find_wire(std::string_view name) const {
+  const auto it = wire_by_name_.find(std::string(name));
+  if (it == wire_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<FlopId> Netlist::find_flop(std::string_view name) const {
+  const auto it = flop_by_name_.find(std::string(name));
+  if (it == flop_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<WireId> Netlist::all_wires() const {
+  std::vector<WireId> v;
+  v.reserve(wires_.size());
+  for (std::size_t i = 0; i < wires_.size(); ++i) {
+    v.emplace_back(static_cast<WireId::value_type>(i));
+  }
+  return v;
+}
+
+std::vector<GateId> Netlist::all_gates() const {
+  std::vector<GateId> v;
+  v.reserve(gates_.size());
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    v.emplace_back(static_cast<GateId::value_type>(i));
+  }
+  return v;
+}
+
+std::vector<FlopId> Netlist::all_flops() const {
+  std::vector<FlopId> v;
+  v.reserve(flops_.size());
+  for (std::size_t i = 0; i < flops_.size(); ++i) {
+    v.emplace_back(static_cast<FlopId::value_type>(i));
+  }
+  return v;
+}
+
+void Netlist::check() const {
+  for (const Wire& w : wires_) {
+    RIPPLE_CHECK(w.driver_kind != DriverKind::None, "wire '", w.name,
+                 "' is undriven");
+  }
+  for (const Flop& f : flops_) {
+    RIPPLE_CHECK(f.d.valid(), "flop '", f.name, "' has no D connection");
+  }
+  for (const Gate& g : gates_) {
+    const cell::Info& ci = cell::info(g.kind);
+    RIPPLE_CHECK(g.inputs.size() == ci.num_inputs, "gate pin-count mismatch");
+  }
+}
+
+double Netlist::total_area() const {
+  double area = 0.0;
+  for (const Gate& g : gates_) area += cell::info(g.kind).area_um2;
+  area += static_cast<double>(flops_.size()) *
+          cell::info(Kind::Dff).area_um2;
+  return area;
+}
+
+std::unordered_map<Kind, std::size_t> Netlist::kind_histogram() const {
+  std::unordered_map<Kind, std::size_t> hist;
+  for (const Gate& g : gates_) ++hist[g.kind];
+  if (!flops_.empty()) hist[Kind::Dff] = flops_.size();
+  return hist;
+}
+
+} // namespace ripple::netlist

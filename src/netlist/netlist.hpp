@@ -1,0 +1,178 @@
+// Gate-level netlist of a synchronous circuit.
+//
+// The model matches the paper's Section 2 system model: a boolean network N
+// over primary inputs and flip-flop outputs, computing primary outputs and
+// flip-flop next-state (D) values, clocked by a single implicit clock.
+//
+// Entities are stored in dense vectors indexed by strongly typed ids:
+//   Wire -- a named signal; driven by exactly one of {primary input, gate
+//           output, flop Q}.
+//   Gate -- an instance of a combinational library cell.
+//   Flop -- a D flip-flop with an initial value. Flops are kept out of the
+//           gate table because the simulator, the fault model (SEU = flip of
+//           a flop) and the MATE engine all treat them specially.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "util/assert.hpp"
+#include "util/ids.hpp"
+
+namespace ripple::netlist {
+
+using cell::Kind;
+
+/// How a wire gets its value.
+enum class DriverKind : std::uint8_t {
+  None,         // declared but not yet driven (invalid in a checked netlist)
+  PrimaryInput, // set by the environment each cycle
+  Gate,         // output of a combinational gate
+  Flop,         // Q output of a flip-flop
+};
+
+struct Wire {
+  std::string name;
+  DriverKind driver_kind = DriverKind::None;
+  GateId driver_gate;            // valid iff driver_kind == Gate
+  FlopId driver_flop;            // valid iff driver_kind == Flop
+  bool is_primary_output = false;
+
+  // Readers. Kept up to date by Netlist mutation methods; the MATE fault-cone
+  // computation walks these.
+  std::vector<GateId> gate_fanout;
+  std::vector<FlopId> flop_fanout;
+};
+
+struct Gate {
+  Kind kind = Kind::Buf;
+  std::vector<WireId> inputs; // pin order follows cell::Info::pins
+  WireId output;
+};
+
+struct Flop {
+  std::string name;  // instance name (usually the Q wire name + "_reg")
+  WireId d;          // next-state input; invalid until connected
+  WireId q;          // state output wire
+  bool init = false; // reset value
+};
+
+class Netlist {
+public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // --- construction -------------------------------------------------------
+
+  /// Declare a new wire. Names must be unique and valid identifiers (bus bits
+  /// use the flat form "name[3]", which we also accept).
+  WireId add_wire(std::string_view name);
+
+  /// Declare a primary input (creates the wire).
+  WireId add_input(std::string_view name);
+
+  /// Instantiate a combinational cell driving `output`. The output wire must
+  /// be undriven so far; input wires must exist.
+  GateId add_gate(Kind kind, std::span<const WireId> inputs, WireId output);
+
+  /// Convenience: create the output wire and the gate in one step.
+  WireId add_gate_new(Kind kind, std::span<const WireId> inputs,
+                      std::string_view output_name);
+
+  GateId add_gate(Kind kind, std::initializer_list<WireId> inputs,
+                  WireId output) {
+    return add_gate(kind, std::span<const WireId>(inputs.begin(),
+                                                  inputs.size()),
+                    output);
+  }
+  WireId add_gate_new(Kind kind, std::initializer_list<WireId> inputs,
+                      std::string_view output_name) {
+    return add_gate_new(kind,
+                        std::span<const WireId>(inputs.begin(), inputs.size()),
+                        output_name);
+  }
+
+  /// Create a flip-flop with a fresh Q wire; the D input is connected later
+  /// (state feedback loops make D unavailable at creation time).
+  FlopId add_flop(std::string_view name, bool init = false);
+
+  /// Create a flop whose Q output is an existing, so-far-undriven wire.
+  /// Used by the Verilog parser, where the Q net is declared separately.
+  FlopId adopt_flop(std::string_view name, bool init, WireId q);
+
+  /// Connect the D input of a flop.
+  void connect_flop(FlopId f, WireId d);
+
+  /// Mark a wire as primary output (idempotent).
+  void mark_output(WireId w);
+
+  // --- access -------------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_wires() const { return wires_.size(); }
+  [[nodiscard]] std::size_t num_gates() const { return gates_.size(); }
+  [[nodiscard]] std::size_t num_flops() const { return flops_.size(); }
+
+  [[nodiscard]] const Wire& wire(WireId id) const {
+    RIPPLE_ASSERT(id.index() < wires_.size());
+    return wires_[id.index()];
+  }
+  [[nodiscard]] const Gate& gate(GateId id) const {
+    RIPPLE_ASSERT(id.index() < gates_.size());
+    return gates_[id.index()];
+  }
+  [[nodiscard]] const Flop& flop(FlopId id) const {
+    RIPPLE_ASSERT(id.index() < flops_.size());
+    return flops_[id.index()];
+  }
+
+  [[nodiscard]] std::span<const WireId> primary_inputs() const {
+    return inputs_;
+  }
+  [[nodiscard]] std::span<const WireId> primary_outputs() const {
+    return outputs_;
+  }
+
+  /// Find a wire by name; nullopt if absent.
+  [[nodiscard]] std::optional<WireId> find_wire(std::string_view name) const;
+
+  /// Find a flop by instance name; nullopt if absent.
+  [[nodiscard]] std::optional<FlopId> find_flop(std::string_view name) const;
+
+  /// Iterate helpers (ids are dense: 0..num_X()-1).
+  [[nodiscard]] std::vector<WireId> all_wires() const;
+  [[nodiscard]] std::vector<GateId> all_gates() const;
+  [[nodiscard]] std::vector<FlopId> all_flops() const;
+
+  // --- integrity ----------------------------------------------------------
+
+  /// Throw ripple::Error if any wire is undriven, any flop unconnected, or
+  /// any gate has a pin-count mismatch. (Combinational cycles are detected by
+  /// the levelizer, which needs the topological sort anyway.)
+  void check() const;
+
+  /// Total cell area (gates + flops), in library units.
+  [[nodiscard]] double total_area() const;
+
+  /// Gate-count histogram by cell kind.
+  [[nodiscard]] std::unordered_map<Kind, std::size_t> kind_histogram() const;
+
+private:
+  std::string name_;
+  std::vector<Wire> wires_;
+  std::vector<Gate> gates_;
+  std::vector<Flop> flops_;
+  std::vector<WireId> inputs_;
+  std::vector<WireId> outputs_;
+  std::unordered_map<std::string, WireId> wire_by_name_;
+  std::unordered_map<std::string, FlopId> flop_by_name_;
+};
+
+} // namespace ripple::netlist

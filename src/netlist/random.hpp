@@ -1,0 +1,34 @@
+// Random synchronous-circuit generation for property-based testing.
+//
+// The generated circuits are always valid (checked, acyclic): gates only read
+// wires created earlier, flop D inputs are chosen from any wire, so feedback
+// goes through flops exactly as in a real synchronous design. Used to fuzz
+// the simulator, the Verilog round-trip, the optimizer, and — most
+// importantly — the MATE soundness property (every trigger is a real mask).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace ripple::netlist {
+
+struct RandomCircuitSpec {
+  std::size_t num_inputs = 4;
+  std::size_t num_outputs = 3;
+  std::size_t num_flops = 6;
+  std::size_t num_gates = 40;
+  /// Probability that a gate input is taken from the most recent quarter of
+  /// wires (biases toward deep circuits instead of wide ones).
+  double locality = 0.5;
+  /// Allow XOR/XNOR cells (they have no masking capability; turning them off
+  /// yields circuits with many MATEs, good for exercising the search).
+  bool allow_xor = true;
+  /// Allow MUX2 cells.
+  bool allow_mux = true;
+};
+
+[[nodiscard]] Netlist random_circuit(const RandomCircuitSpec& spec, Rng& rng);
+
+} // namespace ripple::netlist

@@ -1,0 +1,335 @@
+#include "netlist/verilog.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace ripple::netlist {
+namespace {
+
+// Wire names containing bus-bit brackets need Verilog escaped-identifier
+// syntax: "\name[3] " (backslash prefix, terminating space).
+std::string escape_name(const std::string& name) {
+  if (name.find('[') == std::string::npos) return name;
+  return "\\" + name + " ";
+}
+
+} // namespace
+
+void write_verilog(const Netlist& n, std::ostream& os) {
+  n.check();
+
+  os << "module " << n.name() << " (";
+  bool first = true;
+  for (WireId w : n.primary_inputs()) {
+    os << (first ? "" : ", ") << escape_name(n.wire(w).name);
+    first = false;
+  }
+  for (WireId w : n.primary_outputs()) {
+    os << (first ? "" : ", ") << escape_name(n.wire(w).name);
+    first = false;
+  }
+  os << ");\n";
+
+  for (WireId w : n.primary_inputs()) {
+    os << "  input " << escape_name(n.wire(w).name) << ";\n";
+  }
+  for (WireId w : n.primary_outputs()) {
+    os << "  output " << escape_name(n.wire(w).name) << ";\n";
+  }
+  for (WireId w : n.all_wires()) {
+    const Wire& wire = n.wire(w);
+    if (wire.driver_kind == DriverKind::PrimaryInput) continue;
+    // Verilog requires outputs not to be re-declared as plain wires.
+    if (wire.is_primary_output) continue;
+    os << "  wire " << escape_name(wire.name) << ";\n";
+  }
+
+  for (GateId g : n.all_gates()) {
+    const Gate& gate = n.gate(g);
+    const cell::Info& ci = cell::info(gate.kind);
+    os << "  " << ci.name << " g" << g.value() << " (";
+    for (std::size_t p = 0; p < gate.inputs.size(); ++p) {
+      os << '.' << ci.pins[p] << '('
+         << escape_name(n.wire(gate.inputs[p]).name) << "), ";
+    }
+    os << ".Y(" << escape_name(n.wire(gate.output).name) << "));\n";
+  }
+
+  for (FlopId f : n.all_flops()) {
+    const Flop& flop = n.flop(f);
+    os << "  DFF_X1 #(.INIT(1'b" << (flop.init ? 1 : 0) << ")) "
+       << escape_name(flop.name) << " (.D("
+       << escape_name(n.wire(flop.d).name) << "), .Q("
+       << escape_name(n.wire(flop.q).name) << "));\n";
+  }
+
+  os << "endmodule\n";
+}
+
+std::string to_verilog(const Netlist& n) {
+  std::ostringstream os;
+  write_verilog(n, os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line;
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '\\') {
+        // Escaped identifier: up to next whitespace, backslash dropped.
+        ++pos_;
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() && !std::isspace(
+                   static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+        tokens.push_back(
+            Token{std::string(text_.substr(start, pos_ - start)), line_});
+      } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                 c == '\'') {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+          const char d = text_[pos_];
+          if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+              d == '\'' || d == '$' || d == '.') {
+            ++pos_;
+          } else {
+            break;
+          }
+        }
+        tokens.push_back(
+            Token{std::string(text_.substr(start, pos_ - start)), line_});
+      } else {
+        tokens.push_back(Token{std::string(1, c), line_});
+        ++pos_;
+      }
+    }
+    tokens.push_back(Token{"", line_}); // EOF sentinel
+    return tokens;
+  }
+
+private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+public:
+  explicit Parser(std::string_view text) : tokens_(Lexer(text).run()) {}
+
+  Netlist run() {
+    expect("module");
+    Netlist n(take_identifier("module name"));
+    expect("(");
+    if (!at(")")) {
+      do {
+        take_identifier("port name"); // role determined by declarations below
+      } while (accept(","));
+    }
+    expect(")");
+    expect(";");
+
+    // Phase 1: scan all statements, record declarations and instances; wires
+    // may be referenced before declaration order-wise, so instances are
+    // resolved in phase 2.
+    struct Instance {
+      std::string cell;
+      std::string name;
+      bool init = false;
+      std::vector<std::pair<std::string, std::string>> conns; // pin -> wire
+      int line;
+    };
+    std::vector<std::string> inputs;
+    std::vector<std::string> outputs;
+    std::vector<std::string> wires;
+    std::vector<Instance> instances;
+
+    while (!at("endmodule")) {
+      RIPPLE_CHECK(!at_eof(), "unexpected end of file in module body");
+      if (accept("input")) {
+        do {
+          inputs.push_back(take_identifier("input name"));
+        } while (accept(","));
+        expect(";");
+      } else if (accept("output")) {
+        do {
+          outputs.push_back(take_identifier("output name"));
+        } while (accept(","));
+        expect(";");
+      } else if (accept("wire")) {
+        do {
+          wires.push_back(take_identifier("wire name"));
+        } while (accept(","));
+        expect(";");
+      } else {
+        Instance inst;
+        inst.line = peek().line;
+        inst.cell = take_identifier("cell name");
+        if (accept("#")) {
+          expect("(");
+          expect(".");
+          const std::string param = take_identifier("parameter name");
+          RIPPLE_CHECK(param == "INIT", "line ", inst.line,
+                       ": unsupported parameter '", param, "'");
+          expect("(");
+          const std::string value = take_identifier("INIT value");
+          RIPPLE_CHECK(value == "1'b0" || value == "1'b1", "line ", inst.line,
+                       ": bad INIT value '", value, "'");
+          inst.init = value == "1'b1";
+          expect(")");
+          expect(")");
+        }
+        inst.name = take_identifier("instance name");
+        expect("(");
+        do {
+          expect(".");
+          const std::string pin = take_identifier("pin name");
+          expect("(");
+          const std::string wire = take_identifier("wire name");
+          expect(")");
+          inst.conns.emplace_back(pin, wire);
+        } while (accept(","));
+        expect(")");
+        expect(";");
+        instances.push_back(std::move(inst));
+      }
+    }
+    expect("endmodule");
+
+    // Phase 2: build the netlist.
+    for (const std::string& in : inputs) n.add_input(in);
+    for (const std::string& w : wires) n.add_wire(w);
+    for (const std::string& out : outputs) {
+      if (!n.find_wire(out)) n.add_wire(out);
+    }
+
+    const auto wire_of = [&](const std::string& name, int line) {
+      const auto id = n.find_wire(name);
+      RIPPLE_CHECK(id.has_value(), "line ", line, ": undeclared wire '", name,
+                   "'");
+      return *id;
+    };
+
+    const cell::Library& lib = cell::Library::instance();
+    for (const Instance& inst : instances) {
+      const auto kind = lib.find(inst.cell);
+      RIPPLE_CHECK(kind.has_value(), "line ", inst.line, ": unknown cell '",
+                   inst.cell, "'");
+      const auto pin_value = [&](std::string_view pin) -> const std::string* {
+        for (const auto& [p, w] : inst.conns) {
+          if (p == pin) return &w;
+        }
+        return nullptr;
+      };
+
+      if (*kind == Kind::Dff) {
+        const std::string* d = pin_value("D");
+        const std::string* q = pin_value("Q");
+        RIPPLE_CHECK(d && q, "line ", inst.line, ": DFF needs .D and .Q");
+        // The flop's Q wire was declared as a plain wire; re-bind it: create
+        // the flop with a temporary name check, then alias. We instead
+        // require the canonical writer convention: Q wire == declared wire.
+        // To keep parsing general we create the flop and splice its Q.
+        const FlopId f = splice_flop(n, inst.name, inst.init, *q, inst.line);
+        n.connect_flop(f, wire_of(*d, inst.line));
+      } else {
+        const cell::Info& ci = cell::info(*kind);
+        std::vector<WireId> ins(ci.num_inputs);
+        for (std::size_t p = 0; p < ci.num_inputs; ++p) {
+          const std::string* w = pin_value(ci.pins[p]);
+          RIPPLE_CHECK(w != nullptr, "line ", inst.line, ": cell ", ci.name,
+                       " missing pin ", ci.pins[p]);
+          ins[p] = wire_of(*w, inst.line);
+        }
+        const std::string* y = pin_value("Y");
+        RIPPLE_CHECK(y != nullptr, "line ", inst.line, ": missing .Y");
+        n.add_gate(*kind, ins, wire_of(*y, inst.line));
+      }
+    }
+
+    for (const std::string& out : outputs) {
+      n.mark_output(wire_of(out, 0));
+    }
+
+    n.check();
+    return n;
+  }
+
+private:
+  // The writer emits DFFs whose Q wire is "<flopname>__q", and add_flop
+  // creates exactly that wire. For foreign netlists the Q net can have any
+  // name; we handle both by pre-checking whether add_flop's convention fits.
+  static FlopId splice_flop(Netlist& n, const std::string& inst_name,
+                            bool init, const std::string& q_wire, int line) {
+    const auto q = n.find_wire(q_wire);
+    RIPPLE_CHECK(q.has_value(), "line ", line, ": undeclared wire '", q_wire,
+                 "'");
+    return n.adopt_flop(inst_name, init, *q);
+  }
+
+  const Token& peek() const { return tokens_[pos_]; }
+  bool at_eof() const { return peek().text.empty(); }
+  bool at(std::string_view t) const { return peek().text == t; }
+
+  bool accept(std::string_view t) {
+    if (at(t)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(std::string_view t) {
+    RIPPLE_CHECK(accept(t), "line ", peek().line, ": expected '",
+                 std::string(t), "', got '", peek().text, "'");
+  }
+
+  std::string take_identifier(std::string_view what) {
+    RIPPLE_CHECK(!at_eof(), "unexpected end of file, wanted ",
+                 std::string(what));
+    const std::string t = peek().text;
+    RIPPLE_CHECK(t != "(" && t != ")" && t != ";" && t != "," && t != ".",
+                 "line ", peek().line, ": expected ", std::string(what),
+                 ", got '", t, "'");
+    ++pos_;
+    return t;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Netlist parse_verilog(std::string_view text) { return Parser(text).run(); }
+
+} // namespace ripple::netlist

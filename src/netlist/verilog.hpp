@@ -1,0 +1,35 @@
+// Structural-Verilog (subset) serialization of netlists.
+//
+// The subset covers exactly what a flat, technology-mapped netlist needs —
+// the same artifact the paper obtains from Design Compiler:
+//
+//   module <name> (<port>, ...);
+//     input  a;
+//     output y;
+//     wire   n1;
+//     AND2_X1 g0 (.A(a), .B(n1), .Y(y));
+//     DFF_X1 #(.INIT(1'b0)) state_reg (.D(n1), .Q(state_reg__q));
+//   endmodule
+//
+// One module per file, no behavioural constructs, no vectors (bus bits are
+// flattened to "name[3]" escaped as "\name[3] "). Round-trips exactly:
+// parse(write(n)) is structurally identical to n.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace ripple::netlist {
+
+/// Serialize a checked netlist.
+void write_verilog(const Netlist& n, std::ostream& os);
+[[nodiscard]] std::string to_verilog(const Netlist& n);
+
+/// Parse one module. Throws ripple::Error with line information on malformed
+/// input or unknown cells.
+[[nodiscard]] Netlist parse_verilog(std::string_view text);
+
+} // namespace ripple::netlist

@@ -1,0 +1,373 @@
+#include "rtl/module.hpp"
+
+#include <algorithm>
+
+namespace ripple::rtl {
+
+using cell::Kind;
+
+netlist::Netlist Module::take() {
+  netlist_.check();
+  return std::move(netlist_);
+}
+
+WireId Module::input(std::string_view name) { return netlist_.add_input(name); }
+
+Bus Module::input_bus(std::string_view name, std::size_t width) {
+  Bus bus(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus[i] = netlist_.add_input(std::string(name) + "[" + std::to_string(i) +
+                                "]");
+  }
+  return bus;
+}
+
+void Module::output(WireId w) { netlist_.mark_output(w); }
+
+void Module::output_bus(const Bus& bus) {
+  for (WireId w : bus) netlist_.mark_output(w);
+}
+
+WireId Module::zero() {
+  if (!zero_.valid()) {
+    zero_ = netlist_.add_gate_new(Kind::Tie0, {}, "const0");
+  }
+  return zero_;
+}
+
+WireId Module::one() {
+  if (!one_.valid()) {
+    one_ = netlist_.add_gate_new(Kind::Tie1, {}, "const1");
+  }
+  return one_;
+}
+
+Bus Module::constant_bus(std::size_t width, std::uint64_t value) {
+  RIPPLE_CHECK(width <= 64);
+  Bus bus(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus[i] = constant((value >> i) & 1u);
+  }
+  return bus;
+}
+
+WireId Module::gate(Kind kind, std::span<const WireId> inputs) {
+  return netlist_.add_gate_new(kind, inputs, fresh_name());
+}
+
+WireId Module::and_all(std::span<const WireId> xs) {
+  RIPPLE_CHECK(!xs.empty(), "and_all of nothing");
+  std::vector<WireId> level(xs.begin(), xs.end());
+  while (level.size() > 1) {
+    std::vector<WireId> nxt;
+    std::size_t i = 0;
+    while (i < level.size()) {
+      const std::size_t rest = level.size() - i;
+      if (rest >= 4 && level.size() > 4) {
+        nxt.push_back(gate(Kind::And4,
+                           {level[i], level[i + 1], level[i + 2],
+                            level[i + 3]}));
+        i += 4;
+      } else if (rest == 4) {
+        nxt.push_back(
+            gate(Kind::And4,
+                 {level[i], level[i + 1], level[i + 2], level[i + 3]}));
+        i += 4;
+      } else if (rest == 3) {
+        nxt.push_back(gate(Kind::And3, {level[i], level[i + 1], level[i + 2]}));
+        i += 3;
+      } else if (rest == 2) {
+        nxt.push_back(gate(Kind::And2, {level[i], level[i + 1]}));
+        i += 2;
+      } else {
+        nxt.push_back(level[i]);
+        i += 1;
+      }
+    }
+    level = std::move(nxt);
+  }
+  return level[0];
+}
+
+WireId Module::or_all(std::span<const WireId> xs) {
+  RIPPLE_CHECK(!xs.empty(), "or_all of nothing");
+  std::vector<WireId> level(xs.begin(), xs.end());
+  while (level.size() > 1) {
+    std::vector<WireId> nxt;
+    std::size_t i = 0;
+    while (i < level.size()) {
+      const std::size_t rest = level.size() - i;
+      if (rest >= 4) {
+        nxt.push_back(
+            gate(Kind::Or4,
+                 {level[i], level[i + 1], level[i + 2], level[i + 3]}));
+        i += 4;
+      } else if (rest == 3) {
+        nxt.push_back(gate(Kind::Or3, {level[i], level[i + 1], level[i + 2]}));
+        i += 3;
+      } else if (rest == 2) {
+        nxt.push_back(gate(Kind::Or2, {level[i], level[i + 1]}));
+        i += 2;
+      } else {
+        nxt.push_back(level[i]);
+        i += 1;
+      }
+    }
+    level = std::move(nxt);
+  }
+  return level[0];
+}
+
+Bus Module::not_bus(const Bus& a) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = not_(a[i]);
+  return out;
+}
+
+Bus Module::and_bus(const Bus& a, const Bus& b) {
+  RIPPLE_CHECK(a.size() == b.size());
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = and2(a[i], b[i]);
+  return out;
+}
+
+Bus Module::or_bus(const Bus& a, const Bus& b) {
+  RIPPLE_CHECK(a.size() == b.size());
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = or2(a[i], b[i]);
+  return out;
+}
+
+Bus Module::xor_bus(const Bus& a, const Bus& b) {
+  RIPPLE_CHECK(a.size() == b.size());
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = xor2(a[i], b[i]);
+  return out;
+}
+
+Bus Module::mux_bus(WireId s, const Bus& if0, const Bus& if1) {
+  RIPPLE_CHECK(if0.size() == if1.size());
+  Bus out(if0.size());
+  for (std::size_t i = 0; i < if0.size(); ++i) out[i] = mux(s, if0[i], if1[i]);
+  return out;
+}
+
+AddResult Module::add(const Bus& a, const Bus& b, WireId cin) {
+  RIPPLE_CHECK(a.size() == b.size() && !a.empty());
+  const std::size_t n = a.size();
+
+  // Generate/propagate per bit (true polarity).
+  Bus p(n);
+  Bus g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = xor2(a[i], b[i]);
+    g[i] = and2(a[i], b[i]);
+  }
+
+  // Kogge-Stone prefix tree. Polarity alternates per level so every combine
+  // is a single complex gate:
+  //   true  inputs:  G' = AOI21(Ph, Gl, Gh) = !(Gh | Ph&Gl), P' = NAND(Ph,Pl)
+  //   compl inputs:  G  = OAI21(Ph',Gl',Gh') =  Gh | Ph&Gl,  P  = NOR(Ph',Pl')
+  // Nodes outside a level's combine range pass through an inverter, keeping
+  // the whole level at a uniform polarity.
+  Bus gp = g;
+  Bus pp = p;
+  bool complemented = false;
+  for (std::size_t dist = 1; dist < n; dist *= 2) {
+    Bus gn(n);
+    Bus pn(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= dist) {
+        const std::size_t j = i - dist;
+        if (!complemented) {
+          gn[i] = gate(Kind::Aoi21, {pp[i], gp[j], gp[i]});
+          pn[i] = nand2(pp[i], pp[j]);
+        } else {
+          gn[i] = gate(Kind::Oai21, {pp[i], gp[j], gp[i]});
+          pn[i] = nor2(pp[i], pp[j]);
+        }
+      } else {
+        gn[i] = not_(gp[i]);
+        pn[i] = not_(pp[i]);
+      }
+    }
+    gp = std::move(gn);
+    pp = std::move(pn);
+    complemented = !complemented;
+  }
+
+  // Fold the carry-in: carry INTO bit i+1 is G[0..i] | (P[0..i] & cin).
+  // Produce the complement of every carry (one gate) and absorb the extra
+  // inversion into the sum XNOR.
+  AddResult r;
+  r.sum.resize(n);
+  r.sum[0] = xor2(p[0], cin);
+  const WireId cin_n = not_(cin);
+  Bus carry_n(n + 1); // carry_n[i] = !carry-into-bit-i, defined for i >= 1
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (!complemented) {
+      carry_n[i] = gate(Kind::Aoi21, {pp[i - 1], cin, gp[i - 1]});
+    } else {
+      // G | P&cin = !(G' & (P' | !cin)) -> complement = AND-OR-invert dual.
+      carry_n[i] = not_(gate(Kind::Oai21, {pp[i - 1], cin_n, gp[i - 1]}));
+    }
+    if (i < n) r.sum[i] = xnor2(p[i], carry_n[i]);
+  }
+  r.carry = not_(carry_n[n]);
+  r.overflow = xor2(carry_n[n - 1].valid() ? carry_n[n - 1] : cin_n,
+                    carry_n[n]);
+  return r;
+}
+
+AddResult Module::add_ripple(const Bus& a, const Bus& b, WireId cin) {
+  RIPPLE_CHECK(a.size() == b.size() && !a.empty());
+  AddResult r;
+  r.sum.resize(a.size());
+  WireId carry = cin;
+  WireId carry_into_msb = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Full adder from library cells: sum = a ^ b ^ c,
+    // carry = (a & b) | (c & (a ^ b)) = !AOI22(a, b, c, a^b).
+    const WireId axb = xor2(a[i], b[i]);
+    r.sum[i] = xor2(axb, carry);
+    if (i + 1 == a.size()) carry_into_msb = carry;
+    const WireId aoi = gate(Kind::Aoi22, {a[i], b[i], carry, axb});
+    carry = not_(aoi);
+  }
+  r.carry = carry;
+  r.overflow = xor2(carry_into_msb, carry);
+  return r;
+}
+
+AddResult Module::add_sub(const Bus& a, const Bus& b, WireId sub) {
+  Bus b_adj(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) b_adj[i] = xor2(b[i], sub);
+  return add(a, b_adj, sub);
+}
+
+WireId Module::equals(const Bus& a, const Bus& b) {
+  RIPPLE_CHECK(a.size() == b.size() && !a.empty());
+  std::vector<WireId> eq(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) eq[i] = xnor2(a[i], b[i]);
+  return and_all(eq);
+}
+
+WireId Module::equals_const(const Bus& a, std::uint64_t value) {
+  RIPPLE_CHECK(!a.empty() && a.size() <= 64);
+  std::vector<WireId> lits(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    lits[i] = ((value >> i) & 1u) ? a[i] : not_(a[i]);
+  }
+  return and_all(lits);
+}
+
+Bus Module::mux_tree(const Bus& sel, std::span<const Bus> options) {
+  RIPPLE_CHECK(!options.empty());
+  const std::size_t width = options[0].size();
+  for (const Bus& o : options) RIPPLE_CHECK(o.size() == width);
+
+  std::vector<Bus> level(options.begin(), options.end());
+  for (std::size_t s = 0; s < sel.size() && level.size() > 1; ++s) {
+    std::vector<Bus> nxt;
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      if (i + 1 < level.size()) {
+        nxt.push_back(mux_bus(sel[s], level[i], level[i + 1]));
+      } else {
+        nxt.push_back(level[i]);
+      }
+    }
+    level = std::move(nxt);
+  }
+  RIPPLE_CHECK(level.size() == 1, "mux_tree: select bus too narrow for ",
+               options.size(), " options");
+  return level[0];
+}
+
+WireId Module::mux_tree1(const Bus& sel, std::span<const WireId> options) {
+  std::vector<Bus> buses;
+  buses.reserve(options.size());
+  for (WireId w : options) buses.push_back(Bus{w});
+  return mux_tree(sel, buses)[0];
+}
+
+Bus Module::decode(const Bus& sel, std::size_t count) {
+  Bus out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = equals_const(sel, i);
+  }
+  return out;
+}
+
+Bus Module::shift_left_const(const Bus& a, std::size_t amount) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = i < amount ? zero() : a[i - amount];
+  }
+  return out;
+}
+
+Bus Module::shift_right_const(const Bus& a, std::size_t amount, WireId fill) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = i + amount < a.size() ? a[i + amount] : fill;
+  }
+  return out;
+}
+
+Bus Module::slice(const Bus& a, std::size_t lo, std::size_t width) {
+  RIPPLE_CHECK(lo + width <= a.size(), "slice out of range");
+  return Bus(a.begin() + static_cast<std::ptrdiff_t>(lo),
+             a.begin() + static_cast<std::ptrdiff_t>(lo + width));
+}
+
+Bus Module::concat(const Bus& lo, const Bus& hi) {
+  Bus out = lo;
+  out.insert(out.end(), hi.begin(), hi.end());
+  return out;
+}
+
+Bus Module::zero_extend(const Bus& a, std::size_t width) {
+  RIPPLE_CHECK(width >= a.size());
+  Bus out = a;
+  while (out.size() < width) out.push_back(zero());
+  return out;
+}
+
+Bus Module::sign_extend(const Bus& a, std::size_t width) {
+  RIPPLE_CHECK(width >= a.size() && !a.empty());
+  Bus out = a;
+  while (out.size() < width) out.push_back(a.back());
+  return out;
+}
+
+Bus Module::state(std::string_view name, std::size_t width,
+                  std::uint64_t init) {
+  RIPPLE_CHECK(width <= 64);
+  Bus bus(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const FlopId f =
+        netlist_.add_flop(std::string(name) + "[" + std::to_string(i) + "]",
+                          (init >> i) & 1u);
+    bus[i] = netlist_.flop(f).q;
+  }
+  return bus;
+}
+
+WireId Module::state1(std::string_view name, bool init) {
+  const FlopId f = netlist_.add_flop(name, init);
+  return netlist_.flop(f).q;
+}
+
+void Module::next(const Bus& q, const Bus& d) {
+  RIPPLE_CHECK(q.size() == d.size());
+  for (std::size_t i = 0; i < q.size(); ++i) next(q[i], d[i]);
+}
+
+void Module::next(WireId q, WireId d) {
+  const netlist::Wire& wire = netlist_.wire(q);
+  RIPPLE_CHECK(wire.driver_kind == netlist::DriverKind::Flop,
+               "next() target '", wire.name, "' is not a state wire");
+  netlist_.connect_flop(wire.driver_flop, d);
+}
+
+} // namespace ripple::rtl

@@ -1,0 +1,44 @@
+// Structural netlist optimization.
+//
+// The RTL DSL elaborates naively (constants for unused mux legs, buffers,
+// duplicated subexpressions). This pass performs what an area-optimizing
+// synthesis run would, keeping the netlist a plain library-cell graph:
+//
+//   * constant folding      (TIE0/TIE1 propagated through truth tables)
+//   * buffer/alias collapse (BUF, INV-of-INV, gates degenerating to a wire)
+//   * input deduplication   (AND2(a,a) -> a, XOR2(a,a) -> 0, ...)
+//   * cell re-mapping       (AND3(a,b,1) -> AND2(a,b), AOI21 with C=0 ->
+//                            NAND2, ...) by truth-table matching
+//   * common-subexpression elimination (structural hashing; symmetric cells
+//     match under input permutation)
+//   * dead-gate elimination (logic not reaching any output or flop D input)
+//
+// Ports, flops (names, init values) and primary-output wire names are
+// preserved exactly; internal wires keep their original names where the
+// driving gate survives.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace ripple::rtl {
+
+struct OptimizeStats {
+  std::size_t gates_in = 0;
+  std::size_t gates_out = 0;
+  std::size_t folded_const = 0; // outputs that became compile-time constants
+  std::size_t aliased = 0;      // outputs replaced by an existing wire
+  std::size_t remapped = 0;     // gates rewritten to a smaller cell
+  std::size_t cse_merged = 0;   // duplicates merged by structural hashing
+  std::size_t dead_removed = 0; // live-but-unreachable gates dropped
+};
+
+struct OptimizeResult {
+  netlist::Netlist netlist;
+  OptimizeStats stats;
+};
+
+[[nodiscard]] OptimizeResult optimize(const netlist::Netlist& in);
+
+} // namespace ripple::rtl

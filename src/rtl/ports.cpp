@@ -1,0 +1,44 @@
+#include "rtl/ports.hpp"
+
+#include <string>
+
+namespace ripple::rtl {
+
+Bus find_bus(const netlist::Netlist& n, std::string_view name,
+             std::size_t width, std::string_view suffix) {
+  Bus bus(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::string bit = std::string(name) + "[" + std::to_string(i) +
+                            "]" + std::string(suffix);
+    const auto w = n.find_wire(bit);
+    RIPPLE_CHECK(w.has_value(), "netlist has no wire '", bit, "'");
+    bus[i] = *w;
+  }
+  return bus;
+}
+
+WireId find_wire_checked(const netlist::Netlist& n, std::string_view name) {
+  const auto w = n.find_wire(name);
+  RIPPLE_CHECK(w.has_value(), "netlist has no wire '", std::string(name), "'");
+  return *w;
+}
+
+Bus name_output_bus(Module& m, const Bus& bus, std::string_view name) {
+  Bus out(bus.size());
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    // add_gate_new gives the buffer output the canonical port-bit name.
+    out[i] = m.peek_mutable().add_gate_new(
+        cell::Kind::Buf, {bus[i]},
+        std::string(name) + "[" + std::to_string(i) + "]");
+    m.output(out[i]);
+  }
+  return out;
+}
+
+WireId name_output(Module& m, WireId w, std::string_view name) {
+  const WireId out = m.peek_mutable().add_gate_new(cell::Kind::Buf, {w}, name);
+  m.output(out);
+  return out;
+}
+
+} // namespace ripple::rtl

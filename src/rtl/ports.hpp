@@ -1,0 +1,26 @@
+// Port plumbing helpers: give circuit outputs stable, resolvable names so
+// harnesses can rebind buses after optimization or (de)serialization.
+#pragma once
+
+#include <string_view>
+
+#include "rtl/module.hpp"
+
+namespace ripple::rtl {
+
+/// Look up "name[0]<suffix>" .. "name[width-1]<suffix>"; throws if any bit
+/// is missing. Pass suffix "__q" to resolve the Q wires of a state bus.
+[[nodiscard]] Bus find_bus(const netlist::Netlist& n, std::string_view name,
+                           std::size_t width, std::string_view suffix = "");
+
+/// Look up a single wire; throws if missing.
+[[nodiscard]] WireId find_wire_checked(const netlist::Netlist& n,
+                                       std::string_view name);
+
+/// Buffer each bit into a wire named "name[i]" and mark it a primary output.
+Bus name_output_bus(Module& m, const Bus& bus, std::string_view name);
+
+/// Buffer one wire into "name" and mark it a primary output.
+WireId name_output(Module& m, WireId w, std::string_view name);
+
+} // namespace ripple::rtl

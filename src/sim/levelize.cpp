@@ -1,0 +1,68 @@
+#include "sim/levelize.hpp"
+
+#include <algorithm>
+
+namespace ripple::sim {
+
+using netlist::DriverKind;
+using netlist::Netlist;
+
+Levelization levelize(const Netlist& n) {
+  n.check();
+
+  Levelization out;
+  out.order.reserve(n.num_gates());
+  out.gate_level.assign(n.num_gates(), 0);
+
+  // Kahn's algorithm over gates. A gate depends on the driver gates of its
+  // input wires; PI- and flop-driven wires are free.
+  std::vector<std::uint32_t> pending(n.num_gates(), 0);
+  for (GateId g : n.all_gates()) {
+    std::uint32_t deps = 0;
+    for (WireId in : n.gate(g).inputs) {
+      if (n.wire(in).driver_kind == DriverKind::Gate) ++deps;
+    }
+    pending[g.index()] = deps;
+  }
+
+  std::vector<GateId> ready;
+  for (GateId g : n.all_gates()) {
+    if (pending[g.index()] == 0) ready.push_back(g);
+  }
+
+  while (!ready.empty()) {
+    const GateId g = ready.back();
+    ready.pop_back();
+    out.order.push_back(g);
+
+    std::uint32_t level = 0;
+    for (WireId in : n.gate(g).inputs) {
+      const netlist::Wire& w = n.wire(in);
+      if (w.driver_kind == DriverKind::Gate) {
+        level = std::max(level, out.gate_level[w.driver_gate.index()] + 1);
+      }
+    }
+    out.gate_level[g.index()] = level;
+    out.depth = std::max(out.depth, level + 1);
+
+    const WireId y = n.gate(g).output;
+    for (GateId reader : n.wire(y).gate_fanout) {
+      RIPPLE_ASSERT(pending[reader.index()] > 0);
+      if (--pending[reader.index()] == 0) ready.push_back(reader);
+    }
+  }
+
+  if (out.order.size() != n.num_gates()) {
+    // Some gate never became ready -> combinational cycle. Name a wire on it.
+    for (GateId g : n.all_gates()) {
+      if (pending[g.index()] > 0) {
+        throw Error("combinational cycle through wire '" +
+                    n.wire(n.gate(g).output).name + "'");
+      }
+    }
+    RIPPLE_UNREACHABLE("cycle detected but no pending gate found");
+  }
+  return out;
+}
+
+} // namespace ripple::sim

@@ -1,0 +1,44 @@
+// Multi-cycle fault-masking oracle (the paper's Section 6.2 outlook:
+// "MATEs for faults that are masked only within more than one clock cycle").
+//
+// An SEU in flop f at cycle t is *masked within k cycles* iff, replaying the
+// golden trace's inputs, the faulty run produces identical primary outputs
+// in cycles t .. t+j-1 and an identical flop state at the start of cycle
+// t+j, for some j <= k. j = 1 coincides with the paper's (and
+// sim::MaskingOracle's) one-cycle definition.
+//
+// The oracle quantifies the headroom beyond intra-cycle MATEs: faults in
+// registers that are overwritten a few cycles later (the register-file case
+// of Section 6.3) converge at j > 1.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace ripple::sim {
+
+class MultiCycleOracle {
+public:
+  explicit MultiCycleOracle(const netlist::Netlist& n);
+
+  /// Returns the smallest j in [1, k] such that the fault has converged
+  /// (outputs matched throughout, state equal at start of cycle t+j), or 0
+  /// when the fault is still live after k cycles or the trace ends first.
+  ///
+  /// `golden` must be a trace of this netlist (settled values per cycle,
+  /// inputs included), `t` the injection cycle.
+  [[nodiscard]] unsigned masked_within(FlopId f, const Trace& golden,
+                                       std::size_t t, unsigned k);
+
+private:
+  /// Load the faulty run's flop state from the golden trace row at cycle t.
+  void load_state_from(const Trace& golden, std::size_t t);
+
+  const netlist::Netlist* netlist_;
+  Simulator sim_;
+};
+
+} // namespace ripple::sim

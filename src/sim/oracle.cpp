@@ -1,0 +1,165 @@
+#include "sim/oracle.hpp"
+
+#include <algorithm>
+
+namespace ripple::sim {
+
+using netlist::Netlist;
+
+MaskingOracle::MaskingOracle(const Netlist& n) : netlist_(&n) {
+  const Levelization level = levelize(n);
+
+  // Position of every gate in the global levelized order, to sort cone gates
+  // (kept for merging group cones later).
+  order_pos_.assign(n.num_gates(), 0);
+  std::vector<std::uint32_t>& order_pos = order_pos_;
+  for (std::size_t i = 0; i < level.order.size(); ++i) {
+    order_pos[level.order[i].index()] = static_cast<std::uint32_t>(i);
+  }
+
+  cones_.resize(n.num_flops());
+  std::vector<std::uint8_t> wire_in_cone(n.num_wires());
+  std::vector<std::uint8_t> gate_in_cone(n.num_gates());
+
+  for (FlopId f : n.all_flops()) {
+    Cone& cone = cones_[f.index()];
+    std::fill(wire_in_cone.begin(), wire_in_cone.end(), 0);
+    std::fill(gate_in_cone.begin(), gate_in_cone.end(), 0);
+
+    const WireId q = n.flop(f).q;
+    std::vector<WireId> frontier = {q};
+    wire_in_cone[q.index()] = 1;
+
+    while (!frontier.empty()) {
+      const WireId w = frontier.back();
+      frontier.pop_back();
+      for (GateId g : n.wire(w).gate_fanout) {
+        if (gate_in_cone[g.index()]) continue;
+        gate_in_cone[g.index()] = 1;
+        cone.gates.push_back(g);
+        const WireId y = n.gate(g).output;
+        if (!wire_in_cone[y.index()]) {
+          wire_in_cone[y.index()] = 1;
+          frontier.push_back(y);
+        }
+      }
+    }
+
+    std::sort(cone.gates.begin(), cone.gates.end(),
+              [&](GateId a, GateId b) {
+                return order_pos[a.index()] < order_pos[b.index()];
+              });
+
+    for (WireId w : n.all_wires()) {
+      if (!wire_in_cone[w.index()]) continue;
+      const netlist::Wire& wire = n.wire(w);
+      if (wire.is_primary_output || !wire.flop_fanout.empty()) {
+        cone.observers.push_back(w);
+      }
+    }
+  }
+}
+
+bool MaskingOracle::masked(FlopId f, const BitVec& values,
+                           Workspace& ws) const {
+  RIPPLE_ASSERT(values.size() == netlist_->num_wires(),
+                "value snapshot size mismatch");
+  const Cone& cone = cones_[f.index()];
+  const Netlist& n = *netlist_;
+
+  // Reset workspace from the previous query.
+  for (std::uint32_t idx : ws.touched_list_) ws.touched_[idx] = 0;
+  ws.touched_list_.clear();
+
+  const auto read = [&](WireId w) -> bool {
+    return ws.touched_[w.index()] ? (ws.overlay_[w.index()] != 0)
+                                  : values.get(w.index());
+  };
+  const auto write = [&](WireId w, bool v) {
+    if (!ws.touched_[w.index()]) {
+      ws.touched_[w.index()] = 1;
+      ws.touched_list_.push_back(static_cast<std::uint32_t>(w.index()));
+    }
+    ws.overlay_[w.index()] = v ? 1 : 0;
+  };
+
+  const WireId q = n.flop(f).q;
+  write(q, !values.get(q.index()));
+
+  const cell::Library& lib = cell::Library::instance();
+  for (GateId g : cone.gates) {
+    const netlist::Gate& gate = n.gate(g);
+    std::uint32_t packed = 0;
+    for (std::size_t p = 0; p < gate.inputs.size(); ++p) {
+      packed |= static_cast<std::uint32_t>(read(gate.inputs[p])) << p;
+    }
+    write(gate.output, lib.eval(gate.kind, packed));
+  }
+
+  for (WireId o : cone.observers) {
+    if (read(o) != values.get(o.index())) return false;
+  }
+  return true;
+}
+
+bool MaskingOracle::masked_group(std::span<const FlopId> group,
+                                 const BitVec& values, Workspace& ws) const {
+  RIPPLE_CHECK(!group.empty(), "empty fault group");
+  if (group.size() == 1) return masked(group[0], values, ws);
+  const Netlist& n = *netlist_;
+
+  for (std::uint32_t idx : ws.touched_list_) ws.touched_[idx] = 0;
+  ws.touched_list_.clear();
+
+  const auto read = [&](WireId w) -> bool {
+    return ws.touched_[w.index()] ? (ws.overlay_[w.index()] != 0)
+                                  : values.get(w.index());
+  };
+  const auto write = [&](WireId w, bool v) {
+    if (!ws.touched_[w.index()]) {
+      ws.touched_[w.index()] = 1;
+      ws.touched_list_.push_back(static_cast<std::uint32_t>(w.index()));
+    }
+    ws.overlay_[w.index()] = v ? 1 : 0;
+  };
+
+  for (FlopId f : group) {
+    const WireId q = n.flop(f).q;
+    write(q, !values.get(q.index()));
+  }
+
+  // Merge the precomputed cones (gates deduplicated, re-sorted by the global
+  // levelized position) and the observer sets.
+  std::vector<GateId> gates;
+  std::vector<WireId> observers;
+  for (FlopId f : group) {
+    const Cone& cone = cones_[f.index()];
+    gates.insert(gates.end(), cone.gates.begin(), cone.gates.end());
+    observers.insert(observers.end(), cone.observers.begin(),
+                     cone.observers.end());
+  }
+  std::sort(gates.begin(), gates.end(), [&](GateId a, GateId b) {
+    return order_pos_[a.index()] < order_pos_[b.index()];
+  });
+  gates.erase(std::unique(gates.begin(), gates.end()), gates.end());
+  std::sort(observers.begin(), observers.end());
+  observers.erase(std::unique(observers.begin(), observers.end()),
+                  observers.end());
+
+  const cell::Library& lib = cell::Library::instance();
+  for (GateId g : gates) {
+    const netlist::Gate& gate = n.gate(g);
+    std::uint32_t packed = 0;
+    for (std::size_t p = 0; p < gate.inputs.size(); ++p) {
+      packed |= static_cast<std::uint32_t>(read(gate.inputs[p])) << p;
+    }
+    write(gate.output, lib.eval(gate.kind, packed));
+  }
+
+  for (WireId o : observers) {
+    if (read(o) != values.get(o.index())) return false;
+  }
+  return true;
+}
+
+} // namespace ripple::sim

@@ -1,0 +1,82 @@
+// Exact one-cycle fault-masking oracle.
+//
+// Ground truth for the paper's benign-fault definition: an SEU in flop f at
+// cycle t is *masked within one cycle* iff flipping f's state bit and
+// re-settling the combinational logic leaves every flop D input and every
+// primary output unchanged (N(f(i)) == N(i), Section 3).
+//
+// MATEs are sound but incomplete approximations of this predicate; the test
+// suite checks soundness (MATE triggers => oracle says masked) and the
+// ablation bench A3 measures completeness (what fraction of oracle-masked
+// faults the MATE set catches).
+//
+// The oracle re-evaluates only the fault cone of the flipped flop (levelized,
+// precomputed per flop), so a full flops x cycles sweep stays tractable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/levelize.hpp"
+#include "util/bitvec.hpp"
+
+namespace ripple::sim {
+
+class MaskingOracle {
+public:
+  explicit MaskingOracle(const netlist::Netlist& n);
+
+  /// Scratch space reusable across masked() calls (one per thread).
+  class Workspace {
+  public:
+    explicit Workspace(const MaskingOracle& oracle)
+        : overlay_(oracle.netlist_->num_wires()),
+          touched_(oracle.netlist_->num_wires(), 0) {}
+
+  private:
+    friend class MaskingOracle;
+    std::vector<std::uint8_t> overlay_;
+    std::vector<std::uint8_t> touched_;
+    std::vector<std::uint32_t> touched_list_;
+  };
+
+  /// `values` must be the settled wire values of the cycle under test
+  /// (Simulator::values() after eval(), or Trace::cycle_values()).
+  [[nodiscard]] bool masked(FlopId f, const BitVec& values,
+                            Workspace& ws) const;
+
+  /// Convenience without explicit workspace (allocates one internally).
+  [[nodiscard]] bool masked(FlopId f, const BitVec& values) const {
+    Workspace ws(*this);
+    return masked(f, values, ws);
+  }
+
+  /// Multi-bit variant: is the simultaneous flip of all flops in `group`
+  /// masked within one cycle? (Union cone re-evaluation.)
+  [[nodiscard]] bool masked_group(std::span<const FlopId> group,
+                                  const BitVec& values, Workspace& ws) const;
+  [[nodiscard]] bool masked_group(std::span<const FlopId> group,
+                                  const BitVec& values) const {
+    Workspace ws(*this);
+    return masked_group(group, values, ws);
+  }
+
+  /// Size of the combinational fault cone (#gates) of a flop's Q wire.
+  [[nodiscard]] std::size_t cone_size(FlopId f) const {
+    return cones_[f.index()].gates.size();
+  }
+
+private:
+  struct Cone {
+    std::vector<GateId> gates;     // levelized order, restricted to the cone
+    std::vector<WireId> observers; // cone wires feeding flops or POs (incl. q)
+  };
+
+  const netlist::Netlist* netlist_;
+  std::vector<Cone> cones_;               // indexed by FlopId
+  std::vector<std::uint32_t> order_pos_;  // gate -> levelized position
+};
+
+} // namespace ripple::sim

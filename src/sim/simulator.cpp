@@ -1,0 +1,86 @@
+#include "sim/simulator.hpp"
+
+namespace ripple::sim {
+
+using netlist::DriverKind;
+using netlist::Netlist;
+
+Simulator::Simulator(const Netlist& n)
+    : netlist_(&n), level_(levelize(n)), values_(n.num_wires()) {
+  state_.resize(n.num_flops());
+  reset();
+}
+
+void Simulator::reset() {
+  for (FlopId f : netlist_->all_flops()) {
+    state_[f.index()] = netlist_->flop(f).init;
+  }
+  cycle_ = 0;
+  eval();
+}
+
+void Simulator::set_input(WireId w, bool v) {
+  RIPPLE_ASSERT(netlist_->wire(w).driver_kind == DriverKind::PrimaryInput,
+                "set_input on non-input wire '", netlist_->wire(w).name, "'");
+  values_.set(w.index(), v);
+}
+
+void Simulator::eval() {
+  // Flop state drives Q wires.
+  for (FlopId f : netlist_->all_flops()) {
+    values_.set(netlist_->flop(f).q.index(), state_[f.index()]);
+  }
+  // Levelized single pass settles all combinational wires.
+  const cell::Library& lib = cell::Library::instance();
+  for (GateId g : level_.order) {
+    const netlist::Gate& gate = netlist_->gate(g);
+    std::uint32_t packed = 0;
+    for (std::size_t p = 0; p < gate.inputs.size(); ++p) {
+      packed |= static_cast<std::uint32_t>(
+                    values_.get(gate.inputs[p].index()))
+                << p;
+    }
+    values_.set(gate.output.index(), lib.eval(gate.kind, packed));
+  }
+}
+
+void Simulator::latch() {
+  for (FlopId f : netlist_->all_flops()) {
+    state_[f.index()] = values_.get(netlist_->flop(f).d.index());
+  }
+  ++cycle_;
+}
+
+std::uint64_t Simulator::read_bus(const Bus& bus) const {
+  RIPPLE_ASSERT(bus.size() <= 64);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    v |= static_cast<std::uint64_t>(value(bus[i])) << i;
+  }
+  return v;
+}
+
+void Simulator::drive_bus(const Bus& bus, std::uint64_t v) {
+  RIPPLE_ASSERT(bus.size() <= 64);
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    set_input(bus[i], (v >> i) & 1u);
+  }
+}
+
+BitVec Simulator::flop_state() const {
+  BitVec s(state_.size());
+  for (std::size_t i = 0; i < state_.size(); ++i) s.set(i, state_[i]);
+  return s;
+}
+
+void Simulator::set_flop_state(const BitVec& state) {
+  RIPPLE_ASSERT(state.size() == state_.size());
+  for (std::size_t i = 0; i < state_.size(); ++i) state_[i] = state.get(i);
+}
+
+void Simulator::flip_flop(FlopId f) {
+  RIPPLE_ASSERT(f.index() < state_.size());
+  state_[f.index()] = !state_[f.index()];
+}
+
+} // namespace ripple::sim

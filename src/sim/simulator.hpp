@@ -1,0 +1,83 @@
+// Cycle-accurate two-phase gate-level simulator.
+//
+// Phase 1 (eval): propagate primary inputs and flop state through the
+// levelized combinational logic until all wires are settled.
+// Phase 2 (latch): capture every flop's D value into its state; this is the
+// rising clock edge and advances the cycle counter.
+//
+// eval() is idempotent and may be called repeatedly within one cycle — the
+// memory harnesses rely on this to model combinational-read memories outside
+// the netlist (set address outputs -> eval -> feed read data back -> eval).
+//
+// Fault injection: flip_flop() flips one bit of the *state*, exactly the SEU
+// of the paper's fault model. After a flip, call eval() to propagate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/levelize.hpp"
+#include "util/bitvec.hpp"
+
+namespace ripple::sim {
+
+/// A little-endian group of wires treated as one value (bit 0 = LSB).
+using Bus = std::vector<WireId>;
+
+class Simulator {
+public:
+  explicit Simulator(const netlist::Netlist& n);
+
+  [[nodiscard]] const netlist::Netlist& netlist() const { return *netlist_; }
+
+  // --- per-cycle protocol --------------------------------------------------
+
+  void set_input(WireId w, bool v);
+  void eval();
+  void latch();
+
+  /// Convenience for circuits without external-memory feedback.
+  void step() {
+    eval();
+    latch();
+  }
+
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+  /// Reset all flops to their init values and clear the cycle counter.
+  /// Inputs keep their last driven values.
+  void reset();
+
+  // --- observation ---------------------------------------------------------
+
+  [[nodiscard]] bool value(WireId w) const {
+    RIPPLE_ASSERT(w.index() < values_.size());
+    return values_.get(w.index());
+  }
+
+  [[nodiscard]] std::uint64_t read_bus(const Bus& bus) const;
+  void drive_bus(const Bus& bus, std::uint64_t v);
+
+  /// Snapshot of every wire value (valid after eval()).
+  [[nodiscard]] const BitVec& values() const { return values_; }
+
+  /// Current flop state, one bit per flop in FlopId order.
+  [[nodiscard]] BitVec flop_state() const;
+  void set_flop_state(const BitVec& state);
+
+  // --- fault injection ------------------------------------------------------
+
+  /// Flip the state bit of one flop (an SEU). Call eval() afterwards.
+  void flip_flop(FlopId f);
+
+private:
+  const netlist::Netlist* netlist_;
+  Levelization level_;
+  BitVec values_;            // per-wire settled values
+  std::vector<bool> state_;  // per-flop current state
+  std::uint64_t cycle_ = 0;
+};
+
+} // namespace ripple::sim

@@ -1,0 +1,62 @@
+#include "sim/stats.hpp"
+
+#include <ostream>
+
+#include "sim/levelize.hpp"
+#include "util/strings.hpp"
+
+namespace ripple::sim {
+
+using netlist::Kind;
+using netlist::Netlist;
+using netlist::Wire;
+
+NetlistStats compute_stats(const netlist::Netlist& n) {
+  NetlistStats s;
+  s.name = n.name();
+  s.wires = n.num_wires();
+  s.gates = n.num_gates();
+  s.flops = n.num_flops();
+  s.primary_inputs = n.primary_inputs().size();
+  s.primary_outputs = n.primary_outputs().size();
+  s.area_um2 = n.total_area();
+  s.comb_depth = sim::levelize(n).depth;
+
+  for (const auto& [kind, count] : n.kind_histogram()) {
+    s.by_kind[kind] = count;
+  }
+
+  std::size_t readers_total = 0;
+  std::size_t driven = 0;
+  for (WireId w : n.all_wires()) {
+    const Wire& wire = n.wire(w);
+    const std::size_t readers =
+        wire.gate_fanout.size() + wire.flop_fanout.size();
+    if (readers == 0) continue;
+    ++driven;
+    readers_total += readers;
+    s.max_fanout = std::max(s.max_fanout, readers);
+  }
+  s.avg_fanout = driven == 0 ? 0.0
+                             : static_cast<double>(readers_total) /
+                                   static_cast<double>(driven);
+  return s;
+}
+
+void print_stats(const NetlistStats& s, std::ostream& os) {
+  os << "module " << s.name << "\n"
+     << strprintf("  wires   %6zu   inputs %zu, outputs %zu\n", s.wires,
+                  s.primary_inputs, s.primary_outputs)
+     << strprintf("  gates   %6zu   flops %zu\n", s.gates, s.flops)
+     << strprintf("  area    %8.1f um^2 (library units)\n", s.area_um2)
+     << strprintf("  depth   %6u combinational levels\n", s.comb_depth)
+     << strprintf("  fanout  %8.2f avg, %zu max\n", s.avg_fanout,
+                  s.max_fanout)
+     << "  cells:\n";
+  for (const auto& [kind, count] : s.by_kind) {
+    os << strprintf("    %-10s %6zu\n",
+                    std::string(cell::name(kind)).c_str(), count);
+  }
+}
+
+} // namespace ripple::sim

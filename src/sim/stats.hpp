@@ -1,0 +1,38 @@
+// Netlist statistics: the numbers a synthesis report would show (cell
+// counts, area, combinational depth, fanout distribution). Used by the
+// core-report tool and the evaluation write-up.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace ripple::sim {
+
+using netlist::Kind;
+using netlist::Netlist;
+using netlist::Wire;
+
+struct NetlistStats {
+  std::string name;
+  std::size_t wires = 0;
+  std::size_t gates = 0;
+  std::size_t flops = 0;
+  std::size_t primary_inputs = 0;
+  std::size_t primary_outputs = 0;
+  double area_um2 = 0.0;
+  std::uint32_t comb_depth = 0; // levelized gate levels
+  double avg_fanout = 0.0;      // over driven wires with at least one reader
+  std::size_t max_fanout = 0;
+  std::map<Kind, std::size_t> by_kind;
+};
+
+[[nodiscard]] NetlistStats compute_stats(const netlist::Netlist& n);
+
+/// Human-readable synthesis-style report.
+void print_stats(const NetlistStats& stats, std::ostream& os);
+
+} // namespace ripple::sim

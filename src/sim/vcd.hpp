@@ -1,0 +1,30 @@
+// VCD (IEEE 1364 value change dump) writer and reader.
+//
+// One VCD timestamp per clock cycle: the dump at time t holds the settled
+// wire values of cycle t (flop outputs = state of cycle t). This is the trace
+// format the paper exchanges between the netlist simulator and the MATE
+// tooling.
+//
+// The writer emits scalar (1-bit) variables only — our netlists are bit-level.
+// The reader additionally accepts `b<digits>` vector changes of width 1 and
+// 'x'/'z' values (mapped to 0), so traces from other simulators load too.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "sim/trace.hpp"
+
+namespace ripple::sim {
+
+void write_vcd(const Trace& trace, std::ostream& os,
+               std::string_view module_name = "top");
+[[nodiscard]] std::string to_vcd(const Trace& trace,
+                                 std::string_view module_name = "top");
+
+/// Parse a VCD dump into a Trace. Signal identity is by wire name; scopes are
+/// flattened with '.' separators and the top scope name is dropped.
+[[nodiscard]] Trace parse_vcd(std::string_view text);
+
+} // namespace ripple::sim

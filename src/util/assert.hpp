@@ -1,0 +1,67 @@
+// Assertion and error-handling primitives used across the RIPPLE libraries.
+//
+// Two families:
+//   RIPPLE_ASSERT(cond, msg...)  -- internal invariant; violation is a bug in
+//                                   this library. Throws ripple::InternalError
+//                                   so tests can observe violations portably.
+//   RIPPLE_CHECK(cond, msg...)   -- validation of caller-supplied data (bad
+//                                   netlist, malformed assembly, ...). Throws
+//                                   ripple::Error with a formatted message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ripple {
+
+/// Base class for all errors raised by RIPPLE on invalid user input.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an internal invariant of the library is violated (a bug).
+class InternalError : public std::logic_error {
+public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+template <typename... Parts>
+std::string concat_message(const char* prefix, const char* file, int line,
+                           const char* cond, const Parts&... parts) {
+  std::ostringstream os;
+  os << prefix << " at " << file << ':' << line << ": (" << cond << ")";
+  if constexpr (sizeof...(parts) > 0) {
+    os << " -- ";
+    (os << ... << parts);
+  }
+  return os.str();
+}
+
+} // namespace detail
+} // namespace ripple
+
+#define RIPPLE_ASSERT(cond, ...)                                               \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      throw ::ripple::InternalError(::ripple::detail::concat_message(          \
+          "internal error", __FILE__, __LINE__, #cond __VA_OPT__(, )           \
+              __VA_ARGS__));                                                   \
+    }                                                                          \
+  } while (0)
+
+#define RIPPLE_CHECK(cond, ...)                                                \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      throw ::ripple::Error(::ripple::detail::concat_message(                  \
+          "invalid input", __FILE__, __LINE__, #cond __VA_OPT__(, )            \
+              __VA_ARGS__));                                                   \
+    }                                                                          \
+  } while (0)
+
+#define RIPPLE_UNREACHABLE(msg)                                                \
+  throw ::ripple::InternalError(::ripple::detail::concat_message(              \
+      "unreachable", __FILE__, __LINE__, "false", msg))

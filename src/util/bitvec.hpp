@@ -1,0 +1,119 @@
+// A compact dynamic bit vector used for per-cycle wire-value snapshots.
+//
+// std::vector<bool> would work functionally but offers no word-level access;
+// traces store one BitVec per cycle and the simulator copies them wholesale,
+// so word-granular storage and popcount matter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ripple {
+
+class BitVec {
+public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits, bool value = false)
+      : nbits_(nbits),
+        words_((nbits + 63) / 64, value ? ~std::uint64_t{0} : 0) {
+    trim();
+  }
+
+  [[nodiscard]] std::size_t size() const { return nbits_; }
+  [[nodiscard]] bool empty() const { return nbits_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    RIPPLE_ASSERT(i < nbits_, "bit index ", i, " out of range ", nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i, bool v) {
+    RIPPLE_ASSERT(i < nbits_, "bit index ", i, " out of range ", nbits_);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  void flip(std::size_t i) {
+    RIPPLE_ASSERT(i < nbits_, "bit index ", i, " out of range ", nbits_);
+    words_[i >> 6] ^= std::uint64_t{1} << (i & 63);
+  }
+
+  void clear_all() {
+    for (auto& w : words_) w = 0;
+  }
+
+  void resize(std::size_t nbits, bool value = false) {
+    const std::size_t old_bits = nbits_;
+    nbits_ = nbits;
+    words_.resize((nbits + 63) / 64, value ? ~std::uint64_t{0} : 0);
+    if (value && nbits > old_bits && old_bits % 64 != 0) {
+      // Fill the tail of the previously-last word.
+      words_[old_bits >> 6] |= ~std::uint64_t{0} << (old_bits & 63);
+    }
+    trim();
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t popcount() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// Bitwise OR with another vector of the same size.
+  BitVec& operator|=(const BitVec& o) {
+    RIPPLE_ASSERT(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+
+  BitVec& operator&=(const BitVec& o) {
+    RIPPLE_ASSERT(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+
+  BitVec& operator^=(const BitVec& o) {
+    RIPPLE_ASSERT(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+    return *this;
+  }
+
+  bool operator==(const BitVec& o) const = default;
+
+  /// Index of the first bit that differs from `o`, or size() if equal.
+  [[nodiscard]] std::size_t first_difference(const BitVec& o) const {
+    RIPPLE_ASSERT(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t d = words_[i] ^ o.words_[i];
+      if (d != 0) {
+        const std::size_t bit = i * 64 +
+            static_cast<std::size_t>(__builtin_ctzll(d));
+        return bit < nbits_ ? bit : nbits_;
+      }
+    }
+    return nbits_;
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
+private:
+  void trim() {
+    if (nbits_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (~std::uint64_t{0}) >> (64 - nbits_ % 64);
+    }
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+} // namespace ripple

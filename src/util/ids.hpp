@@ -1,0 +1,69 @@
+// Strongly typed integer identifiers.
+//
+// Netlists index wires, gates and flops by dense integers. Using a distinct
+// type per entity prevents accidentally indexing a gate table with a wire id.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace ripple {
+
+/// A dense, strongly typed index. `Tag` is a phantom type; `Id<WireTag>` and
+/// `Id<GateTag>` do not convert into each other.
+template <typename Tag>
+class Id {
+public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << Tag::prefix() << "<invalid>";
+    return os << Tag::prefix() << id.value();
+  }
+
+private:
+  value_type value_ = kInvalid;
+};
+
+struct WireTag {
+  static constexpr const char* prefix() { return "w"; }
+};
+struct GateTag {
+  static constexpr const char* prefix() { return "g"; }
+};
+struct FlopTag {
+  static constexpr const char* prefix() { return "ff"; }
+};
+struct MateTag {
+  static constexpr const char* prefix() { return "m"; }
+};
+
+using WireId = Id<WireTag>;
+using GateId = Id<GateTag>;
+using FlopId = Id<FlopTag>;
+using MateId = Id<MateTag>;
+
+} // namespace ripple
+
+namespace std {
+template <typename Tag>
+struct hash<ripple::Id<Tag>> {
+  size_t operator()(ripple::Id<Tag> id) const noexcept {
+    return std::hash<typename ripple::Id<Tag>::value_type>{}(id.value());
+  }
+};
+} // namespace std

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components (random-netlist generator, campaign sampling,
+// property tests) take an explicit seed so every run is reproducible; we use
+// splitmix64/xoshiro256** rather than std::mt19937 to guarantee identical
+// streams across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace ripple {
+
+/// xoshiro256** seeded via splitmix64. Small, fast, reproducible.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  std::uint64_t next_below(std::uint64_t bound) {
+    RIPPLE_ASSERT(bound > 0);
+    // Rejection-free is fine for our non-cryptographic uses; the bias for
+    // bound << 2^64 is negligible, but keep a single rejection round to stay
+    // exactly uniform for tests that count outcomes.
+    while (true) {
+      const std::uint64_t x = next_u64();
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      const std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (0 - bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  bool next_bool() { return (next_u64() >> 63) != 0; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+} // namespace ripple

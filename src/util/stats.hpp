@@ -1,0 +1,49 @@
+// Tiny descriptive-statistics helpers for the evaluation tables
+// (average/median cone sizes, mean +- sd of MATE input counts, ...).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ripple {
+
+template <typename T>
+double mean(const std::vector<T>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (const T& x : v) sum += static_cast<double>(x);
+  return sum / static_cast<double>(v.size());
+}
+
+/// Population standard deviation.
+template <typename T>
+double stddev(const std::vector<T>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (const T& x : v) {
+    const double d = static_cast<double>(x) - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+/// Median; averages the two middle elements for even sizes. Copies the input
+/// (callers keep their data; sizes here are a few hundred elements).
+template <typename T>
+double median(std::vector<T> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  double hi = static_cast<double>(v[mid]);
+  if (v.size() % 2 == 1) return hi;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   v.end());
+  return (static_cast<double>(v[mid - 1]) + hi) / 2.0;
+}
+
+} // namespace ripple

@@ -1,0 +1,25 @@
+// Wall-clock stopwatch for the run-time rows of the benchmark tables.
+#pragma once
+
+#include <chrono>
+
+namespace ripple {
+
+class Stopwatch {
+public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+} // namespace ripple

@@ -1,0 +1,139 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ripple {
+
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    const std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+
+  bool negative = false;
+  if (s.front() == '-' || s.front() == '+') {
+    negative = s.front() == '-';
+    s.remove_prefix(1);
+    if (s.empty()) return std::nullopt;
+  }
+
+  int base = 10;
+  if (starts_with(s, "0x") || starts_with(s, "0X")) {
+    base = 16;
+    s.remove_prefix(2);
+  } else if (starts_with(s, "0b") || starts_with(s, "0B")) {
+    base = 2;
+    s.remove_prefix(2);
+  } else if (s.front() == '$') {
+    base = 16;
+    s.remove_prefix(1);
+  } else if (s.front() == '%') {
+    base = 2;
+    s.remove_prefix(1);
+  }
+  if (s.empty()) return std::nullopt;
+
+  std::int64_t value = 0;
+  for (char c : s) {
+    if (c == '_') continue; // digit separator, assembler convenience
+    int digit;
+    if (c >= '0' && c <= '9')
+      digit = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F')
+      digit = c - 'A' + 10;
+    else
+      return std::nullopt;
+    if (digit >= base) return std::nullopt;
+    value = value * base + digit;
+  }
+  return negative ? -value : value;
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int len = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (len < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(len), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool is_identifier(std::string_view s) {
+  if (s.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  const auto tail = [&](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$' || c == '.';
+  };
+  if (!head(s.front())) return false;
+  for (char c : s.substr(1)) {
+    if (!tail(c)) return false;
+  }
+  return true;
+}
+
+} // namespace ripple

@@ -1,0 +1,41 @@
+// Small string utilities shared by the netlist/assembler parsers and the
+// table printers. Kept deliberately allocation-light: parsers work on
+// string_views into the source text.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ripple {
+
+/// Strip leading and trailing whitespace (space, tab, CR, LF).
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are kept.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char delim);
+
+/// Split on runs of whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a signed integer with optional 0x/0b prefix or '$hex'/'%bin' (as
+/// used in assembler sources). Returns nullopt on malformed input.
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view s);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Lower-case ASCII copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// True if `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_$.]*
+[[nodiscard]] bool is_identifier(std::string_view s);
+
+} // namespace ripple

@@ -1,0 +1,109 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace ripple {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  RIPPLE_CHECK(!headers_.empty(), "a table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  RIPPLE_CHECK(cells.size() == headers_.size(), "row has ", cells.size(),
+               " cells, table has ", headers_.size(), " columns");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (c == 0) {
+        os << cells[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << cells[c];
+      }
+    }
+    os << " |\n";
+  };
+
+  const auto print_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "+" : "-+") << std::string(widths[c] + 1, '-');
+    }
+    os << "-+\n";
+  };
+
+  print_rule();
+  print_cells(headers_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      print_rule();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+  print_rule();
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    if (!row.separator) emit(row.cells);
+  }
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return strprintf("%.*f %%", decimals, fraction * 100.0);
+}
+
+std::string fmt_count(std::size_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  const std::size_t len = digits.size();
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i != 0 && (len - i) % 3 == 0) out += ' ';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string fmt_sci(double v) {
+  if (v == 0) return "0";
+  const int exp = static_cast<int>(std::floor(std::log10(std::fabs(v))));
+  const double mant = v / std::pow(10.0, exp);
+  return strprintf("%.0f*10^%d", mant, exp);
+}
+
+std::string fmt_mean_sd(double mean, double sd, int decimals) {
+  return strprintf("%.*f +- %.*f", decimals, mean, decimals, sd);
+}
+
+} // namespace ripple

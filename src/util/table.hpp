@@ -1,0 +1,46 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary reproduces one table/figure of the paper; TablePrinter
+// renders the same row/column layout the paper uses, plus a CSV mode so
+// results can be diffed or plotted.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ripple {
+
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator row.
+  void add_separator();
+
+  /// Render with aligned columns (first column left, others right).
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (separators skipped).
+  void print_csv(std::ostream& os) const;
+
+private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+/// Format helpers used by the benches.
+std::string fmt_percent(double fraction, int decimals = 2);
+std::string fmt_count(std::size_t n);       // 24 536 style thousands grouping
+std::string fmt_sci(double v);              // 3e+07 style
+std::string fmt_mean_sd(double mean, double sd, int decimals = 1);
+
+} // namespace ripple

@@ -1,0 +1,91 @@
+#include "util/thread_pool.hpp"
+
+#include "util/assert.hpp"
+
+namespace ripple {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_index(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  // Dynamic chunking: one atomic counter, each worker claims indices until
+  // exhausted. Chunk size 1 is fine -- work items (one MATE search per wire)
+  // are large compared to the atomic increment.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto remaining = std::make_shared<std::atomic<std::size_t>>(n);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error_ptr = std::make_shared<std::exception_ptr>();
+  auto done_mutex = std::make_shared<std::mutex>();
+  auto done_cv = std::make_shared<std::condition_variable>();
+
+  auto body = [=, &fn] {
+    while (true) {
+      const std::size_t i = next->fetch_add(1);
+      if (i >= n) break;
+      try {
+        if (!first_error->load(std::memory_order_relaxed)) fn(i);
+      } catch (...) {
+        bool expected = false;
+        if (first_error->compare_exchange_strong(expected, true)) {
+          *error_ptr = std::current_exception();
+        }
+      }
+      if (remaining->fetch_sub(1) == 1) {
+        std::lock_guard lock(*done_mutex);
+        done_cv->notify_all();
+      }
+    }
+  };
+
+  const std::size_t jobs = std::min(n, workers_.size());
+  {
+    std::lock_guard lock(mutex_);
+    RIPPLE_ASSERT(!stopping_);
+    for (std::size_t i = 0; i < jobs; ++i) queue_.push(body);
+  }
+  cv_.notify_all();
+
+  // The calling thread participates too, so a pool is usable even with
+  // a single worker under heavy nesting.
+  body();
+
+  std::unique_lock lock(*done_mutex);
+  done_cv->wait(lock, [&] { return remaining->load() == 0; });
+
+  if (*error_ptr) std::rethrow_exception(*error_ptr);
+}
+
+} // namespace ripple

@@ -1,0 +1,47 @@
+// A minimal fixed-size thread pool.
+//
+// The MATE search is embarrassingly parallel over faulty wires (the paper
+// parallelized the same axis with multiprocessing); parallel_for_index is the
+// only primitive it needs. Exceptions thrown by work items are captured and
+// rethrown on the caller's thread (first one wins).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ripple {
+
+class ThreadPool {
+public:
+  /// `threads == 0` selects hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Run `fn(i)` for every i in [0, n), distributing work over the pool.
+  /// Blocks until all iterations finished. Rethrows the first exception.
+  void parallel_for_index(std::size_t n,
+                          const std::function<void(std::size_t)>& fn);
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+} // namespace ripple

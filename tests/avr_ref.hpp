@@ -1,0 +1,286 @@
+// Shared test utility: ISA-level AVR reference emulator and random-program
+// generator used by the differential tests (and debug tools).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cores/avr/assembler.hpp"
+#include "cores/avr/isa.hpp"
+#include "util/rng.hpp"
+
+namespace ripple::cores::avr {
+
+/// Architectural reference model of the implemented subset.
+class AvrRef {
+public:
+  explicit AvrRef(std::vector<std::uint16_t> imem) : imem_(std::move(imem)) {}
+
+  struct Out {
+    std::uint8_t addr;
+    std::uint8_t data;
+    bool operator==(const Out&) const = default;
+  };
+
+  /// Execute a single instruction; returns false once halted/out of range.
+  bool step_one() {
+    if (halted_ || pc_ >= imem_.size()) return false;
+    const std::uint16_t word = imem_[pc_];
+    const auto insn = decode(word);
+    const std::uint16_t insn_pc = pc_++;
+    if (insn && execute(*insn, insn_pc)) halted_ = true;
+    return !halted_;
+  }
+
+  [[nodiscard]] std::uint8_t reg(int r) const {
+    return reg_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] std::uint16_t pc() const { return pc_; }
+  [[nodiscard]] bool flag_c() const { return flag_c_; }
+  [[nodiscard]] bool flag_z() const { return flag_z_; }
+  [[nodiscard]] bool flag_n() const { return flag_n_; }
+  [[nodiscard]] bool flag_v() const { return flag_v_; }
+
+  void run(std::size_t max_instructions) {
+    for (std::size_t i = 0; i < max_instructions; ++i) {
+      if (pc_ >= imem_.size()) return;
+      const std::uint16_t word = imem_[pc_];
+      const auto insn = decode(word);
+      const std::uint16_t insn_pc = pc_++;
+      if (!insn) continue; // NOP semantics
+      if (execute(*insn, insn_pc)) return; // self-loop: halted
+    }
+  }
+
+  [[nodiscard]] const std::vector<Out>& outputs() const { return out_; }
+  [[nodiscard]] const std::array<std::uint8_t, 256>& dmem() const {
+    return dmem_;
+  }
+
+private:
+  /// Returns true when the program entered a tight self-loop (halt).
+  bool execute(const Instruction& i, std::uint16_t insn_pc) {
+    const auto set_nz = [&](std::uint8_t r) {
+      flag_z_ = r == 0;
+      flag_n_ = (r & 0x80) != 0;
+    };
+    const auto add_common = [&](std::uint8_t a, std::uint8_t b, bool cin) {
+      const unsigned sum = static_cast<unsigned>(a) + b + (cin ? 1 : 0);
+      const std::uint8_t r = static_cast<std::uint8_t>(sum);
+      flag_c_ = sum > 0xff;
+      flag_v_ = ((a ^ r) & (b ^ r) & 0x80) != 0;
+      set_nz(r);
+      return r;
+    };
+    const auto sub_common = [&](std::uint8_t a, std::uint8_t b, bool borrow,
+                                bool chain_z) {
+      const unsigned need = static_cast<unsigned>(b) + (borrow ? 1 : 0);
+      const std::uint8_t r = static_cast<std::uint8_t>(a - need);
+      flag_c_ = need > a;
+      flag_v_ = ((a ^ b) & (a ^ r) & 0x80) != 0;
+      flag_n_ = (r & 0x80) != 0;
+      flag_z_ = chain_z ? (flag_z_ && r == 0) : (r == 0);
+      return r;
+    };
+
+    switch (i.mnemonic) {
+      case Mnemonic::Nop:
+        break;
+      case Mnemonic::Add:
+        reg_[i.rd] = add_common(reg_[i.rd], reg_[i.rr], false);
+        break;
+      case Mnemonic::Adc:
+        reg_[i.rd] = add_common(reg_[i.rd], reg_[i.rr], flag_c_);
+        break;
+      case Mnemonic::Sub:
+        reg_[i.rd] = sub_common(reg_[i.rd], reg_[i.rr], false, false);
+        break;
+      case Mnemonic::Sbc:
+        reg_[i.rd] = sub_common(reg_[i.rd], reg_[i.rr], flag_c_, true);
+        break;
+      case Mnemonic::Cp:
+        sub_common(reg_[i.rd], reg_[i.rr], false, false);
+        break;
+      case Mnemonic::Cpc:
+        sub_common(reg_[i.rd], reg_[i.rr], flag_c_, true);
+        break;
+      case Mnemonic::Cpi:
+        sub_common(reg_[i.rd], i.imm, false, false);
+        break;
+      case Mnemonic::Subi:
+        reg_[i.rd] = sub_common(reg_[i.rd], i.imm, false, false);
+        break;
+      case Mnemonic::Sbci:
+        reg_[i.rd] = sub_common(reg_[i.rd], i.imm, flag_c_, true);
+        break;
+      case Mnemonic::And:
+      case Mnemonic::Andi: {
+        const std::uint8_t b =
+            i.mnemonic == Mnemonic::And ? reg_[i.rr] : i.imm;
+        reg_[i.rd] &= b;
+        flag_v_ = false;
+        set_nz(reg_[i.rd]);
+        break;
+      }
+      case Mnemonic::Or:
+      case Mnemonic::Ori: {
+        const std::uint8_t b =
+            i.mnemonic == Mnemonic::Or ? reg_[i.rr] : i.imm;
+        reg_[i.rd] |= b;
+        flag_v_ = false;
+        set_nz(reg_[i.rd]);
+        break;
+      }
+      case Mnemonic::Eor:
+        reg_[i.rd] ^= reg_[i.rr];
+        flag_v_ = false;
+        set_nz(reg_[i.rd]);
+        break;
+      case Mnemonic::Mov:
+        reg_[i.rd] = reg_[i.rr];
+        break;
+      case Mnemonic::Ldi:
+        reg_[i.rd] = i.imm;
+        break;
+      case Mnemonic::Com:
+        reg_[i.rd] = static_cast<std::uint8_t>(~reg_[i.rd]);
+        flag_c_ = true;
+        flag_v_ = false;
+        set_nz(reg_[i.rd]);
+        break;
+      case Mnemonic::Inc:
+        flag_v_ = reg_[i.rd] == 0x7f;
+        ++reg_[i.rd];
+        set_nz(reg_[i.rd]);
+        break;
+      case Mnemonic::Dec:
+        flag_v_ = reg_[i.rd] == 0x80;
+        --reg_[i.rd];
+        set_nz(reg_[i.rd]);
+        break;
+      case Mnemonic::Lsr:
+        flag_c_ = reg_[i.rd] & 1;
+        reg_[i.rd] >>= 1;
+        flag_n_ = false;
+        flag_z_ = reg_[i.rd] == 0;
+        flag_v_ = flag_c_;
+        break;
+      case Mnemonic::Ror: {
+        const bool old_c = flag_c_;
+        flag_c_ = reg_[i.rd] & 1;
+        reg_[i.rd] = static_cast<std::uint8_t>(
+            (reg_[i.rd] >> 1) | (old_c ? 0x80 : 0));
+        set_nz(reg_[i.rd]);
+        flag_v_ = flag_n_ != flag_c_;
+        break;
+      }
+      case Mnemonic::LdX:
+        reg_[i.rd] = dmem_[reg_[26]];
+        break;
+      case Mnemonic::StX:
+        dmem_[reg_[26]] = reg_[i.rr];
+        break;
+      case Mnemonic::Out:
+        out_.push_back(Out{i.imm, reg_[i.rr]});
+        break;
+      case Mnemonic::Rjmp:
+        if (i.offset == -1) return true; // rjmp . == halt
+        pc_ = static_cast<std::uint16_t>(insn_pc + 1 + i.offset);
+        break;
+      case Mnemonic::Brbs:
+      case Mnemonic::Brbc: {
+        const bool flags[4] = {flag_c_, flag_z_, flag_n_, flag_v_};
+        const bool set = flags[i.sreg_bit];
+        if (set == (i.mnemonic == Mnemonic::Brbs)) {
+          pc_ = static_cast<std::uint16_t>(insn_pc + 1 + i.offset);
+        }
+        break;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::uint16_t> imem_;
+  std::array<std::uint8_t, 32> reg_{};
+  std::array<std::uint8_t, 256> dmem_{};
+  std::uint16_t pc_ = 0;
+  bool flag_c_ = false, flag_z_ = false, flag_n_ = false, flag_v_ = false;
+  std::vector<Out> out_;
+  bool halted_ = false;
+};
+
+/// Generate a random, terminating program of the implemented subset.
+Program random_program(Rng& rng, std::size_t length) {
+  Program p;
+  const auto gp = [&] { return static_cast<std::uint8_t>(rng.next_below(26)); };
+  const auto hi = [&] {
+    return static_cast<std::uint8_t>(16 + rng.next_below(10)); // r16..r25
+  };
+  const auto imm = [&] { return static_cast<std::uint8_t>(rng.next_u64()); };
+
+  // Seed registers and the X pointer with definite values.
+  for (std::uint8_t r = 16; r < 26; ++r) {
+    p.words.push_back(encode({Mnemonic::Ldi, r, 0, imm(), 0, 0}));
+  }
+  p.words.push_back(encode({Mnemonic::Ldi, 26, 0, 0x40, 0, 0}));
+
+  for (std::size_t i = 0; i < length; ++i) {
+    Instruction insn;
+    switch (rng.next_below(16)) {
+      case 0: insn = {Mnemonic::Add, gp(), gp(), 0, 0, 0}; break;
+      case 1: insn = {Mnemonic::Adc, gp(), gp(), 0, 0, 0}; break;
+      case 2: insn = {Mnemonic::Sub, gp(), gp(), 0, 0, 0}; break;
+      case 3: insn = {Mnemonic::Sbc, gp(), gp(), 0, 0, 0}; break;
+      case 4: insn = {Mnemonic::And, gp(), gp(), 0, 0, 0}; break;
+      case 5: insn = {Mnemonic::Eor, gp(), gp(), 0, 0, 0}; break;
+      case 6: insn = {Mnemonic::Or, gp(), gp(), 0, 0, 0}; break;
+      case 7: insn = {Mnemonic::Mov, gp(), gp(), 0, 0, 0}; break;
+      case 8: insn = {Mnemonic::Subi, hi(), 0, imm(), 0, 0}; break;
+      case 9: insn = {Mnemonic::Andi, hi(), 0, imm(), 0, 0}; break;
+      case 10: {
+        static const Mnemonic one[5] = {Mnemonic::Com, Mnemonic::Inc,
+                                        Mnemonic::Dec, Mnemonic::Lsr,
+                                        Mnemonic::Ror};
+        insn = {one[rng.next_below(5)], gp(), 0, 0, 0, 0};
+        break;
+      }
+      case 11: insn = {Mnemonic::Cp, gp(), gp(), 0, 0, 0}; break;
+      case 12: insn = {Mnemonic::LdX, gp(), 0, 0, 0, 0}; break;
+      case 13:
+        // Keep X inside dmem and step it around occasionally.
+        if (rng.next_bool()) {
+          insn = {Mnemonic::StX, 0, gp(), 0, 0, 0};
+        } else {
+          insn = {Mnemonic::Subi, 26, 0,
+                  static_cast<std::uint8_t>(rng.next_below(7) - 3), 0, 0};
+        }
+        break;
+      case 14:
+        insn = {Mnemonic::Out, 0,
+                static_cast<std::uint8_t>(rng.next_below(26)),
+                static_cast<std::uint8_t>(rng.next_below(64)), 0, 0};
+        break;
+      case 15: {
+        // Forward branch skipping 1..3 instructions (always in range).
+        const Mnemonic br =
+            rng.next_bool() ? Mnemonic::Brbs : Mnemonic::Brbc;
+        insn = {br, 0, 0, 0,
+                static_cast<std::int16_t>(1 + rng.next_below(3)),
+                static_cast<std::uint8_t>(rng.next_below(4))};
+        break;
+      }
+    }
+    p.words.push_back(encode(insn));
+  }
+  // Emit a checksum of the visible registers, then halt.
+  for (std::uint8_t r = 16; r < 26; ++r) {
+    p.words.push_back(
+        encode({Mnemonic::Out, 0, r, static_cast<std::uint8_t>(r), 0, 0}));
+  }
+  p.words.push_back(encode({Mnemonic::Rjmp, 0, 0, 0, -1, 0}));
+  return p;
+}
+
+
+} // namespace ripple::cores::avr

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "cell/library.hpp"
+
+namespace ripple::cell {
+namespace {
+
+TEST(CellLibrary, LookupByName) {
+  const Library& lib = Library::instance();
+  EXPECT_EQ(lib.find("AND2_X1").value(), Kind::And2);
+  EXPECT_EQ(lib.find("INV_X1").value(), Kind::Inv);
+  EXPECT_EQ(lib.find("DFF_X1").value(), Kind::Dff);
+  EXPECT_FALSE(lib.find("FOO_X1").has_value());
+}
+
+TEST(CellLibrary, PinCounts) {
+  EXPECT_EQ(num_inputs(Kind::Tie0), 0u);
+  EXPECT_EQ(num_inputs(Kind::Inv), 1u);
+  EXPECT_EQ(num_inputs(Kind::Nand3), 3u);
+  EXPECT_EQ(num_inputs(Kind::Aoi22), 4u);
+  EXPECT_EQ(num_inputs(Kind::Mux2), 3u);
+}
+
+TEST(CellLibrary, BasicTruthTables) {
+  EXPECT_FALSE(eval(Kind::Tie0, 0));
+  EXPECT_TRUE(eval(Kind::Tie1, 0));
+  EXPECT_TRUE(eval(Kind::Inv, 0));
+  EXPECT_FALSE(eval(Kind::Inv, 1));
+  EXPECT_TRUE(eval(Kind::Buf, 1));
+}
+
+TEST(CellLibrary, AndOrFamily) {
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(eval(Kind::And2, i), i == 3);
+    EXPECT_EQ(eval(Kind::Or2, i), i != 0);
+    EXPECT_EQ(eval(Kind::Nand2, i), i != 3);
+    EXPECT_EQ(eval(Kind::Nor2, i), i == 0);
+    EXPECT_EQ(eval(Kind::Xor2, i), i == 1 || i == 2);
+    EXPECT_EQ(eval(Kind::Xnor2, i), i == 0 || i == 3);
+  }
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(eval(Kind::And4, i), i == 15);
+    EXPECT_EQ(eval(Kind::Nor4, i), i == 0);
+  }
+}
+
+TEST(CellLibrary, Mux2SelectsBOnS1) {
+  // pins: S=bit0, A=bit1, B=bit2; out = S ? B : A
+  EXPECT_FALSE(eval(Kind::Mux2, 0b000));
+  EXPECT_TRUE(eval(Kind::Mux2, 0b010));  // S=0, A=1 -> 1
+  EXPECT_FALSE(eval(Kind::Mux2, 0b011)); // S=1, A=1, B=0 -> 0
+  EXPECT_TRUE(eval(Kind::Mux2, 0b101));  // S=1, B=1 -> 1
+  EXPECT_FALSE(eval(Kind::Mux2, 0b100)); // S=0, B=1, A=0 -> 0
+}
+
+TEST(CellLibrary, ComplexGates) {
+  // AOI21: !((A&B) | C), pins A=0,B=1,C=2
+  EXPECT_TRUE(eval(Kind::Aoi21, 0b000));
+  EXPECT_FALSE(eval(Kind::Aoi21, 0b011)); // A&B
+  EXPECT_FALSE(eval(Kind::Aoi21, 0b100)); // C
+  EXPECT_TRUE(eval(Kind::Aoi21, 0b001));
+  // OAI21: !((A|B) & C)
+  EXPECT_TRUE(eval(Kind::Oai21, 0b011));  // C=0
+  EXPECT_FALSE(eval(Kind::Oai21, 0b101)); // A=1, C=1
+  EXPECT_TRUE(eval(Kind::Oai21, 0b100));  // A=B=0
+  // AOI22: !((A&B) | (C&D))
+  EXPECT_FALSE(eval(Kind::Aoi22, 0b0011));
+  EXPECT_FALSE(eval(Kind::Aoi22, 0b1100));
+  EXPECT_TRUE(eval(Kind::Aoi22, 0b1010));
+  // OAI22: !((A|B) & (C|D))
+  EXPECT_TRUE(eval(Kind::Oai22, 0b0000));
+  EXPECT_FALSE(eval(Kind::Oai22, 0b0101));
+}
+
+TEST(CellLibrary, SpanEvalMatchesPacked) {
+  const bool inputs[3] = {true, false, true};
+  EXPECT_EQ(Library::instance().eval(Kind::Aoi21,
+                                     std::span<const bool>(inputs, 3)),
+            eval(Kind::Aoi21, 0b101));
+}
+
+TEST(CellLibrary, CombinationalKindsExcludeDff) {
+  for (Kind k : Library::instance().combinational_kinds()) {
+    EXPECT_NE(k, Kind::Dff);
+  }
+  EXPECT_EQ(Library::instance().combinational_kinds().size(),
+            kKindCount - 1);
+}
+
+TEST(CellLibrary, AreasPositive) {
+  for (Kind k : Library::instance().combinational_kinds()) {
+    if (k == Kind::Tie0 || k == Kind::Tie1) continue;
+    EXPECT_GT(info(k).area_um2, 0.0) << name(k);
+  }
+}
+
+// Property sweep: every cell's truth table is consistent with a reference
+// evaluation of its documented function.
+class TruthParam : public ::testing::TestWithParam<Kind> {};
+
+bool reference_eval(Kind k, std::uint32_t v) {
+  const auto b = [&](unsigned i) { return ((v >> i) & 1u) != 0; };
+  switch (k) {
+    case Kind::Tie0: return false;
+    case Kind::Tie1: return true;
+    case Kind::Buf: return b(0);
+    case Kind::Inv: return !b(0);
+    case Kind::And2: return b(0) && b(1);
+    case Kind::And3: return b(0) && b(1) && b(2);
+    case Kind::And4: return b(0) && b(1) && b(2) && b(3);
+    case Kind::Nand2: return !(b(0) && b(1));
+    case Kind::Nand3: return !(b(0) && b(1) && b(2));
+    case Kind::Nand4: return !(b(0) && b(1) && b(2) && b(3));
+    case Kind::Or2: return b(0) || b(1);
+    case Kind::Or3: return b(0) || b(1) || b(2);
+    case Kind::Or4: return b(0) || b(1) || b(2) || b(3);
+    case Kind::Nor2: return !(b(0) || b(1));
+    case Kind::Nor3: return !(b(0) || b(1) || b(2));
+    case Kind::Nor4: return !(b(0) || b(1) || b(2) || b(3));
+    case Kind::Xor2: return b(0) != b(1);
+    case Kind::Xnor2: return b(0) == b(1);
+    case Kind::Mux2: return b(0) ? b(2) : b(1);
+    case Kind::Aoi21: return !((b(0) && b(1)) || b(2));
+    case Kind::Aoi22: return !((b(0) && b(1)) || (b(2) && b(3)));
+    case Kind::Oai21: return !((b(0) || b(1)) && b(2));
+    case Kind::Oai22: return !((b(0) || b(1)) && (b(2) || b(3)));
+    case Kind::Dff: return false;
+  }
+  return false;
+}
+
+TEST_P(TruthParam, MatchesReference) {
+  const Kind k = GetParam();
+  const std::size_t n = num_inputs(k);
+  for (std::uint32_t v = 0; v < (1u << n); ++v) {
+    EXPECT_EQ(eval(k, v), reference_eval(k, v)) << name(k) << " @" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinational, TruthParam,
+    ::testing::ValuesIn(std::vector<Kind>(
+        Library::instance().combinational_kinds().begin(),
+        Library::instance().combinational_kinds().end())));
+
+} // namespace
+} // namespace ripple::cell

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mate/gate_masking.hpp"
+
+namespace ripple::mate {
+namespace {
+
+using cell::Kind;
+
+bool contains(const std::vector<PinCube>& cubes, PinCube c) {
+  return std::find(cubes.begin(), cubes.end(), c) != cubes.end();
+}
+
+TEST(GateMasking, And2SideZeroMasks) {
+  // Paper: GM(AND, {A}) = { B=0 }.
+  const auto cubes = compute_masking_cubes(Kind::And2, 0b01);
+  ASSERT_EQ(cubes.size(), 1u);
+  EXPECT_EQ(cubes[0], (PinCube{0b10, 0b00}));
+}
+
+TEST(GateMasking, Or2SideOneMasks) {
+  const auto cubes = compute_masking_cubes(Kind::Or2, 0b01);
+  ASSERT_EQ(cubes.size(), 1u);
+  EXPECT_EQ(cubes[0], (PinCube{0b10, 0b10}));
+}
+
+TEST(GateMasking, XorNeverMasks) {
+  // Paper: "B is an XOR gate, it has no fault-masking capabilities".
+  EXPECT_TRUE(compute_masking_cubes(Kind::Xor2, 0b01).empty());
+  EXPECT_TRUE(compute_masking_cubes(Kind::Xor2, 0b10).empty());
+  EXPECT_TRUE(compute_masking_cubes(Kind::Xnor2, 0b01).empty());
+}
+
+TEST(GateMasking, InverterAndBufferNeverMask) {
+  EXPECT_TRUE(compute_masking_cubes(Kind::Inv, 0b1).empty());
+  EXPECT_TRUE(compute_masking_cubes(Kind::Buf, 0b1).empty());
+}
+
+TEST(GateMasking, MuxFaultySelect) {
+  // Paper: GM(MUX, {x}) = { (!a & !b), (a & b) } — equal data legs.
+  // Our MUX2 pins: S=0, A=1, B=2.
+  const auto cubes = compute_masking_cubes(Kind::Mux2, 0b001);
+  ASSERT_EQ(cubes.size(), 2u);
+  EXPECT_TRUE(contains(cubes, PinCube{0b110, 0b000}));
+  EXPECT_TRUE(contains(cubes, PinCube{0b110, 0b110}));
+}
+
+TEST(GateMasking, MuxFaultyDataLeg) {
+  // Fault on A is masked when S selects B.
+  const auto cubes = compute_masking_cubes(Kind::Mux2, 0b010);
+  ASSERT_EQ(cubes.size(), 1u);
+  EXPECT_EQ(cubes[0], (PinCube{0b001, 0b001}));
+  // Fault on B is masked when S selects A.
+  const auto cubes_b = compute_masking_cubes(Kind::Mux2, 0b100);
+  ASSERT_EQ(cubes_b.size(), 1u);
+  EXPECT_EQ(cubes_b[0], (PinCube{0b001, 0b000}));
+}
+
+TEST(GateMasking, And3TwoFaultyInputs) {
+  // Any healthy side input at 0 masks both faulty pins.
+  const auto cubes = compute_masking_cubes(Kind::And3, 0b011);
+  ASSERT_EQ(cubes.size(), 1u);
+  EXPECT_EQ(cubes[0], (PinCube{0b100, 0b000}));
+}
+
+TEST(GateMasking, AllInputsFaultyCannotMask) {
+  EXPECT_TRUE(compute_masking_cubes(Kind::And2, 0b11).empty());
+  EXPECT_TRUE(compute_masking_cubes(Kind::Mux2, 0b111).empty());
+}
+
+TEST(GateMasking, Aoi21Cases) {
+  // AOI21 = !((A&B) | C); pins A=0,B=1,C=2.
+  // Fault on A masked when B=0 (kills the AND) ... but only if that fixes
+  // the output: out = !C then, independent of A. So GM = { B=0 } U { C=1 }.
+  const auto cubes = compute_masking_cubes(Kind::Aoi21, 0b001);
+  EXPECT_TRUE(contains(cubes, PinCube{0b010, 0b000}));
+  EXPECT_TRUE(contains(cubes, PinCube{0b100, 0b100}));
+  EXPECT_EQ(cubes.size(), 2u);
+  // Fault on C masked when A&B (output pinned to 0).
+  const auto cubes_c = compute_masking_cubes(Kind::Aoi21, 0b100);
+  ASSERT_EQ(cubes_c.size(), 1u);
+  EXPECT_EQ(cubes_c[0], (PinCube{0b011, 0b011}));
+}
+
+TEST(GateMasking, CubesAreMaximal) {
+  // No returned cube may be a specialization of another.
+  for (Kind k : cell::Library::instance().combinational_kinds()) {
+    const std::size_t n = cell::num_inputs(k);
+    if (n == 0) continue;
+    for (std::uint8_t mask = 1; mask < (1u << n); ++mask) {
+      const auto cubes = compute_masking_cubes(k, mask);
+      for (const PinCube& a : cubes) {
+        for (const PinCube& b : cubes) {
+          if (a == b) continue;
+          const bool a_subsumes_b =
+              (a.care & ~b.care) == 0 && (b.value & a.care) == a.value;
+          EXPECT_FALSE(a_subsumes_b) << cell::name(k);
+        }
+      }
+    }
+  }
+}
+
+TEST(GateMasking, TableMatchesDirectComputation) {
+  const GateMaskingTable& table = GateMaskingTable::instance();
+  EXPECT_EQ(table.terms(Kind::And2, 0b01),
+            compute_masking_cubes(Kind::And2, 0b01));
+  EXPECT_TRUE(table.can_mask(Kind::Or3, 0b001));
+  EXPECT_FALSE(table.can_mask(Kind::Xor2, 0b01));
+  EXPECT_TRUE(table.terms(Kind::And2, 0).empty()) << "no faulty pins";
+}
+
+// Property: every cube really masks — for each assignment satisfying the
+// cube, the output is constant over all faulty-pin combinations; and no
+// masking assignment escapes the returned cube set (completeness).
+struct Case {
+  Kind kind;
+  std::uint8_t mask;
+};
+
+class MaskingProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MaskingProperty, SoundAndComplete) {
+  const auto [kind, mask] = GetParam();
+  const cell::Info& ci = cell::info(kind);
+  if (mask >= (1u << ci.num_inputs)) GTEST_SKIP();
+  const auto cubes = compute_masking_cubes(kind, mask);
+
+  const std::uint32_t all = (1u << ci.num_inputs) - 1;
+  const std::uint32_t free_mask = all & ~mask;
+  for (std::uint32_t base = 0; base <= all; ++base) {
+    if ((base & mask) != 0) continue; // faulty pins fixed at 0 in base
+    // Is this free-pin assignment masking (reference computation)?
+    bool constant = true;
+    const bool first = cell::eval(kind, base);
+    for (std::uint32_t f = mask; ; f = (f - 1) & mask) {
+      if (cell::eval(kind, base | f) != first) constant = false;
+      if (f == 0) break;
+    }
+    // Does some cube claim it?
+    const bool claimed =
+        std::any_of(cubes.begin(), cubes.end(), [&](const PinCube& c) {
+          return (base & free_mask & c.care) == c.value;
+        });
+    EXPECT_EQ(claimed, constant)
+        << cell::name(kind) << " mask=" << int(mask) << " base=" << base;
+  }
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (Kind k : cell::Library::instance().combinational_kinds()) {
+    const std::size_t n = cell::num_inputs(k);
+    for (std::uint8_t m = 1; m < (1u << n); ++m) {
+      cases.push_back(Case{k, m});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCellsAllMasks, MaskingProperty,
+                         ::testing::ValuesIn(all_cases()));
+
+} // namespace
+} // namespace ripple::mate

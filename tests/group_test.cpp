@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mate/example.hpp"
+#include "mate/search.hpp"
+#include "netlist/random.hpp"
+#include "sim/oracle.hpp"
+#include "sim/simulator.hpp"
+
+namespace ripple::mate {
+namespace {
+
+using netlist::Kind;
+using netlist::Netlist;
+
+TEST(GroupMates, Figure1PairAB) {
+  // The pair {a, b} flips together: neither (!b) nor (!a) is usable (both
+  // wires are inside the joint cone), but the deeper (!g) at gate D still
+  // blocks the single escape route through k.
+  const Figure1Circuit fig = build_figure1_circuit();
+  const WireId group[2] = {fig.a, fig.b};
+  const GroupOutcome out = find_group_mates(fig.netlist, group, {});
+  ASSERT_EQ(out.status, WireStatus::Found);
+  ASSERT_EQ(out.mates.size(), 1u);
+  EXPECT_EQ(out.mates[0], Cube({Literal{fig.g, false}}));
+}
+
+TEST(GroupMates, SingletonMatchesSingleWireSearch) {
+  const Figure1Circuit fig = build_figure1_circuit();
+  const WireId group[1] = {fig.d};
+  const GroupOutcome g = find_group_mates(fig.netlist, group, {});
+  const SearchResult s = find_mates(fig.netlist, {fig.d}, {});
+  ASSERT_EQ(g.status, WireStatus::Found);
+  ASSERT_EQ(g.mates.size(), 1u);
+  EXPECT_EQ(g.mates[0], s.set.mates[0].cube);
+}
+
+TEST(GroupMates, UnmaskableMemberMakesGroupUnmaskable) {
+  const Figure1Circuit fig = build_figure1_circuit();
+  const WireId group[2] = {fig.d, fig.e};
+  const GroupOutcome out = find_group_mates(fig.netlist, group, {});
+  EXPECT_EQ(out.status, WireStatus::Unmaskable);
+}
+
+TEST(GroupOracle, PairOnGatedRegisters) {
+  // Two registers, both gated by the same enable: the pair fault is masked
+  // exactly when en == 0.
+  Netlist n;
+  const WireId en = n.add_input("en");
+  const WireId in = n.add_input("in");
+  const FlopId fa = n.add_flop("fa", false);
+  const FlopId fb = n.add_flop("fb", false);
+  const FlopId ta = n.add_flop("ta", false);
+  const FlopId tb = n.add_flop("tb", false);
+  n.connect_flop(ta, n.add_gate_new(Kind::And2, {n.flop(fa).q, en}, "ka"));
+  n.connect_flop(tb, n.add_gate_new(Kind::And2, {n.flop(fb).q, en}, "kb"));
+  n.connect_flop(fa, in);
+  n.connect_flop(fb, in);
+  n.mark_output(n.flop(ta).q);
+  n.mark_output(n.flop(tb).q);
+
+  sim::Simulator sim(n);
+  sim::MaskingOracle oracle(n);
+  const FlopId group[2] = {fa, fb};
+  for (const bool e : {false, true}) {
+    sim.set_input(en, e);
+    sim.set_input(in, true);
+    sim.eval();
+    EXPECT_EQ(oracle.masked_group(group, sim.values()), !e);
+  }
+
+  const WireId wires[2] = {n.flop(fa).q, n.flop(fb).q};
+  const GroupOutcome out = find_group_mates(n, wires, {});
+  ASSERT_EQ(out.status, WireStatus::Found);
+  EXPECT_EQ(out.mates[0], Cube({Literal{en, false}}));
+}
+
+/// Brute force reference for group masking: flip all, full re-evaluation.
+bool reference_group_masked(const Netlist& n, sim::Simulator& sim,
+                            std::span<const FlopId> group) {
+  sim.eval();
+  const BitVec before = sim.values();
+  for (FlopId f : group) sim.flip_flop(f);
+  sim.eval();
+  const BitVec after = sim.values();
+  for (FlopId f : group) sim.flip_flop(f);
+  sim.eval();
+  for (FlopId g : n.all_flops()) {
+    const WireId d = n.flop(g).d;
+    if (before.get(d.index()) != after.get(d.index())) return false;
+  }
+  for (WireId w : n.primary_outputs()) {
+    if (before.get(w.index()) != after.get(w.index())) return false;
+  }
+  return true;
+}
+
+class GroupFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroupFuzz, OracleAgreesWithFullResimulation) {
+  Rng rng(GetParam() + 900);
+  netlist::RandomCircuitSpec spec;
+  spec.num_gates = 60;
+  spec.num_flops = 10;
+  const Netlist n = random_circuit(spec, rng);
+  sim::Simulator sim(n);
+  sim::MaskingOracle oracle(n);
+  sim::MaskingOracle::Workspace ws(oracle);
+
+  for (int cycle = 0; cycle < 15; ++cycle) {
+    for (WireId w : n.primary_inputs()) sim.set_input(w, rng.next_bool());
+    sim.eval();
+    const BitVec values = sim.values();
+    for (int draw = 0; draw < 12; ++draw) {
+      FlopId group[2] = {
+          FlopId{static_cast<FlopId::value_type>(rng.next_below(10))},
+          FlopId{static_cast<FlopId::value_type>(rng.next_below(10))}};
+      if (group[0] == group[1]) continue;
+      EXPECT_EQ(oracle.masked_group(group, values, ws),
+                reference_group_masked(n, sim, group))
+          << "cycle " << cycle;
+    }
+    sim.latch();
+  }
+}
+
+TEST_P(GroupFuzz, GroupMatesAreSound) {
+  Rng rng(GetParam() * 31 + 7);
+  netlist::RandomCircuitSpec spec;
+  spec.num_gates = 60;
+  spec.num_flops = 10;
+  spec.allow_xor = (GetParam() % 2) == 0;
+  const Netlist n = random_circuit(spec, rng);
+
+  // Sample a handful of pairs and search group MATEs.
+  struct PairMates {
+    FlopId flops[2];
+    std::vector<Cube> cubes;
+  };
+  std::vector<PairMates> pairs;
+  for (int draw = 0; draw < 8; ++draw) {
+    const auto a = static_cast<FlopId::value_type>(rng.next_below(10));
+    const auto b = static_cast<FlopId::value_type>(rng.next_below(10));
+    if (a == b) continue;
+    const WireId wires[2] = {n.flop(FlopId{a}).q, n.flop(FlopId{b}).q};
+    const GroupOutcome out = find_group_mates(n, wires, {});
+    if (out.status == WireStatus::Found) {
+      pairs.push_back(PairMates{{FlopId{a}, FlopId{b}}, out.mates});
+    }
+  }
+
+  sim::Simulator sim(n);
+  sim::MaskingOracle oracle(n);
+  sim::MaskingOracle::Workspace ws(oracle);
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    for (WireId w : n.primary_inputs()) sim.set_input(w, rng.next_bool());
+    sim.eval();
+    const BitVec values = sim.values();
+    for (const PairMates& p : pairs) {
+      for (const Cube& cube : p.cubes) {
+        if (!cube.eval(values)) continue;
+        EXPECT_TRUE(oracle.masked_group(p.flops, values, ws))
+            << "pair MATE " << cube.to_string(n) << " cycle " << cycle;
+      }
+    }
+    sim.latch();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupFuzz,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+} // namespace
+} // namespace ripple::mate

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "cores/avr/programs.hpp"
+#include "hafi/avr_dut.hpp"
+#include "hafi/campaign.hpp"
+#include "mate/search.hpp"
+
+namespace ripple::hafi {
+namespace {
+
+using cores::avr::AvrCore;
+using cores::avr::Program;
+
+const AvrCore& core() {
+  static const AvrCore c = cores::avr::build_avr_core(true);
+  return c;
+}
+
+const Program& fib() {
+  static const Program p = cores::avr::fib_program();
+  return p;
+}
+
+CampaignConfig small_config() {
+  CampaignConfig cfg;
+  cfg.run_cycles = 400;
+  cfg.sample = 60;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Campaign, SamplingIsDeterministicAndInRange) {
+  Campaign campaign(make_avr_factory(core(), fib()), small_config());
+  const auto p1 = campaign.injection_points(core().netlist);
+  const auto p2 = campaign.injection_points(core().netlist);
+  ASSERT_EQ(p1.size(), 60u);
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].flop, p2[i].flop);
+    EXPECT_EQ(p1[i].cycle, p2[i].cycle);
+    EXPECT_LT(p1[i].flop.index(), core().netlist.num_flops());
+    EXPECT_LT(p1[i].cycle, 400u);
+  }
+}
+
+TEST(Campaign, ExhaustiveWhenSampleZero) {
+  CampaignConfig cfg;
+  cfg.run_cycles = 3;
+  cfg.sample = 0;
+  Campaign campaign(make_avr_factory(core(), fib()), cfg);
+  EXPECT_EQ(campaign.injection_points(core().netlist).size(),
+            core().netlist.num_flops() * 3);
+}
+
+TEST(Campaign, BaselineClassifiesOutcomes) {
+  Campaign campaign(make_avr_factory(core(), fib()), small_config());
+  const CampaignResult r = campaign.run(nullptr);
+  EXPECT_EQ(r.total, 60u);
+  EXPECT_EQ(r.executed, 60u);
+  EXPECT_EQ(r.pruned, 0u);
+  EXPECT_EQ(r.benign + r.latent + r.sdc, 60u);
+  // A fib run on a small core: faults must produce at least some of each
+  // extreme class (not everything benign, not everything fatal).
+  EXPECT_GT(r.benign, 0u);
+  EXPECT_GT(r.sdc + r.latent, 0u);
+}
+
+TEST(Campaign, MatePruningSavesExperimentsAndIsSound) {
+  const auto faulty = mate::all_flop_wires(core().netlist);
+  mate::SearchParams sp;
+  sp.threads = 2;
+  const mate::SearchResult search = find_mates(core().netlist, faulty, sp);
+  ASSERT_GT(search.set.mates.size(), 0u);
+
+  CampaignConfig cfg = small_config();
+  cfg.sample = 600; // fib masks ~3 % of the space; 600 draws make a zero-
+                    // prune campaign astronomically unlikely
+  cfg.validate_pruned = true;
+  Campaign campaign(make_avr_factory(core(), fib()), cfg);
+  const CampaignResult r = campaign.run(&search.set);
+
+  EXPECT_GT(r.pruned, 0u) << "MATEs should prune some sampled injections";
+  // THE soundness check: every pruned injection, when executed anyway,
+  // must be benign.
+  EXPECT_EQ(r.pruned_confirmed, r.pruned);
+}
+
+TEST(Campaign, PrunedSkippedWithoutValidation) {
+  const auto faulty = mate::all_flop_wires(core().netlist);
+  mate::SearchParams sp;
+  sp.threads = 2;
+  const mate::SearchResult search = find_mates(core().netlist, faulty, sp);
+
+  CampaignConfig cfg = small_config();
+  Campaign campaign(make_avr_factory(core(), fib()), cfg);
+  const CampaignResult r = campaign.run(&search.set);
+  EXPECT_EQ(r.executed + r.pruned, r.total);
+  if (r.pruned > 0) {
+    EXPECT_LT(r.executed, r.total);
+  }
+}
+
+TEST(Campaign, BaselineAndPrunedAgreeOnExecutedOutcomes) {
+  const auto faulty = mate::all_flop_wires(core().netlist);
+  mate::SearchParams sp;
+  sp.threads = 2;
+  const mate::SearchResult search = find_mates(core().netlist, faulty, sp);
+
+  CampaignConfig cfg = small_config();
+  cfg.validate_pruned = true;
+  Campaign campaign(make_avr_factory(core(), fib()), cfg);
+  const CampaignResult base = campaign.run(nullptr);
+  const CampaignResult pruned = campaign.run(&search.set);
+  ASSERT_EQ(base.experiments.size(), pruned.experiments.size());
+  for (std::size_t i = 0; i < base.experiments.size(); ++i) {
+    EXPECT_EQ(base.experiments[i].outcome, pruned.experiments[i].outcome);
+  }
+  EXPECT_EQ(base.sdc, pruned.sdc);
+}
+
+TEST(AvrDutAdapter, ObservableAndStateChange) {
+  AvrDut dut(core(), fib());
+  EXPECT_TRUE(dut.observable().empty());
+  for (int i = 0; i < 400; ++i) dut.step();
+  EXPECT_FALSE(dut.observable().empty());
+  AvrDut fresh(core(), fib());
+  EXPECT_NE(dut.observable(), fresh.observable());
+}
+
+} // namespace
+} // namespace ripple::hafi

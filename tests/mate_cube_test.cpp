@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "mate/cube.hpp"
+
+namespace ripple::mate {
+namespace {
+
+Literal lit(std::uint32_t w, bool v) { return Literal{WireId{w}, v}; }
+
+TEST(PinCube, MatchesAssignments) {
+  const PinCube c{0b011, 0b001}; // pin0 = 1, pin1 = 0
+  EXPECT_TRUE(c.matches(0b001));
+  EXPECT_TRUE(c.matches(0b101)); // pin2 unconstrained
+  EXPECT_FALSE(c.matches(0b011));
+  EXPECT_FALSE(c.matches(0b000));
+  EXPECT_EQ(c.num_literals(), 2u);
+}
+
+TEST(Cube, NormalizesOrderAndDuplicates) {
+  const Cube c({lit(5, true), lit(2, false), lit(5, true)});
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.literals()[0].wire, WireId{2});
+  EXPECT_EQ(c.literals()[1].wire, WireId{5});
+}
+
+TEST(Cube, ContradictionRejected) {
+  EXPECT_THROW(Cube({lit(1, true), lit(1, false)}), Error);
+}
+
+TEST(Cube, ConjoinMerges) {
+  const Cube a({lit(1, true)});
+  const Cube b({lit(2, false), lit(1, true)});
+  const auto c = a.conjoin(b);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->size(), 2u);
+}
+
+TEST(Cube, ConjoinDetectsConflict) {
+  const Cube a({lit(1, true)});
+  const Cube b({lit(1, false)});
+  EXPECT_FALSE(a.conjoin(b).has_value());
+}
+
+TEST(Cube, ConjoinWithTrueIsIdentity) {
+  const Cube a({lit(3, true)});
+  const auto c = a.conjoin(Cube{});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, a);
+}
+
+TEST(Cube, Implies) {
+  const Cube big({lit(1, true), lit(2, false), lit(3, true)});
+  const Cube small({lit(2, false)});
+  EXPECT_TRUE(big.implies(small));
+  EXPECT_FALSE(small.implies(big));
+  EXPECT_TRUE(big.implies(Cube{}));
+  EXPECT_TRUE(Cube{}.implies(Cube{}));
+}
+
+TEST(Cube, EvalAgainstValues) {
+  BitVec values(8);
+  values.set(1, true);
+  const Cube c({lit(1, true), lit(2, false)});
+  EXPECT_TRUE(c.eval(values));
+  values.set(2, true);
+  EXPECT_FALSE(c.eval(values));
+  EXPECT_TRUE(Cube{}.eval(values)) << "empty cube is constant true";
+}
+
+TEST(Cube, ToStringNamesWires) {
+  netlist::Netlist n;
+  const WireId a = n.add_input("alpha");
+  const WireId b = n.add_input("beta");
+  const Cube c({Literal{a, false}, Literal{b, true}});
+  EXPECT_EQ(c.to_string(n), "(!alpha & beta)");
+  EXPECT_EQ(Cube{}.to_string(n), "(true)");
+}
+
+TEST(Cube, OrderingIsTotal) {
+  const Cube a({lit(1, true)});
+  const Cube b({lit(1, true), lit(2, true)});
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+} // namespace
+} // namespace ripple::mate

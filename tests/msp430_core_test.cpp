@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "cores/msp430/core.hpp"
+#include "cores/msp430/programs.hpp"
+#include "cores/msp430/system.hpp"
+
+namespace ripple::cores::msp430 {
+namespace {
+
+const Msp430Core& core() {
+  static const Msp430Core c = build_msp430_core(true);
+  return c;
+}
+
+Msp430System boot(std::string_view src) {
+  static std::vector<std::unique_ptr<Image>> keep;
+  keep.push_back(std::make_unique<Image>(assemble(src)));
+  return Msp430System(core(), *keep.back());
+}
+
+void run_until_io(Msp430System& sys, std::size_t count, std::size_t bound) {
+  while (sys.io_log().size() < count && sys.simulator().cycle() < bound) {
+    sys.step();
+  }
+  ASSERT_GE(sys.io_log().size(), count)
+      << "program produced too little output in " << bound << " cycles";
+}
+
+TEST(Msp430Core, NetlistShape) {
+  const Msp430Core& c = core();
+  // 14 x 16 regfile + pc/ir/src/dst/addr (5 x 16) + state(3) + flags(4).
+  EXPECT_EQ(c.netlist.num_flops(), 14 * 16 + 5 * 16 + 3 + 4);
+  std::size_t rf = 0;
+  for (FlopId f : c.netlist.all_flops()) {
+    if (c.netlist.flop(f).name.starts_with(kRegfilePrefix)) ++rf;
+  }
+  EXPECT_EQ(rf, 224u);
+  EXPECT_GT(c.netlist.num_gates(), 800u);
+}
+
+TEST(Msp430Core, MovImmediateAndOut) {
+  Msp430System sys = boot(R"(
+    mov #0x5a5a, r4
+    mov r4, &0xff00
+halt:
+    jmp halt
+)");
+  run_until_io(sys, 1, 100);
+  EXPECT_EQ(sys.io_log()[0].addr, 0xff00);
+  EXPECT_EQ(sys.io_log()[0].data, 0x5a5a);
+}
+
+TEST(Msp430Core, AddSubCarryChain) {
+  Msp430System sys = boot(R"(
+    mov #0xffff, r4
+    add #1, r4          ; -> 0, C=1
+    mov #0, r5
+    addc #0, r5         ; -> 1
+    mov r4, &0xff00
+    mov r5, &0xff02
+    mov #5, r6
+    sub #7, r6          ; -> 0xfffe, C=0 (borrow)
+    mov r6, &0xff04
+    mov #0, r7
+    subc #0, r7         ; 0 - 0 - 1 = 0xffff
+    mov r7, &0xff06
+halt:
+    jmp halt
+)");
+  run_until_io(sys, 4, 400);
+  EXPECT_EQ(sys.io_log()[0].data, 0x0000);
+  EXPECT_EQ(sys.io_log()[1].data, 0x0001);
+  EXPECT_EQ(sys.io_log()[2].data, 0xfffe);
+  EXPECT_EQ(sys.io_log()[3].data, 0xffff);
+}
+
+TEST(Msp430Core, LogicOps) {
+  Msp430System sys = boot(R"(
+    mov #0xf0f0, r4
+    mov #0x3c3c, r5
+    mov r4, r6
+    and r5, r6
+    mov r6, &0xff00
+    mov r4, r6
+    bis r5, r6
+    mov r6, &0xff02
+    mov r4, r6
+    xor r5, r6
+    mov r6, &0xff04
+    mov r4, r6
+    bic r5, r6          ; r6 &= ~r5
+    mov r6, &0xff06
+halt:
+    jmp halt
+)");
+  run_until_io(sys, 4, 600);
+  EXPECT_EQ(sys.io_log()[0].data, 0xf0f0 & 0x3c3c);
+  EXPECT_EQ(sys.io_log()[1].data, 0xf0f0 | 0x3c3c);
+  EXPECT_EQ(sys.io_log()[2].data, 0xf0f0 ^ 0x3c3c);
+  EXPECT_EQ(sys.io_log()[3].data, 0xf0f0 & ~0x3c3c);
+}
+
+TEST(Msp430Core, ShiftsAndSwpbSxt) {
+  Msp430System sys = boot(R"(
+    mov #0x8421, r4
+    rra r4              ; arithmetic: 0xc210, C=1
+    mov r4, &0xff00
+    mov #0x0002, r5
+    rrc r5              ; C=1 from rra: 0x8001
+    mov r5, &0xff02
+    mov #0x1234, r6
+    swpb r6             ; 0x3412
+    mov r6, &0xff04
+    mov #0x0080, r7
+    sxt r7              ; 0xff80
+    mov r7, &0xff06
+halt:
+    jmp halt
+)");
+  run_until_io(sys, 4, 600);
+  EXPECT_EQ(sys.io_log()[0].data, 0xc210);
+  EXPECT_EQ(sys.io_log()[1].data, 0x8001);
+  EXPECT_EQ(sys.io_log()[2].data, 0x3412);
+  EXPECT_EQ(sys.io_log()[3].data, 0xff80);
+}
+
+TEST(Msp430Core, MemoryAddressingModes) {
+  Msp430System sys = boot(R"(
+.equ BUF, 0x300
+    mov #0xabcd, &BUF
+    mov #BUF, r4
+    mov @r4, r5         ; 0xabcd
+    mov r5, &0xff00
+    mov #0x1111, 2(r4)  ; BUF+2
+    mov 2(r4), r6
+    mov r6, &0xff02
+    mov #BUF, r7
+    mov @r7+, r8        ; reads BUF, r7 += 2
+    mov @r7, r9         ; reads BUF+2
+    mov r8, &0xff04
+    mov r9, &0xff06
+    mov r7, &0xff08     ; BUF+2
+halt:
+    jmp halt
+)");
+  run_until_io(sys, 5, 800);
+  EXPECT_EQ(sys.io_log()[0].data, 0xabcd);
+  EXPECT_EQ(sys.io_log()[1].data, 0x1111);
+  EXPECT_EQ(sys.io_log()[2].data, 0xabcd);
+  EXPECT_EQ(sys.io_log()[3].data, 0x1111);
+  EXPECT_EQ(sys.io_log()[4].data, 0x302);
+}
+
+TEST(Msp430Core, CmpAndConditionalJumps) {
+  Msp430System sys = boot(R"(
+    mov #5, r4
+    cmp #5, r4
+    jeq eq1
+    mov #0xbad, &0xff00
+    jmp halt
+eq1:
+    mov #1, &0xff00
+    cmp #6, r4          ; 5 - 6: borrow, C=0, N=1
+    jlo lower           ; jnc
+    mov #0xbad, &0xff02
+    jmp halt
+lower:
+    mov #2, &0xff02
+    mov #0xfffe, r5     ; -2
+    cmp #1, r5          ; -2 - 1 = negative, N^V=1 -> JL
+    jl less
+    mov #0xbad, &0xff04
+    jmp halt
+less:
+    mov #3, &0xff04
+halt:
+    jmp halt
+)");
+  run_until_io(sys, 3, 800);
+  EXPECT_EQ(sys.io_log()[0].data, 1);
+  EXPECT_EQ(sys.io_log()[1].data, 2);
+  EXPECT_EQ(sys.io_log()[2].data, 3);
+}
+
+TEST(Msp430Core, BitTestAndBranchOnZero) {
+  Msp430System sys = boot(R"(
+    mov #0b100, r4
+    bit #0b010, r4
+    jeq clear           ; bit not set -> Z=1
+    mov #0xbad, &0xff00
+    jmp halt
+clear:
+    bit #0b100, r4
+    jne set
+    mov #0xbad, &0xff00
+    jmp halt
+set:
+    mov #7, &0xff00
+halt:
+    jmp halt
+)");
+  run_until_io(sys, 1, 400);
+  EXPECT_EQ(sys.io_log()[0].data, 7);
+}
+
+TEST(Msp430Core, MovToPcBranches) {
+  Msp430System sys = boot(R"(
+    br #target
+    mov #0xbad, &0xff00
+    jmp halt
+target:
+    mov #0x66, &0xff00
+halt:
+    jmp halt
+)");
+  run_until_io(sys, 1, 200);
+  EXPECT_EQ(sys.io_log()[0].data, 0x66);
+}
+
+TEST(Msp430Core, MultiCycleTiming) {
+  // Register-register ALU op: FETCH, DECODE, EXEC = 3 cycles; immediate
+  // source adds one SRC_READ cycle.
+  Msp430System sys = boot(R"(
+    mov r4, r5
+    mov #1, r6
+halt:
+    jmp halt
+)");
+  // After 3 cycles the first mov retires; the second needs 4 more.
+  sys.run(3);
+  EXPECT_EQ(sys.mem_addr(), 2u) << "second instruction fetch";
+  sys.run(4);
+  EXPECT_EQ(sys.mem_addr(), 6u) << "halt fetch (mov #1,r6 is 2 words)";
+}
+
+TEST(Msp430Core, FibComputesFib20) {
+  static const Image img = fib_image();
+  Msp430System sys(core(), img);
+  run_until_io(sys, 1, 2000);
+  EXPECT_EQ(sys.io_log()[0].addr, 0xff00);
+  EXPECT_EQ(sys.io_log()[0].data, 6765);
+}
+
+TEST(Msp430Core, FibLoopsForever) {
+  static const Image img = fib_image();
+  Msp430System sys(core(), img);
+  run_until_io(sys, 3, 6000);
+  EXPECT_EQ(sys.io_log()[1].data, 6765);
+  EXPECT_EQ(sys.io_log()[2].data, 6765);
+}
+
+TEST(Msp430Core, ConvMatchesReference) {
+  static const Image img = conv_image();
+  Msp430System sys(core(), img);
+  run_until_io(sys, 5, 20000);
+  const int h[4] = {1, 2, 3, 1};
+  for (int n = 0; n < 5; ++n) {
+    int acc = 0;
+    for (int k = 0; k < 4; ++k) acc += (3 + 7 * (n + k)) * h[k];
+    EXPECT_EQ(sys.io_log()[static_cast<std::size_t>(n)].data, acc)
+        << "y[" << n << "]";
+    EXPECT_EQ(sys.memory()[(0x240 + 2 * n) / 2], acc);
+  }
+}
+
+TEST(Msp430Core, UnoptimizedAndOptimizedAgree) {
+  static const Msp430Core raw = build_msp430_core(false);
+  static const Image img = fib_image();
+  Msp430System a(core(), img);
+  Msp430System b(raw, img);
+  a.run(1500);
+  b.run(1500);
+  ASSERT_GE(a.io_log().size(), 1u);
+  EXPECT_EQ(a.io_log(), b.io_log());
+}
+
+} // namespace
+} // namespace ripple::cores::msp430

@@ -1,0 +1,401 @@
+// Differential fuzzing of the gate-level MSP430 core against an independent
+// ISA-level reference emulator: random Format-I/II/jump mixes over all
+// addressing modes must produce identical output-port writes and memory.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cores/msp430/core.hpp"
+#include "cores/msp430/isa.hpp"
+#include "cores/msp430/system.hpp"
+#include "util/rng.hpp"
+
+namespace ripple::cores::msp430 {
+namespace {
+
+class Msp430Ref {
+public:
+  explicit Msp430Ref(std::vector<std::uint16_t> image)
+      : mem_(1u << 15, 0) {
+    std::copy(image.begin(), image.end(), mem_.begin());
+  }
+
+  struct Out {
+    std::uint16_t addr;
+    std::uint16_t data;
+    bool operator==(const Out&) const = default;
+  };
+
+  void run(std::size_t max_instructions) {
+    for (std::size_t n = 0; n < max_instructions; ++n) {
+      const std::uint16_t insn_pc = pc_;
+      const std::uint16_t word = fetch();
+      // Decode needs a window of words for the extension fetches; feed it
+      // the raw memory starting at the instruction.
+      std::vector<std::uint16_t> window = {word, peek(pc_), peek(pc_ + 2)};
+      const auto insn = decode(window, 0);
+      if (!insn) continue; // executes as whatever the core does... excluded
+                           // by construction: the generator only emits
+                           // subset encodings.
+      if (execute(*insn, insn_pc)) return;
+    }
+  }
+
+  [[nodiscard]] const std::vector<Out>& outputs() const { return out_; }
+  [[nodiscard]] const std::vector<std::uint16_t>& memory() const {
+    return mem_;
+  }
+
+private:
+  std::uint16_t peek(std::uint16_t byte_addr) const {
+    return mem_[(byte_addr >> 1) & 0x7fff];
+  }
+  std::uint16_t fetch() {
+    const std::uint16_t w = peek(pc_);
+    pc_ += 2;
+    return w;
+  }
+  void store(std::uint16_t byte_addr, std::uint16_t value) {
+    if (byte_addr >= kIoBase) {
+      out_.push_back(Out{byte_addr, value});
+    } else {
+      mem_[(byte_addr >> 1) & 0x7fff] = value;
+    }
+  }
+  std::uint16_t& reg(std::uint8_t r) { return regs_[r]; }
+
+  /// Returns true on the jmp-to-self halt.
+  bool execute(const Instruction& i, std::uint16_t insn_pc) {
+    if (i.format == Instruction::Format::Jump) {
+      const bool nxv = flag_n_ != flag_v_;
+      bool take = false;
+      switch (i.cond) {
+        case Cond::Jne: take = !flag_z_; break;
+        case Cond::Jeq: take = flag_z_; break;
+        case Cond::Jnc: take = !flag_c_; break;
+        case Cond::Jc: take = flag_c_; break;
+        case Cond::Jn: take = flag_n_; break;
+        case Cond::Jge: take = !nxv; break;
+        case Cond::Jl: take = nxv; break;
+        case Cond::Jmp: take = true; break;
+      }
+      if (i.cond == Cond::Jmp && i.offset == -1) return true; // halt
+      if (take) {
+        pc_ = static_cast<std::uint16_t>(insn_pc + 2 + 2 * i.offset);
+      }
+      return false;
+    }
+
+    if (i.format == Instruction::Format::Two) {
+      const std::uint16_t v = reg(i.reg2);
+      std::uint16_t r = 0;
+      switch (i.op2) {
+        case Op2::Rrc:
+          r = static_cast<std::uint16_t>((v >> 1) | (flag_c_ ? 0x8000 : 0));
+          flag_c_ = v & 1;
+          set_nz(r);
+          flag_v_ = false;
+          break;
+        case Op2::Rra:
+          r = static_cast<std::uint16_t>((v >> 1) | (v & 0x8000));
+          flag_c_ = v & 1;
+          set_nz(r);
+          flag_v_ = false;
+          break;
+        case Op2::Swpb:
+          r = static_cast<std::uint16_t>((v >> 8) | (v << 8));
+          break; // no flags
+        case Op2::Sxt:
+          r = static_cast<std::uint16_t>(
+              static_cast<std::int16_t>(static_cast<std::int8_t>(v & 0xff)));
+          set_nz(r);
+          flag_c_ = r != 0;
+          flag_v_ = false;
+          break;
+      }
+      reg(i.reg2) = r;
+      return false;
+    }
+
+    // Format I: fetch source operand.
+    std::uint16_t src = 0;
+    switch (i.src.mode) {
+      case SrcMode::Reg: src = reg(i.src.reg); break;
+      case SrcMode::Immediate: src = fetch(); break;
+      case SrcMode::Absolute: src = peek(fetch()); break;
+      case SrcMode::Indexed: {
+        const std::uint16_t x = fetch();
+        src = peek(static_cast<std::uint16_t>(reg(i.src.reg) + x));
+        break;
+      }
+      case SrcMode::Indirect: src = peek(reg(i.src.reg)); break;
+      case SrcMode::AutoInc:
+        src = peek(reg(i.src.reg));
+        reg(i.src.reg) += 2;
+        break;
+    }
+
+    // Destination operand (address for memory destinations).
+    std::uint16_t dst_addr = 0;
+    std::uint16_t dst = 0;
+    const bool mem_dst = i.dst_mode != DstMode::Reg;
+    if (i.dst_mode == DstMode::Indexed) {
+      dst_addr = static_cast<std::uint16_t>(reg(i.dst_reg) + fetch());
+      dst = peek(dst_addr);
+    } else if (i.dst_mode == DstMode::Absolute) {
+      dst_addr = fetch();
+      dst = peek(dst_addr);
+    } else {
+      dst = reg(i.dst_reg);
+    }
+
+    std::uint16_t r = 0;
+    bool writes = true;
+    bool sets_flags = true;
+    switch (i.op1) {
+      case Op1::Mov:
+        r = src;
+        sets_flags = false;
+        break;
+      case Op1::Add:
+      case Op1::Addc: {
+        const unsigned cin = (i.op1 == Op1::Addc && flag_c_) ? 1 : 0;
+        const unsigned sum = static_cast<unsigned>(dst) + src + cin;
+        r = static_cast<std::uint16_t>(sum);
+        flag_c_ = sum > 0xffff;
+        flag_v_ = ((dst ^ r) & (src ^ r) & 0x8000) != 0;
+        set_nz(r);
+        break;
+      }
+      case Op1::Sub:
+      case Op1::Subc:
+      case Op1::Cmp: {
+        // dst + ~src + {1 | C}
+        const unsigned cin =
+            i.op1 == Op1::Subc ? (flag_c_ ? 1u : 0u) : 1u;
+        const unsigned sum = static_cast<unsigned>(dst) +
+                             static_cast<std::uint16_t>(~src) + cin;
+        r = static_cast<std::uint16_t>(sum);
+        flag_c_ = sum > 0xffff;
+        flag_v_ = ((dst ^ src) & (dst ^ r) & 0x8000) != 0;
+        set_nz(r);
+        writes = i.op1 != Op1::Cmp;
+        break;
+      }
+      case Op1::Bit:
+      case Op1::And:
+        r = dst & src;
+        set_nz(r);
+        flag_c_ = r != 0;
+        flag_v_ = false;
+        writes = i.op1 == Op1::And;
+        break;
+      case Op1::Bic:
+        r = dst & static_cast<std::uint16_t>(~src);
+        sets_flags = false;
+        break;
+      case Op1::Bis:
+        r = static_cast<std::uint16_t>(dst | src);
+        sets_flags = false;
+        break;
+      case Op1::Xor:
+        r = dst ^ src;
+        set_nz(r);
+        flag_c_ = r != 0;
+        flag_v_ = (dst & src & 0x8000) != 0;
+        break;
+    }
+    (void)sets_flags;
+
+    if (writes) {
+      if (mem_dst) {
+        store(dst_addr, r);
+      } else if (i.dst_reg == 0) {
+        pc_ = r;
+      } else {
+        reg(i.dst_reg) = r;
+      }
+    }
+    return false;
+  }
+
+  void set_nz(std::uint16_t r) {
+    flag_z_ = r == 0;
+    flag_n_ = (r & 0x8000) != 0;
+  }
+
+  std::vector<std::uint16_t> mem_;
+  std::array<std::uint16_t, 16> regs_{};
+  std::uint16_t pc_ = 0;
+  bool flag_c_ = false, flag_z_ = false, flag_n_ = false, flag_v_ = false;
+  std::vector<Out> out_;
+};
+
+/// Generate a random, terminating program exercising all addressing modes.
+Image random_image(Rng& rng, std::size_t length) {
+  std::vector<Instruction> insns;
+  const auto gp = [&] {
+    return static_cast<std::uint8_t>(4 + rng.next_below(9)); // r4..r12
+  };
+  const auto imm16 = [&] { return static_cast<std::uint16_t>(rng.next_u64()); };
+
+  // Seed the data registers and the r13 pointer (kept inside 0x300..0x3ff).
+  for (std::uint8_t r = 4; r <= 12; ++r) {
+    Instruction i;
+    i.format = Instruction::Format::One;
+    i.op1 = Op1::Mov;
+    i.src = {SrcMode::Immediate, 0, imm16()};
+    i.dst_mode = DstMode::Reg;
+    i.dst_reg = r;
+    insns.push_back(i);
+  }
+  {
+    Instruction i;
+    i.format = Instruction::Format::One;
+    i.op1 = Op1::Mov;
+    i.src = {SrcMode::Immediate, 0, 0x0300};
+    i.dst_mode = DstMode::Reg;
+    i.dst_reg = 13;
+    insns.push_back(i);
+  }
+
+  const auto random_src = [&]() -> Operand {
+    switch (rng.next_below(6)) {
+      case 0: return {SrcMode::Reg, gp(), 0};
+      case 1: return {SrcMode::Immediate, 0, imm16()};
+      case 2: return {SrcMode::Indirect, 13, 0};
+      case 3: return {SrcMode::AutoInc, 13, 0};
+      case 4:
+        return {SrcMode::Indexed, 13,
+                static_cast<std::uint16_t>(2 * rng.next_below(8))};
+      default:
+        return {SrcMode::Absolute, 2,
+                static_cast<std::uint16_t>(0x320 + 2 * rng.next_below(8))};
+    }
+  };
+
+  for (std::size_t n = 0; n < length; ++n) {
+    Instruction i;
+    const unsigned pick = static_cast<unsigned>(rng.next_below(12));
+    if (pick < 8) {
+      static const Op1 ops[11] = {Op1::Mov, Op1::Add, Op1::Addc, Op1::Subc,
+                                  Op1::Sub, Op1::Cmp, Op1::Bit,  Op1::Bic,
+                                  Op1::Bis, Op1::Xor, Op1::And};
+      i.format = Instruction::Format::One;
+      i.op1 = ops[rng.next_below(11)];
+      i.src = random_src();
+      switch (rng.next_below(3)) {
+        case 0:
+          i.dst_mode = DstMode::Reg;
+          i.dst_reg = gp();
+          break;
+        case 1:
+          i.dst_mode = DstMode::Indexed;
+          i.dst_reg = 13;
+          i.dst_ext = static_cast<std::uint16_t>(2 * rng.next_below(8));
+          break;
+        default:
+          i.dst_mode = DstMode::Absolute;
+          i.dst_reg = 2;
+          i.dst_ext = static_cast<std::uint16_t>(0x320 + 2 * rng.next_below(8));
+          break;
+      }
+    } else if (pick < 10) {
+      i.format = Instruction::Format::Two;
+      static const Op2 ops[4] = {Op2::Rrc, Op2::Swpb, Op2::Rra, Op2::Sxt};
+      i.op2 = ops[rng.next_below(4)];
+      i.reg2 = gp();
+    } else {
+      i.format = Instruction::Format::Jump;
+      static const Cond conds[8] = {Cond::Jne, Cond::Jeq, Cond::Jnc,
+                                    Cond::Jc,  Cond::Jn,  Cond::Jge,
+                                    Cond::Jl,  Cond::Jmp};
+      i.cond = conds[rng.next_below(8)];
+      i.offset = 0; // fixed up below: skip 1..2 instructions forward
+      i.dst_reg = static_cast<std::uint8_t>(1 + rng.next_below(2)); // marker
+      insns.push_back(i);
+      continue;
+    }
+    insns.push_back(i);
+  }
+  // Tail: publish the registers, then halt.
+  for (std::uint8_t r = 4; r <= 12; ++r) {
+    Instruction i;
+    i.format = Instruction::Format::One;
+    i.op1 = Op1::Mov;
+    i.src = {SrcMode::Reg, r, 0};
+    i.dst_mode = DstMode::Absolute;
+    i.dst_reg = 2;
+    i.dst_ext = static_cast<std::uint16_t>(kIoBase + 2 * r);
+    insns.push_back(i);
+  }
+  {
+    Instruction halt;
+    halt.format = Instruction::Format::Jump;
+    halt.cond = Cond::Jmp;
+    halt.offset = -1;
+    insns.push_back(halt);
+  }
+
+  // Lay out and fix up jump offsets (they skip `dst_reg` instructions).
+  std::vector<std::size_t> word_addr(insns.size() + 1);
+  std::size_t addr = 0;
+  for (std::size_t n = 0; n < insns.size(); ++n) {
+    word_addr[n] = addr;
+    addr += encoded_length(insns[n]);
+  }
+  word_addr[insns.size()] = addr;
+
+  Image image;
+  for (std::size_t n = 0; n < insns.size(); ++n) {
+    Instruction i = insns[n];
+    if (i.format == Instruction::Format::Jump && i.offset == 0 &&
+        i.dst_reg != 0) {
+      const std::size_t skip = std::min<std::size_t>(i.dst_reg,
+                                                     insns.size() - 1 - n);
+      const std::size_t target = word_addr[n + 1 + skip];
+      i.offset = static_cast<std::int16_t>(
+          (static_cast<std::ptrdiff_t>(target) -
+           static_cast<std::ptrdiff_t>(word_addr[n] + 1)));
+      i.dst_reg = 3;
+    }
+    for (std::uint16_t w : encode(i)) image.words.push_back(w);
+  }
+  return image;
+}
+
+class Msp430Differential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Msp430Differential, CoreMatchesReferenceModel) {
+  Rng rng(GetParam() * 977 + 5);
+  const Image image = random_image(rng, 45);
+
+  static const Msp430Core& core = []() -> const Msp430Core& {
+    static const Msp430Core c = build_msp430_core(true);
+    return c;
+  }();
+
+  Msp430System sys(core, image);
+  sys.run(9 * image.words.size() + 60);
+
+  Msp430Ref ref(image.words);
+  ref.run(4 * image.words.size());
+
+  ASSERT_EQ(sys.io_log().size(), ref.outputs().size())
+      << "seed " << GetParam();
+  for (std::size_t i = 0; i < ref.outputs().size(); ++i) {
+    EXPECT_EQ(sys.io_log()[i].addr, ref.outputs()[i].addr) << "event " << i;
+    EXPECT_EQ(sys.io_log()[i].data, ref.outputs()[i].data)
+        << "event " << i << " seed " << GetParam();
+  }
+  for (std::size_t w = 0x300 / 2; w < 0x400 / 2; ++w) {
+    EXPECT_EQ(sys.memory()[w], ref.memory()[w]) << "mem word " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Msp430Differential,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+} // namespace
+} // namespace ripple::cores::msp430

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "cores/msp430/assembler.hpp"
+#include "cores/msp430/isa.hpp"
+#include "cores/msp430/programs.hpp"
+#include "util/assert.hpp"
+
+namespace ripple::cores::msp430 {
+namespace {
+
+TEST(Msp430Isa, KnownEncodings) {
+  // Reference words from the MSP430 family user's guide.
+  Instruction i;
+  i.format = Instruction::Format::One;
+  i.op1 = Op1::Mov;
+  i.src = {SrcMode::Reg, 4, 0};
+  i.dst_mode = DstMode::Reg;
+  i.dst_reg = 5;
+  EXPECT_EQ(encode(i), (std::vector<std::uint16_t>{0x4405})); // mov r4, r5
+
+  i.op1 = Op1::Add;
+  i.src = {SrcMode::Immediate, 0, 0x1234};
+  i.dst_mode = DstMode::Reg;
+  i.dst_reg = 7;
+  EXPECT_EQ(encode(i),
+            (std::vector<std::uint16_t>{0x5037, 0x1234})); // add #0x1234, r7
+
+  i.op1 = Op1::Mov;
+  i.src = {SrcMode::AutoInc, 6, 0};
+  i.dst_mode = DstMode::Reg;
+  i.dst_reg = 8;
+  EXPECT_EQ(encode(i), (std::vector<std::uint16_t>{0x4638})); // mov @r6+, r8
+
+  i.src = {SrcMode::Indexed, 4, 6};
+  i.dst_mode = DstMode::Indexed;
+  i.dst_reg = 5;
+  i.dst_ext = 8;
+  EXPECT_EQ(encode(i), (std::vector<std::uint16_t>{0x4495, 6, 8}));
+
+  i.src = {SrcMode::Absolute, 2, 0x0200};
+  i.dst_mode = DstMode::Reg;
+  i.dst_reg = 9;
+  EXPECT_EQ(encode(i),
+            (std::vector<std::uint16_t>{0x4219, 0x0200})); // mov &0x200, r9
+
+  Instruction j;
+  j.format = Instruction::Format::Jump;
+  j.cond = Cond::Jne;
+  j.offset = -4;
+  EXPECT_EQ(encode(j), (std::vector<std::uint16_t>{0x23fc})); // jne $-6
+
+  Instruction f2;
+  f2.format = Instruction::Format::Two;
+  f2.op2 = Op2::Rra;
+  f2.reg2 = 12;
+  EXPECT_EQ(encode(f2), (std::vector<std::uint16_t>{0x110c})); // rra r12
+}
+
+TEST(Msp430Isa, EncodeRejectsSpecialRegisters) {
+  Instruction i;
+  i.format = Instruction::Format::One;
+  i.op1 = Op1::Add;
+  i.src = {SrcMode::Reg, 0, 0}; // PC as register-mode source
+  i.dst_mode = DstMode::Reg;
+  i.dst_reg = 5;
+  EXPECT_THROW(encode(i), Error);
+  i.src = {SrcMode::Reg, 2, 0}; // SR
+  EXPECT_THROW(encode(i), Error);
+  i.src = {SrcMode::Reg, 4, 0};
+  i.dst_reg = 2; // SR as destination
+  EXPECT_THROW(encode(i), Error);
+
+  Instruction f2;
+  f2.format = Instruction::Format::Two;
+  f2.op2 = Op2::Rra;
+  f2.reg2 = 0;
+  EXPECT_THROW(encode(f2), Error);
+}
+
+TEST(Msp430Isa, JumpOffsetRange) {
+  Instruction j;
+  j.format = Instruction::Format::Jump;
+  j.cond = Cond::Jmp;
+  j.offset = 511;
+  EXPECT_NO_THROW(encode(j));
+  j.offset = 512;
+  EXPECT_THROW(encode(j), Error);
+  j.offset = -512;
+  EXPECT_NO_THROW(encode(j));
+  j.offset = -513;
+  EXPECT_THROW(encode(j), Error);
+}
+
+TEST(Msp430Isa, DecodeRejectsOutsideSubset) {
+  EXPECT_FALSE(decode({0x1204}, 0).has_value()); // push r4
+  EXPECT_FALSE(decode({0x4465}, 0).has_value()); // byte mode (mov.b)
+  EXPECT_FALSE(decode({0x4037}, 0).has_value()); // immediate missing ext word
+}
+
+struct RtCase {
+  Instruction insn;
+};
+
+Instruction fmt1(Op1 op, Operand src, DstMode dm, std::uint8_t dreg,
+                 std::uint16_t dext = 0) {
+  Instruction i;
+  i.format = Instruction::Format::One;
+  i.op1 = op;
+  i.src = src;
+  i.dst_mode = dm;
+  i.dst_reg = dreg;
+  i.dst_ext = dext;
+  return i;
+}
+
+class Msp430RoundTrip : public ::testing::TestWithParam<Instruction> {};
+
+TEST_P(Msp430RoundTrip, EncodeDecodeIdentity) {
+  const Instruction in = GetParam();
+  const auto words = encode(in);
+  EXPECT_EQ(words.size(), encoded_length(in));
+  const auto out = decode(words, 0);
+  ASSERT_TRUE(out.has_value()) << disassemble(words, 0);
+  EXPECT_EQ(*out, in) << disassemble(words, 0);
+}
+
+std::vector<Instruction> round_trip_cases() {
+  std::vector<Instruction> cases;
+  for (Op1 op : {Op1::Mov, Op1::Add, Op1::Addc, Op1::Subc, Op1::Sub,
+                 Op1::Cmp, Op1::Bit, Op1::Bic, Op1::Bis, Op1::Xor,
+                 Op1::And}) {
+    cases.push_back(fmt1(op, {SrcMode::Reg, 4, 0}, DstMode::Reg, 5));
+    cases.push_back(fmt1(op, {SrcMode::Immediate, 0, 0xbeef},
+                         DstMode::Reg, 7));
+    cases.push_back(fmt1(op, {SrcMode::Indexed, 6, 12},
+                         DstMode::Indexed, 9, 4));
+    cases.push_back(fmt1(op, {SrcMode::AutoInc, 11, 0},
+                         DstMode::Absolute, 2, 0x220));
+    cases.push_back(fmt1(op, {SrcMode::Indirect, 15, 0}, DstMode::Reg, 1));
+    cases.push_back(fmt1(op, {SrcMode::Absolute, 2, 0xfffe},
+                         DstMode::Reg, 3));
+  }
+  for (Op2 op : {Op2::Rrc, Op2::Swpb, Op2::Rra, Op2::Sxt}) {
+    Instruction i;
+    i.format = Instruction::Format::Two;
+    i.op2 = op;
+    i.reg2 = 13;
+    cases.push_back(i);
+  }
+  for (Cond c : {Cond::Jne, Cond::Jeq, Cond::Jnc, Cond::Jc, Cond::Jn,
+                 Cond::Jge, Cond::Jl, Cond::Jmp}) {
+    Instruction i;
+    i.format = Instruction::Format::Jump;
+    i.cond = c;
+    i.offset = static_cast<std::int16_t>(static_cast<int>(c) * 37 - 100);
+    cases.push_back(i);
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Subset, Msp430RoundTrip,
+                         ::testing::ValuesIn(round_trip_cases()));
+
+TEST(Msp430Asm, LabelsJumpsAndModes) {
+  const Image img = assemble(R"(
+.equ BUF, 0x200
+start:
+    mov #5, r4
+loop:
+    sub #1, r4
+    jne loop
+    mov r4, &BUF
+    mov 2(r5), r6
+    mov @r7+, r8
+    jmp start
+)");
+  // mov #5, r4 = 2 words; sub #1, r4 = 2; jne = 1; mov r4,&BUF = 2;
+  // mov 2(r5),r6 = 2; mov @r7+,r8 = 1; jmp = 1. Total 11 words.
+  ASSERT_EQ(img.words.size(), 11u);
+  const auto jne = decode(img.words, 4);
+  ASSERT_TRUE(jne.has_value());
+  // jne loop: from byte 8 (word 4) back to byte 4: offset = (4-10)/2 = -3.
+  EXPECT_EQ(jne->offset, -3);
+  const auto jmp = decode(img.words, 10);
+  EXPECT_EQ(jmp->offset, (0 - (20 + 2)) / 2);
+}
+
+TEST(Msp430Asm, AliasesAndDirectives) {
+  const Image img = assemble(R"(
+.org 4
+    nop
+    br #0x10
+    clr r9
+.word 0xdead, 0xbeef
+)");
+  // .org 4 -> two zero words first.
+  EXPECT_EQ(img.words[0], 0u);
+  const auto nop = decode(img.words, 2);
+  ASSERT_TRUE(nop.has_value());
+  EXPECT_EQ(nop->op1, Op1::Mov); // mov r3, r3
+  EXPECT_EQ(nop->src.reg, 3);
+  EXPECT_EQ(nop->dst_reg, 3);
+  const auto br = decode(img.words, 3);
+  EXPECT_EQ(br->dst_reg, 0); // pc
+  EXPECT_EQ(br->src.ext, 0x10);
+  const auto clr = decode(img.words, 5);
+  EXPECT_EQ(clr->src.mode, SrcMode::Immediate);
+  EXPECT_EQ(clr->dst_reg, 9);
+  EXPECT_EQ(img.words[7], 0xdead);
+  EXPECT_EQ(img.words[8], 0xbeef);
+}
+
+TEST(Msp430Asm, SymbolArithmetic) {
+  const Image img = assemble(R"(
+.equ BASE, 0x200
+    mov #BASE+4, r4
+    mov #BASE-2, r5
+)");
+  EXPECT_EQ(img.words[1], 0x204);
+  EXPECT_EQ(img.words[3], 0x1fe);
+}
+
+TEST(Msp430Asm, ForwardLabelInImmediate) {
+  const Image img = assemble(R"(
+    br #target
+    nop
+target:
+    nop
+)");
+  EXPECT_EQ(img.words[1], 6u); // byte address of `target`
+}
+
+TEST(Msp430Asm, Errors) {
+  EXPECT_THROW(assemble("bogus r1"), Error);
+  EXPECT_THROW(assemble("mov r4"), Error);
+  EXPECT_THROW(assemble("mov r0, r4"), Error);  // PC as reg-mode source
+  EXPECT_THROW(assemble("mov r4, r2"), Error);  // SR destination
+  EXPECT_THROW(assemble("jne nowhere"), Error);
+  EXPECT_THROW(assemble(".org 3\n nop"), Error);
+  EXPECT_THROW(assemble("x: nop\nx: nop"), Error);
+}
+
+TEST(Msp430Asm, WorkloadsAssemble) {
+  EXPECT_GT(fib_image().words.size(), 10u);
+  EXPECT_GT(conv_image().words.size(), 40u);
+}
+
+TEST(Msp430Isa, DisassembleSamples) {
+  EXPECT_EQ(disassemble({0x4405}, 0), "mov r4, r5");
+  EXPECT_EQ(disassemble({0x5037, 0x1234}, 0), "add #0x1234, r7");
+  EXPECT_EQ(disassemble({0x110c}, 0), "rra r12");
+  EXPECT_EQ(disassemble({0x3c02}, 0), "jmp .+2");
+  EXPECT_EQ(disassemble({0x1204}, 0), ".word 0x1204");
+}
+
+} // namespace
+} // namespace ripple::cores::msp430

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "netlist/dot.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/random.hpp"
+
+namespace ripple::netlist {
+namespace {
+
+TEST(Netlist, BuildSmallCircuit) {
+  Netlist n("t");
+  const WireId a = n.add_input("a");
+  const WireId b = n.add_input("b");
+  const WireId y = n.add_gate_new(Kind::And2, {a, b}, "y");
+  n.mark_output(y);
+  n.check();
+  EXPECT_EQ(n.num_wires(), 3u);
+  EXPECT_EQ(n.num_gates(), 1u);
+  EXPECT_EQ(n.primary_inputs().size(), 2u);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+  EXPECT_EQ(n.wire(y).driver_kind, DriverKind::Gate);
+  EXPECT_EQ(n.gate(n.wire(y).driver_gate).kind, Kind::And2);
+}
+
+TEST(Netlist, FanoutTracked) {
+  Netlist n;
+  const WireId a = n.add_input("a");
+  n.add_gate_new(Kind::Inv, {a}, "x");
+  n.add_gate_new(Kind::Buf, {a}, "y");
+  EXPECT_EQ(n.wire(a).gate_fanout.size(), 2u);
+}
+
+TEST(Netlist, FlopLifecycle) {
+  Netlist n;
+  const FlopId f = n.add_flop("state", true);
+  const WireId q = n.flop(f).q;
+  EXPECT_EQ(n.wire(q).driver_kind, DriverKind::Flop);
+  EXPECT_TRUE(n.flop(f).init);
+  const WireId d = n.add_gate_new(Kind::Inv, {q}, "d");
+  n.connect_flop(f, d);
+  n.mark_output(q);
+  n.check();
+  EXPECT_EQ(n.wire(d).flop_fanout.size(), 1u);
+  EXPECT_EQ(n.find_flop("state").value(), f);
+}
+
+TEST(Netlist, DuplicateWireNameRejected) {
+  Netlist n;
+  n.add_input("a");
+  EXPECT_THROW(n.add_wire("a"), Error);
+}
+
+TEST(Netlist, BadWireNameRejected) {
+  Netlist n;
+  EXPECT_THROW(n.add_wire("1bad"), Error);
+  EXPECT_THROW(n.add_wire(""), Error);
+  EXPECT_THROW(n.add_wire("x[y]"), Error);
+  EXPECT_NO_THROW(n.add_wire("bus[12]"));
+}
+
+TEST(Netlist, DoubleDriveRejected) {
+  Netlist n;
+  const WireId a = n.add_input("a");
+  const WireId y = n.add_gate_new(Kind::Buf, {a}, "y");
+  EXPECT_THROW(n.add_gate(Kind::Inv, {a}, y), Error);
+}
+
+TEST(Netlist, PinCountChecked) {
+  Netlist n;
+  const WireId a = n.add_input("a");
+  const WireId y = n.add_wire("y");
+  EXPECT_THROW(n.add_gate(Kind::And2, {a}, y), Error);
+}
+
+TEST(Netlist, CheckCatchesUndriven) {
+  Netlist n;
+  n.add_wire("floating");
+  EXPECT_THROW(n.check(), Error);
+}
+
+TEST(Netlist, CheckCatchesUnconnectedFlop) {
+  Netlist n;
+  n.add_flop("f", false);
+  EXPECT_THROW(n.check(), Error);
+}
+
+TEST(Netlist, MarkOutputIdempotent) {
+  Netlist n;
+  const WireId a = n.add_input("a");
+  const WireId y = n.add_gate_new(Kind::Buf, {a}, "y");
+  n.mark_output(y);
+  n.mark_output(y);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+}
+
+TEST(Netlist, AreaAndHistogram) {
+  Netlist n;
+  const WireId a = n.add_input("a");
+  n.add_gate_new(Kind::Inv, {a}, "x");
+  n.add_gate_new(Kind::Inv, {a}, "y");
+  const FlopId f = n.add_flop("r", false);
+  n.connect_flop(f, a);
+  const auto hist = n.kind_histogram();
+  EXPECT_EQ(hist.at(Kind::Inv), 2u);
+  EXPECT_EQ(hist.at(Kind::Dff), 1u);
+  EXPECT_GT(n.total_area(), 1.0);
+}
+
+TEST(RandomCircuit, AlwaysValid) {
+  Rng rng(123);
+  for (int i = 0; i < 20; ++i) {
+    RandomCircuitSpec spec;
+    spec.num_gates = 30 + i * 5;
+    spec.num_flops = 4 + i % 5;
+    const Netlist n = random_circuit(spec, rng);
+    EXPECT_NO_THROW(n.check());
+    EXPECT_EQ(n.num_flops(), spec.num_flops);
+    EXPECT_EQ(n.num_gates(), spec.num_gates);
+  }
+}
+
+TEST(RandomCircuit, Reproducible) {
+  RandomCircuitSpec spec;
+  Rng r1(9);
+  Rng r2(9);
+  const Netlist a = random_circuit(spec, r1);
+  const Netlist b = random_circuit(spec, r2);
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  for (GateId g : a.all_gates()) {
+    EXPECT_EQ(a.gate(g).kind, b.gate(g).kind);
+    EXPECT_EQ(a.gate(g).inputs, b.gate(g).inputs);
+  }
+}
+
+TEST(Dot, ProducesGraph) {
+  Netlist n;
+  const WireId a = n.add_input("a");
+  const WireId y = n.add_gate_new(Kind::Inv, {a}, "y");
+  n.mark_output(y);
+  const std::string dot = to_dot(n);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("INV_X1"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Dot, HighlightsCone) {
+  Netlist n;
+  const WireId a = n.add_input("a");
+  const WireId y = n.add_gate_new(Kind::Inv, {a}, "y");
+  n.mark_output(y);
+  DotOptions opt;
+  opt.highlight_wires = {a};
+  const std::string dot = to_dot(n, opt);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+} // namespace
+} // namespace ripple::netlist

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "netlist/random.hpp"
+#include "sim/oracle.hpp"
+#include "sim/simulator.hpp"
+
+namespace ripple::sim {
+namespace {
+
+using netlist::Kind;
+using netlist::Netlist;
+
+/// Brute-force reference: flip the flop in a copy of the simulator, settle,
+/// compare every flop D and primary output.
+bool reference_masked(const Netlist& n, Simulator& sim, FlopId f) {
+  sim.eval();
+  const BitVec before = sim.values();
+  sim.flip_flop(f);
+  sim.eval();
+  const BitVec after = sim.values();
+  sim.flip_flop(f); // restore
+  sim.eval();
+  for (FlopId g : n.all_flops()) {
+    const WireId d = n.flop(g).d;
+    if (before.get(d.index()) != after.get(d.index())) return false;
+  }
+  for (WireId w : n.primary_outputs()) {
+    if (before.get(w.index()) != after.get(w.index())) return false;
+  }
+  return true;
+}
+
+TEST(Oracle, GatedFlopMaskedWhenGateCloses) {
+  // q feeds an AND2 whose other input g gates it; the AND feeds flop t.
+  // When g == 0 a fault in q is masked; when g == 1 it propagates.
+  Netlist n;
+  const WireId g = n.add_input("g");
+  const FlopId q = n.add_flop("q", false);
+  const FlopId t = n.add_flop("t", false);
+  const WireId a = n.add_gate_new(Kind::And2, {n.flop(q).q, g}, "a");
+  n.connect_flop(t, a);
+  n.connect_flop(q, n.add_gate_new(Kind::Buf, {g}, "qd"));
+  n.mark_output(n.flop(t).q);
+  Simulator sim(n);
+  MaskingOracle oracle(n);
+
+  sim.set_input(g, false);
+  sim.eval();
+  EXPECT_TRUE(oracle.masked(q, sim.values()));
+
+  sim.set_input(g, true);
+  sim.eval();
+  EXPECT_FALSE(oracle.masked(q, sim.values()));
+}
+
+TEST(Oracle, HoldRegisterNeverMasked) {
+  Netlist n;
+  const FlopId f = n.add_flop("hold", false);
+  n.connect_flop(f, n.flop(f).q); // D = Q
+  n.mark_output(n.flop(f).q);
+  Simulator sim(n);
+  sim.eval();
+  MaskingOracle oracle(n);
+  EXPECT_FALSE(oracle.masked(f, sim.values()));
+}
+
+TEST(Oracle, OverwrittenUnobservedFlopAlwaysMasked) {
+  // Flop q drives nothing; its next value comes from an input.
+  Netlist n;
+  const WireId in = n.add_input("in");
+  const FlopId q = n.add_flop("q", false);
+  n.connect_flop(q, in);
+  n.mark_output(in);
+  Simulator sim(n);
+  sim.set_input(in, true);
+  sim.eval();
+  MaskingOracle oracle(n);
+  EXPECT_TRUE(oracle.masked(q, sim.values()));
+  EXPECT_EQ(oracle.cone_size(q), 0u);
+}
+
+TEST(Oracle, PrimaryOutputFlopNeverMasked) {
+  Netlist n;
+  const WireId in = n.add_input("in");
+  const FlopId q = n.add_flop("q", false);
+  n.connect_flop(q, in);
+  n.mark_output(n.flop(q).q);
+  Simulator sim(n);
+  sim.eval();
+  MaskingOracle oracle(n);
+  EXPECT_FALSE(oracle.masked(q, sim.values()));
+}
+
+TEST(Oracle, XorConeNeverMasks) {
+  Netlist n;
+  const WireId in = n.add_input("in");
+  const FlopId q = n.add_flop("q", false);
+  const FlopId t = n.add_flop("t", false);
+  n.connect_flop(t, n.add_gate_new(Kind::Xor2, {n.flop(q).q, in}, "x"));
+  n.connect_flop(q, in);
+  n.mark_output(n.flop(t).q);
+  Simulator sim(n);
+  MaskingOracle oracle(n);
+  for (bool v : {false, true}) {
+    sim.set_input(in, v);
+    sim.eval();
+    EXPECT_FALSE(oracle.masked(q, sim.values()));
+  }
+}
+
+// Property: the cone-restricted oracle agrees with whole-circuit
+// resimulation on random circuits and random states.
+class OracleFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleFuzz, AgreesWithFullResimulation) {
+  Rng rng(GetParam() + 1000);
+  netlist::RandomCircuitSpec spec;
+  spec.num_gates = 60;
+  spec.num_flops = 8;
+  spec.num_inputs = 5;
+  const Netlist n = random_circuit(spec, rng);
+  Simulator sim(n);
+  MaskingOracle oracle(n);
+  MaskingOracle::Workspace ws(oracle);
+
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    for (WireId w : n.primary_inputs()) sim.set_input(w, rng.next_bool());
+    sim.eval();
+    const BitVec values = sim.values();
+    for (FlopId f : n.all_flops()) {
+      EXPECT_EQ(oracle.masked(f, values, ws), reference_masked(n, sim, f))
+          << "flop " << n.flop(f).name << " cycle " << cycle;
+    }
+    sim.latch();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleFuzz,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+} // namespace
+} // namespace ripple::sim

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mate/example.hpp"
+#include "mate/report.hpp"
+#include "mate/search.hpp"
+#include "netlist/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace ripple {
+namespace {
+
+TEST(NetlistStats, CountsSmallCircuit) {
+  netlist::Netlist n("counts");
+  const WireId a = n.add_input("a");
+  const WireId b = n.add_input("b");
+  const WireId x = n.add_gate_new(netlist::Kind::And2, {a, b}, "x");
+  const WireId y = n.add_gate_new(netlist::Kind::Inv, {x}, "y");
+  const FlopId f = n.add_flop("r", false);
+  n.connect_flop(f, y);
+  n.mark_output(n.flop(f).q);
+
+  const sim::NetlistStats s = sim::compute_stats(n);
+  EXPECT_EQ(s.name, "counts");
+  EXPECT_EQ(s.gates, 2u);
+  EXPECT_EQ(s.flops, 1u);
+  EXPECT_EQ(s.primary_inputs, 2u);
+  EXPECT_EQ(s.primary_outputs, 1u);
+  EXPECT_EQ(s.comb_depth, 2u);
+  EXPECT_EQ(s.by_kind.at(netlist::Kind::And2), 1u);
+  EXPECT_EQ(s.by_kind.at(netlist::Kind::Dff), 1u);
+  EXPECT_GT(s.area_um2, 0.0);
+  // a, b, x each have exactly one reader; y feeds the flop.
+  EXPECT_DOUBLE_EQ(s.avg_fanout, 1.0);
+  EXPECT_EQ(s.max_fanout, 1u);
+}
+
+TEST(NetlistStats, FanoutTracksHeavyWire) {
+  netlist::Netlist n;
+  const WireId a = n.add_input("a");
+  for (int i = 0; i < 7; ++i) {
+    n.mark_output(n.add_gate_new(netlist::Kind::Inv, {a},
+                                 "o" + std::to_string(i)));
+  }
+  const sim::NetlistStats s = sim::compute_stats(n);
+  EXPECT_EQ(s.max_fanout, 7u);
+}
+
+TEST(NetlistStats, PrintContainsEverything) {
+  Rng rng(3);
+  const netlist::Netlist n = netlist::random_circuit({}, rng);
+  std::ostringstream os;
+  sim::print_stats(sim::compute_stats(n), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("gates"), std::string::npos);
+  EXPECT_NE(text.find("depth"), std::string::npos);
+  EXPECT_NE(text.find("DFF_X1"), std::string::npos);
+}
+
+TEST(Report, JsonEscape) {
+  EXPECT_EQ(mate::json_escape("plain"), "plain");
+  EXPECT_EQ(mate::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(mate::json_escape("x\ny"), "x\\ny");
+  EXPECT_EQ(mate::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Report, SearchJsonWellFormedish) {
+  const mate::Figure1Circuit fig = mate::build_figure1_circuit();
+  const mate::SearchResult r = mate::find_mates(
+      fig.netlist, {fig.a, fig.b, fig.c, fig.d, fig.e}, {});
+  std::ostringstream os;
+  write_search_json(fig.netlist, r, os);
+  const std::string json = os.str();
+  // Structural smoke checks (no JSON parser in the toolchain).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"module\": \"figure1\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"unmaskable\""), std::string::npos);
+  EXPECT_NE(json.find("\"wire\": \"f\", \"value\": false"),
+            std::string::npos)
+      << "the paper's (!f & h) MATE must appear";
+}
+
+TEST(Report, MateCsvRowsMatchSet) {
+  const mate::Figure1Circuit fig = mate::build_figure1_circuit();
+  const std::vector<WireId> faulty = {fig.a, fig.b, fig.d};
+  const mate::SearchResult r = mate::find_mates(fig.netlist, faulty, {});
+
+  sim::Simulator sim(fig.netlist);
+  Rng rng(9);
+  const sim::Trace trace =
+      sim::record_trace(sim, 16, [&](sim::Simulator& s, std::size_t) {
+        for (WireId w : fig.netlist.primary_inputs()) {
+          s.set_input(w, rng.next_bool());
+        }
+      });
+  const mate::EvalResult eval = evaluate_mates(r.set, trace);
+
+  std::ostringstream os;
+  write_mate_csv(fig.netlist, r.set, &eval, os);
+  const std::string csv = os.str();
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, r.set.mates.size() + 1); // header + one row per MATE
+  EXPECT_NE(csv.find("triggers"), std::string::npos);
+
+  std::ostringstream os2;
+  write_mate_csv(fig.netlist, r.set, nullptr, os2);
+  EXPECT_EQ(os2.str().find("triggers"), std::string::npos);
+}
+
+} // namespace
+} // namespace ripple

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "netlist/random.hpp"
+#include "netlist/verilog.hpp"
+#include "sim/simulator.hpp"
+
+namespace ripple::netlist {
+namespace {
+
+Netlist tiny() {
+  Netlist n("tiny");
+  const WireId a = n.add_input("a");
+  const WireId b = n.add_input("b");
+  const WireId x = n.add_gate_new(Kind::Xor2, {a, b}, "x");
+  const FlopId f = n.add_flop("r0", true);
+  n.connect_flop(f, x);
+  const WireId y = n.add_gate_new(Kind::And2, {x, n.flop(f).q}, "y");
+  n.mark_output(y);
+  n.check();
+  return n;
+}
+
+TEST(Verilog, WriteContainsStructure) {
+  const std::string v = to_verilog(tiny());
+  EXPECT_NE(v.find("module tiny"), std::string::npos);
+  EXPECT_NE(v.find("input a;"), std::string::npos);
+  EXPECT_NE(v.find("output y;"), std::string::npos);
+  EXPECT_NE(v.find("XOR2_X1"), std::string::npos);
+  EXPECT_NE(v.find("DFF_X1 #(.INIT(1'b1))"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, RoundTripStructure) {
+  const Netlist original = tiny();
+  const Netlist parsed = parse_verilog(to_verilog(original));
+  EXPECT_EQ(parsed.name(), original.name());
+  EXPECT_EQ(parsed.num_gates(), original.num_gates());
+  EXPECT_EQ(parsed.num_flops(), original.num_flops());
+  EXPECT_EQ(parsed.num_wires(), original.num_wires());
+  EXPECT_EQ(parsed.primary_inputs().size(), original.primary_inputs().size());
+  EXPECT_EQ(parsed.primary_outputs().size(),
+            original.primary_outputs().size());
+  EXPECT_TRUE(parsed.flop(FlopId{0}).init);
+}
+
+TEST(Verilog, RoundTripPreservesBehaviour) {
+  Rng rng(77);
+  RandomCircuitSpec spec;
+  spec.num_gates = 60;
+  spec.num_flops = 8;
+  const Netlist original = random_circuit(spec, rng);
+  const Netlist parsed = parse_verilog(to_verilog(original));
+
+  sim::Simulator s1(original);
+  sim::Simulator s2(parsed);
+  Rng drv(5);
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (WireId w : original.primary_inputs()) {
+      const bool v = drv.next_bool();
+      s1.set_input(w, v);
+      const auto w2 = parsed.find_wire(original.wire(w).name);
+      s2.set_input(*w2, v);
+    }
+    s1.eval();
+    s2.eval();
+    for (WireId w : original.primary_outputs()) {
+      const auto w2 = parsed.find_wire(original.wire(w).name);
+      EXPECT_EQ(s1.value(w), s2.value(*w2)) << "cycle " << cycle;
+    }
+    s1.latch();
+    s2.latch();
+  }
+}
+
+TEST(Verilog, EscapedBusNamesRoundTrip) {
+  Netlist n("bus");
+  const WireId a = n.add_input("data[0]");
+  const WireId y = n.add_gate_new(Kind::Inv, {a}, "out[3]");
+  n.mark_output(y);
+  const Netlist parsed = parse_verilog(to_verilog(n));
+  EXPECT_TRUE(parsed.find_wire("data[0]").has_value());
+  EXPECT_TRUE(parsed.find_wire("out[3]").has_value());
+}
+
+TEST(Verilog, ParserRejectsUnknownCell) {
+  const char* src = R"(module m (a, y);
+  input a;
+  output y;
+  MYSTERY_X1 g0 (.A(a), .Y(y));
+endmodule)";
+  EXPECT_THROW(parse_verilog(src), Error);
+}
+
+TEST(Verilog, ParserRejectsUndeclaredWire) {
+  const char* src = R"(module m (a, y);
+  input a;
+  output y;
+  INV_X1 g0 (.A(ghost), .Y(y));
+endmodule)";
+  EXPECT_THROW(parse_verilog(src), Error);
+}
+
+TEST(Verilog, ParserRejectsMissingPin) {
+  const char* src = R"(module m (a, y);
+  input a;
+  output y;
+  AND2_X1 g0 (.A(a), .Y(y));
+endmodule)";
+  EXPECT_THROW(parse_verilog(src), Error);
+}
+
+TEST(Verilog, ParserHandlesCommentsAndWhitespace) {
+  const char* src = R"(
+// leading comment
+module m (a, y);
+  input a;   // the input
+  output y;
+  INV_X1 g0 (.A(a), .Y(y));
+endmodule
+)";
+  const Netlist n = parse_verilog(src);
+  EXPECT_EQ(n.num_gates(), 1u);
+}
+
+TEST(Verilog, ParserRejectsTruncatedModule) {
+  EXPECT_THROW(parse_verilog("module m (a);\n input a;"), Error);
+}
+
+} // namespace
+} // namespace ripple::netlist
