@@ -10,22 +10,26 @@ using namespace ripple;
 using namespace ripple::bench;
 
 int main(int argc, char** argv) {
-  const bool csv = want_csv(argc, argv);
-  std::fprintf(stderr, "ablation_depth: building cores...\n");
-  const CoreSetup avr = make_avr_setup();
-  const CoreSetup msp = make_msp430_setup();
+  Harness h(argc, argv, "ablation_depth",
+            "Ablation A1: path-depth sweep of the MATE search");
+  const CoreSetup avr = h.setup(CoreKind::Avr);
+  const CoreSetup msp = h.setup(CoreKind::Msp430);
 
   TablePrinter t({"depth", "AVR masked (fib)", "AVR #MATEs", "AVR time [s]",
                   "MSP430 masked (fib)", "MSP430 #MATEs", "MSP430 time [s]"});
 
   for (unsigned depth : {4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
-    std::fprintf(stderr, "ablation_depth: depth %u...\n", depth);
     std::vector<std::string> cells = {std::to_string(depth)};
     for (const CoreSetup* s : {&avr, &msp}) {
-      mate::SearchParams params;
+      mate::SearchParams params = h.params();
       params.path_depth = depth;
-      const mate::SearchResult r = mate::find_mates(s->netlist, s->ff_xrf, params);
-      const mate::EvalResult e = mate::evaluate_mates(r.set, s->fib_trace);
+      const mate::SearchResult r =
+          h.pipe().find_mates(*s, s->ff_xrf, params,
+                              strprintf("%s, depth %u", s->name.c_str(),
+                                        depth));
+      const mate::EvalResult e = h.pipe().evaluate(
+          r.set, s->fib_trace, false,
+          strprintf("%s, depth %u, fib", s->name.c_str(), depth));
       cells.push_back(fmt_percent(e.masked_fraction()));
       cells.push_back(fmt_count(r.set.mates.size()));
       cells.push_back(strprintf("%.2f", r.seconds));
@@ -33,6 +37,6 @@ int main(int argc, char** argv) {
     t.add_row(std::move(cells));
   }
 
-  emit(t, csv);
+  h.emit(t);
   return 0;
 }

@@ -36,17 +36,17 @@ Row sweep(const CoreSetup& setup, const std::vector<WireId>& wires,
 } // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = want_csv(argc, argv);
-  std::fprintf(stderr, "ablation_multicycle: building cores...\n");
+  Harness h(argc, argv, "ablation_multicycle",
+            "Ablation A4: k-cycle masking-oracle headroom");
   // Shorter traces: the oracle resimulates k cycles per fault-space point.
-  const CoreSetup avr = make_avr_setup(1200);
-  const CoreSetup msp = make_msp430_setup(1200);
+  const CoreSetup avr = h.setup(CoreKind::Avr, 1200);
+  const CoreSetup msp = h.setup(CoreKind::Msp430, 1200);
   constexpr std::size_t kStride = 16;
 
   TablePrinter t({"k cycles", "AVR FF", "AVR FF w/o RF", "MSP430 FF",
                   "MSP430 FF w/o RF"});
   for (unsigned k : {1u, 2u, 4u, 8u, 16u}) {
-    std::fprintf(stderr, "ablation_multicycle: k = %u...\n", k);
+    h.progress("ablation_multicycle: k = %u...", k);
     std::vector<std::string> cells = {std::to_string(k)};
     for (const CoreSetup* s : {&avr, &msp}) {
       for (const auto* wires : {&s->ff, &s->ff_xrf}) {
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     }
     t.add_row(std::move(cells));
   }
-  emit(t, csv);
+  h.emit(t);
   std::printf("\n(k = 1 is the paper's intra-cycle definition; growth at "
               "k > 1 is the headroom for the multi-bit/multi-cycle MATEs of "
               "Section 6.2 and the ISA-level pruning of Section 6.3)\n");

@@ -20,12 +20,15 @@ struct OracleStats {
   std::size_t unsound = 0; // MATE-masked but oracle-effective: must be zero
 };
 
-OracleStats compare(const CoreSetup& setup, const std::vector<WireId>& wires,
+OracleStats compare(Harness& h, const CoreSetup& setup,
+                    const std::vector<WireId>& wires, const std::string& label,
                     const sim::Trace& trace, std::size_t cycle_stride) {
-  const mate::SearchResult r = mate::find_mates(setup.netlist, wires, {});
+  const mate::SearchResult r =
+      h.pipe().find_mates(setup, wires, h.params(), label);
   mate::MateSet set = r.set;
   const auto benign = mate::benign_matrix(set, trace);
 
+  h.progress("ablation_oracle: exact oracle sweep (%s)...", label.c_str());
   sim::MaskingOracle oracle(setup.netlist);
   sim::MaskingOracle::Workspace ws(oracle);
 
@@ -48,23 +51,23 @@ OracleStats compare(const CoreSetup& setup, const std::vector<WireId>& wires,
 } // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = want_csv(argc, argv);
-  std::fprintf(stderr, "ablation_oracle: building cores...\n");
+  Harness h(argc, argv, "ablation_oracle",
+            "Ablation A3: MATE completeness vs the exact masking oracle");
   // Stride 8 keeps the exact oracle sweep (flops x cycles resimulations)
   // around a million cone evaluations per configuration.
   constexpr std::size_t kStride = 8;
 
   TablePrinter t({"configuration", "oracle masked", "MATE masked",
                   "recovered", "unsound"});
-  for (auto make : {&make_avr_setup, &make_msp430_setup}) {
-    const CoreSetup setup = make(kTraceCycles);
+  for (const CoreKind kind : {CoreKind::Avr, CoreKind::Msp430}) {
+    const CoreSetup setup = h.setup(kind);
     for (const bool xrf : {false, true}) {
       const auto& wires = xrf ? setup.ff_xrf : setup.ff;
-      std::fprintf(stderr, "ablation_oracle: %s %s...\n", setup.name.c_str(),
-                   xrf ? "FF w/o RF" : "FF");
+      const std::string label =
+          setup.name + (xrf ? " FF w/o RF" : " FF");
       const OracleStats s =
-          compare(setup, wires, setup.fib_trace, kStride);
-      t.add_row({setup.name + (xrf ? " FF w/o RF" : " FF") + " (fib)",
+          compare(h, setup, wires, label, setup.fib_trace, kStride);
+      t.add_row({label + " (fib)",
                  fmt_percent(static_cast<double>(s.oracle_masked) /
                              static_cast<double>(s.space)),
                  fmt_percent(static_cast<double>(s.mate_masked) /
@@ -76,7 +79,7 @@ int main(int argc, char** argv) {
                  fmt_count(s.unsound)});
     }
   }
-  emit(t, csv);
+  h.emit(t);
   std::printf("\n('recovered' = MATE-masked / oracle-masked; 'unsound' must "
               "be 0 — every MATE-pruned fault is exactly masked)\n");
   return 0;

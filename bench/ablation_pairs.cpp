@@ -23,13 +23,14 @@ struct PairStats {
 };
 
 PairStats measure(const CoreSetup& setup,
-                  const std::vector<std::array<WireId, 2>>& pairs) {
+                  const std::vector<std::array<WireId, 2>>& pairs,
+                  const mate::SearchParams& params) {
   PairStats stats;
   double input_sum = 0;
   for (const auto& pair : pairs) {
     ++stats.pairs;
     const mate::GroupOutcome out =
-        mate::find_group_mates(setup.netlist, pair, {});
+        mate::find_group_mates(setup.netlist, pair, params);
     stats.space += setup.fib_trace.num_cycles();
     if (out.status != mate::WireStatus::Found) continue;
     ++stats.with_mate;
@@ -103,22 +104,21 @@ std::vector<std::array<WireId, 2>> random_pairs(const CoreSetup& setup,
 } // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = want_csv(argc, argv);
-  std::fprintf(stderr, "ablation_pairs: building cores (2000-cycle traces)..."
-                       "\n");
-  const CoreSetup avr = make_avr_setup(2000);
-  const CoreSetup msp = make_msp430_setup(2000);
+  Harness h(argc, argv, "ablation_pairs",
+            "Ablation A5: group MATEs for 2-bit upsets");
+  const CoreSetup avr = h.setup(CoreKind::Avr, 2000);
+  const CoreSetup msp = h.setup(CoreKind::Msp430, 2000);
   constexpr std::size_t kPairs = 120;
 
   TablePrinter t({"2-bit fault groups", "pairs", "with MATE",
                   "pair space masked", "avg #inputs"});
   for (const CoreSetup* s : {&avr, &msp}) {
     for (const bool adjacent : {true, false}) {
-      std::fprintf(stderr, "ablation_pairs: %s %s...\n", s->name.c_str(),
-                   adjacent ? "adjacent" : "random");
+      h.progress("ablation_pairs: %s %s...", s->name.c_str(),
+                 adjacent ? "adjacent" : "random");
       const auto pairs = adjacent ? adjacent_pairs(*s, kPairs)
                                   : random_pairs(*s, kPairs, 99);
-      const PairStats st = measure(*s, pairs);
+      const PairStats st = measure(*s, pairs, h.params());
       t.add_row({s->name + (adjacent ? " adjacent bits" : " random pairs"),
                  fmt_count(st.pairs), fmt_count(st.with_mate),
                  fmt_percent(static_cast<double>(st.masked_points) /
@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
                  strprintf("%.1f", st.avg_inputs)});
     }
   }
-  emit(t, csv);
+  h.emit(t);
   std::printf("\n(Section 6.2: multi-bit MATEs work 'out of the box' but are "
               "more expensive and mask less — quantified here)\n");
   return 0;

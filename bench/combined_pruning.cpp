@@ -59,14 +59,14 @@ Fractions measure(const CoreSetup& avr, const mate::MateSet& set,
 } // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = want_csv(argc, argv);
-  std::fprintf(stderr, "combined_pruning: building AVR core...\n");
-  const CoreSetup avr = make_avr_setup();
+  Harness h(argc, argv, "combined_pruning",
+            "Section 6.3: MATE + ISA-level def-use pruning on the AVR");
+  const CoreSetup avr = h.setup(CoreKind::Avr);
 
-  std::fprintf(stderr, "combined_pruning: MATE search...\n");
-  const mate::SearchResult search = mate::find_mates(avr.netlist, avr.ff, {});
+  const mate::SearchResult search =
+      h.pipe().find_mates(avr, avr.ff, h.params(), "AVR FF");
 
-  std::fprintf(stderr, "combined_pruning: evaluating traces...\n");
+  h.progress("combined_pruning: evaluating traces...");
   const Fractions fib = measure(avr, search.set, avr.fib_trace);
   const Fractions conv = measure(avr, search.set, avr.conv_trace);
 
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
              fmt_percent(conv.defuse)});
   t.add_row({"combined (union)", fmt_percent(fib.combined),
              fmt_percent(conv.combined)});
-  emit(t, csv);
+  h.emit(t);
 
   std::printf("\n(the paper's Section 6.3: HAFI with MATEs on flipflop "
               "level, software-based def-use pruning taking over for the "

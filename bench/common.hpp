@@ -1,86 +1,151 @@
-// Shared setup for the benchmark harnesses: builds both cores, assembles the
-// fib/conv workloads, records the 8500-cycle traces the paper's evaluation
-// uses, and derives the two fault sets ("FF" and "FF w/o RF").
+// Shared harness for the benchmark binaries, built on the campaign pipeline
+// (src/pipeline): option parsing (--csv, --cache-dir, --threads, --depth,
+// --cycles, --no-cache, --report=json), stage observers for progress output
+// and the JSON report, and the spec-driven core setup that replaced the
+// separate make_avr_setup/make_msp430_setup code paths.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "cores/avr/core.hpp"
-#include "cores/avr/programs.hpp"
-#include "cores/avr/system.hpp"
-#include "cores/msp430/core.hpp"
-#include "cores/msp430/programs.hpp"
-#include "cores/msp430/system.hpp"
 #include "mate/search.hpp"
-#include "sim/trace.hpp"
+#include "pipeline/options.hpp"
+#include "pipeline/pipeline.hpp"
 #include "util/table.hpp"
 
 namespace ripple::bench {
 
 /// The paper's trace length (Tables 2 and 3: "Both programs ran for 8500
 /// clock cycles").
-inline constexpr std::size_t kTraceCycles = 8500;
+inline constexpr std::size_t kTraceCycles = pipeline::kDefaultTraceCycles;
 
-struct CoreSetup {
-  std::string name;            // "AVR" or "MSP430"
-  netlist::Netlist netlist;
-  sim::Trace fib_trace;
-  sim::Trace conv_trace;
-  std::vector<WireId> ff;      // all flipflops
-  std::vector<WireId> ff_xrf;  // flipflops outside the register file
+using pipeline::CoreKind;
+using pipeline::CoreSetup;
+
+/// Per-binary pipeline harness. Parses the shared command line (exits on
+/// --help or bad arguments), wires the stderr progress observer plus — with
+/// --report=json — the JSON report observer into a CampaignPipeline, and
+/// emits the report when the binary finishes.
+class Harness {
+public:
+  Harness(int argc, char** argv, std::string program, std::string description)
+      : program_(program),
+        parser_(std::move(program), std::move(description)) {
+    pipeline::register_pipeline_options(parser_, opts_);
+    switch (parser_.parse(argc, argv)) {
+      case OptionParser::Result::Ok:
+        break;
+      case OptionParser::Result::Help:
+        std::exit(0);
+      case OptionParser::Result::Error:
+        std::exit(2);
+    }
+    pipe_.emplace(opts_.config());
+    pipe_->add_observer(&progress_observer_);
+    if (opts_.report_json()) {
+      report_.emplace();
+      pipe_->add_observer(&*report_);
+    }
+  }
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  ~Harness() {
+    if (!report_) return;
+    const std::string file = opts_.report_file();
+    if (file.empty()) {
+      report_->write(std::cerr, program_, pipe_->cache());
+    } else {
+      std::ofstream out(file);
+      if (!out) {
+        std::fprintf(stderr, "%s: cannot write report file '%s'\n",
+                     program_.c_str(), file.c_str());
+        return;
+      }
+      report_->write(out, program_, pipe_->cache());
+    }
+  }
+
+  [[nodiscard]] pipeline::CampaignPipeline& pipe() { return *pipe_; }
+  [[nodiscard]] bool csv() const { return opts_.csv; }
+  [[nodiscard]] const pipeline::PipelineOptions& options() const {
+    return opts_;
+  }
+
+  /// --cycles override, else the binary's default trace length.
+  [[nodiscard]] std::size_t cycles_or(std::size_t default_cycles) const {
+    return opts_.cycles != 0 ? opts_.cycles : default_cycles;
+  }
+
+  /// Default SearchParams with --depth/--threads applied.
+  [[nodiscard]] mate::SearchParams params() const {
+    return opts_.search_params();
+  }
+
+  /// build_core + record_trace for one core (cached traces).
+  [[nodiscard]] CoreSetup setup(CoreKind kind,
+                                std::size_t default_cycles = kTraceCycles) {
+    pipeline::CoreSetupSpec spec;
+    spec.kind = kind;
+    spec.trace_cycles = cycles_or(default_cycles);
+    return pipe_->setup(spec);
+  }
+
+  /// Bench narration, routed through the stage observers so it never
+  /// interleaves with the table/CSV/JSON output on stdout.
+  void progress(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    char buf[1024];
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    pipe_->progress("%s", buf);
+  }
+
+  /// Emit a finished table on stdout (pretty or CSV per --csv).
+  void emit(const TablePrinter& table) const {
+    if (opts_.csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+  }
+
+private:
+  std::string program_;
+  OptionParser parser_;
+  pipeline::PipelineOptions opts_;
+  pipeline::ProgressObserver progress_observer_;
+  std::optional<pipeline::JsonReportObserver> report_;
+  std::optional<pipeline::CampaignPipeline> pipe_;
 };
 
+// --- compatibility shims --------------------------------------------------
+// Thin wrappers over the spec-driven pipeline path, kept for tests and code
+// that only needs a CoreSetup without the harness.
+
 inline CoreSetup make_avr_setup(std::size_t cycles = kTraceCycles) {
-  cores::avr::AvrCore core = cores::avr::build_avr_core(true);
-  const cores::avr::Program fib = cores::avr::fib_program();
-  const cores::avr::Program conv = cores::avr::conv_program();
-  CoreSetup s;
-  s.name = "AVR";
-  {
-    cores::avr::AvrSystem sys(core, fib);
-    s.fib_trace = sys.run_trace(cycles);
-  }
-  {
-    cores::avr::AvrSystem sys(core, conv);
-    s.conv_trace = sys.run_trace(cycles);
-  }
-  s.ff = mate::all_flop_wires(core.netlist);
-  s.ff_xrf = mate::flop_wires_excluding_prefix(core.netlist,
-                                               cores::avr::kRegfilePrefix);
-  s.netlist = std::move(core.netlist);
-  return s;
+  pipeline::CampaignPipeline pipe;
+  return pipe.setup({CoreKind::Avr, cycles});
 }
 
 inline CoreSetup make_msp430_setup(std::size_t cycles = kTraceCycles) {
-  cores::msp430::Msp430Core core = cores::msp430::build_msp430_core(true);
-  const cores::msp430::Image fib = cores::msp430::fib_image();
-  const cores::msp430::Image conv = cores::msp430::conv_image();
-  CoreSetup s;
-  s.name = "MSP430";
-  {
-    cores::msp430::Msp430System sys(core, fib);
-    s.fib_trace = sys.run_trace(cycles);
-  }
-  {
-    cores::msp430::Msp430System sys(core, conv);
-    s.conv_trace = sys.run_trace(cycles);
-  }
-  s.ff = mate::all_flop_wires(core.netlist);
-  s.ff_xrf = mate::flop_wires_excluding_prefix(
-      core.netlist, cores::msp430::kRegfilePrefix);
-  s.netlist = std::move(core.netlist);
-  return s;
+  pipeline::CampaignPipeline pipe;
+  return pipe.setup({CoreKind::Msp430, cycles});
 }
 
-/// True when "--csv" appears on the command line; benches then emit CSV
-/// instead of the pretty table.
+/// True when "--csv" appears on the command line (legacy scan; new code
+/// reads Harness::csv()).
 inline bool want_csv(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) return true;
+    if (std::string_view(argv[i]) == "--csv") return true;
   }
   return false;
 }

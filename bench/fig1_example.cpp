@@ -5,11 +5,13 @@
 //      marked after per-cycle MATE evaluation.
 #include <iostream>
 
+#include "bench/common.hpp"
 #include "mate/eval.hpp"
 #include "mate/example.hpp"
 #include "mate/faultspace.hpp"
 #include "mate/search.hpp"
 #include "netlist/dot.hpp"
+#include "pipeline/artifact.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "util/table.hpp"
@@ -17,7 +19,10 @@
 using namespace ripple;
 using namespace ripple::mate;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h(argc, argv, "fig1_example",
+                   "Figure 1: MATEs and fault-space pruning on the running "
+                   "example circuit");
   const Figure1Circuit fig = build_figure1_circuit();
   const netlist::Netlist& n = fig.netlist;
 
@@ -30,7 +35,8 @@ int main() {
   std::cout << "\n\n";
 
   const std::vector<WireId> faulty = {fig.a, fig.b, fig.c, fig.d, fig.e};
-  const SearchResult r = find_mates(n, faulty, {});
+  const SearchResult r = h.pipe().find_mates(
+      n, pipeline::fingerprint(n), faulty, h.params(), "figure-1 inputs");
   std::cout << "MATEs found by the heuristic search:\n";
   for (const Mate& m : r.set.mates) {
     std::cout << "  " << m.cube.to_string(n) << " masks {";
@@ -69,7 +75,7 @@ int main() {
 
   std::cout << render_fault_grid(n, r.set, trace);
 
-  const EvalResult eval = evaluate_mates(r.set, trace);
+  const EvalResult eval = h.pipe().evaluate(r.set, trace, false, "figure-1");
   std::cout << "\nfault space: " << eval.fault_space() << " points, benign: "
             << eval.masked_faults << " ("
             << fmt_percent(eval.masked_fraction()) << ")\n";

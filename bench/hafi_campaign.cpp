@@ -3,9 +3,13 @@
 // experiments saved by the pruning, and — with validation enabled — confirms
 // every pruned injection really is benign.
 #include "bench/common.hpp"
+#include "cores/avr/core.hpp"
+#include "cores/avr/programs.hpp"
+#include "cores/avr/system.hpp"
 #include "hafi/avr_dut.hpp"
 #include "hafi/campaign.hpp"
 #include "mate/select.hpp"
+#include "pipeline/artifact.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
@@ -13,17 +17,21 @@ using namespace ripple;
 using namespace ripple::bench;
 
 int main(int argc, char** argv) {
-  const bool csv = want_csv(argc, argv);
-  std::fprintf(stderr, "hafi_campaign: building AVR core...\n");
+  Harness h(argc, argv, "hafi_campaign",
+            "Validation V1: simulated HAFI campaign with MATE pruning");
+  h.progress("hafi_campaign: building AVR core...");
   const cores::avr::AvrCore core = cores::avr::build_avr_core(true);
   const cores::avr::Program fib = cores::avr::fib_program();
 
-  std::fprintf(stderr, "hafi_campaign: MATE search + selection...\n");
   const auto faulty = mate::all_flop_wires(core.netlist);
-  const mate::SearchResult search = mate::find_mates(core.netlist, faulty, {});
+  const mate::SearchResult search =
+      h.pipe().find_mates(core.netlist, pipeline::fingerprint(core.netlist),
+                          faulty, h.params(), "AVR FF");
+  h.progress("hafi_campaign: tracing fib for the selection pass...");
   cores::avr::AvrSystem tracer(core, fib);
-  const sim::Trace trace = tracer.run_trace(2000);
-  const mate::SelectionResult sel = mate::rank_mates(search.set, trace);
+  const sim::Trace trace = tracer.run_trace(h.cycles_or(2000));
+  const mate::SelectionResult sel =
+      h.pipe().select(search.set, trace, "AVR FF, fib");
   const mate::MateSet top50 = mate::top_n(search.set, sel, 50);
 
   hafi::CampaignConfig cfg;
@@ -31,7 +39,6 @@ int main(int argc, char** argv) {
   cfg.sample = 3000;
   cfg.seed = 42;
   cfg.validate_pruned = true;
-  hafi::Campaign campaign(hafi::make_avr_factory(core, fib), cfg);
 
   TablePrinter t({"campaign", "experiments", "executed", "pruned", "benign",
                   "latent", "SDC", "pruned&confirmed", "time [s]"});
@@ -43,22 +50,22 @@ int main(int argc, char** argv) {
                strprintf("%.1f", secs)});
   };
 
-  std::fprintf(stderr, "hafi_campaign: baseline campaign...\n");
   Stopwatch w1;
-  const hafi::CampaignResult base = campaign.run(nullptr);
+  const hafi::CampaignResult base = h.pipe().campaign(
+      hafi::make_avr_factory(core, fib), cfg, nullptr, "baseline");
   row("baseline (no pruning)", base, w1.seconds());
 
-  std::fprintf(stderr, "hafi_campaign: campaign with full MATE set...\n");
   Stopwatch w2;
-  const hafi::CampaignResult full = campaign.run(&search.set);
+  const hafi::CampaignResult full = h.pipe().campaign(
+      hafi::make_avr_factory(core, fib), cfg, &search.set, "full MATE set");
   row("full MATE set (validated)", full, w2.seconds());
 
-  std::fprintf(stderr, "hafi_campaign: campaign with top-50 MATEs...\n");
   Stopwatch w3;
-  const hafi::CampaignResult t50 = campaign.run(&top50);
+  const hafi::CampaignResult t50 = h.pipe().campaign(
+      hafi::make_avr_factory(core, fib), cfg, &top50, "top-50 MATEs");
   row("top-50 MATEs (validated)", t50, w3.seconds());
 
-  emit(t, csv);
+  h.emit(t);
 
   const double saved =
       100.0 * static_cast<double>(full.pruned) / static_cast<double>(

@@ -11,17 +11,19 @@ using namespace ripple;
 using namespace ripple::bench;
 
 int main(int argc, char** argv) {
-  const bool csv = want_csv(argc, argv);
-  std::fprintf(stderr, "lutcost: building cores and MATE sets...\n");
+  Harness h(argc, argv, "lutcost_hafi",
+            "Section 6.1: FPGA LUT cost of top-N MATE sets");
 
   TablePrinter table({"MATE set", "#MATEs", "LUTs", "% of FI ctrl (low)",
                       "% of Virtex-6 LX240T"});
   const mate::HafiPlatformCosts ref;
 
-  for (auto make : {&make_avr_setup, &make_msp430_setup}) {
-    const CoreSetup setup = make(kTraceCycles);
-    const mate::SearchResult r = mate::find_mates(setup.netlist, setup.ff_xrf, {});
-    const mate::SelectionResult sel = mate::rank_mates(r.set, setup.fib_trace);
+  for (const CoreKind kind : {CoreKind::Avr, CoreKind::Msp430}) {
+    const CoreSetup setup = h.setup(kind);
+    const mate::SearchResult r = h.pipe().find_mates(
+        setup, setup.ff_xrf, h.params(), setup.name + " FF w/o RF");
+    const mate::SelectionResult sel =
+        h.pipe().select(r.set, setup.fib_trace, setup.name + ", fib");
     for (const std::size_t n : {10u, 50u, 100u, 200u}) {
       const mate::MateSet sub = mate::top_n(r.set, sel, n);
       const std::size_t luts = mate::set_luts(sub);
@@ -38,7 +40,7 @@ int main(int argc, char** argv) {
     table.add_separator();
   }
 
-  emit(table, csv);
+  h.emit(table);
   std::printf("\nreference points: FI control unit %zu-%zu LUTs "
               "(Entrena et al. / FLINT), Virtex-6 LX240T: %zu LUTs\n",
               ref.controller_luts_low, ref.controller_luts_high,

@@ -7,7 +7,6 @@
 // number of MATEs found (pre-merge, as the paper counts per-wire results).
 #include "bench/common.hpp"
 #include "util/stats.hpp"
-#include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
 using namespace ripple;
@@ -26,10 +25,10 @@ struct Column {
   std::size_t mates = 0;
 };
 
-Column run(const CoreSetup& setup, const std::vector<WireId>& wires,
-           const std::string& label) {
-  mate::SearchParams params;
-  const mate::SearchResult r = find_mates(setup.netlist, wires, params);
+Column run(Harness& h, const CoreSetup& setup,
+           const std::vector<WireId>& wires, const std::string& label) {
+  const mate::SearchResult r =
+      h.pipe().find_mates(setup, wires, h.params(), label);
   Column c;
   c.label = label;
   c.faulty_wires = wires.size();
@@ -46,17 +45,16 @@ Column run(const CoreSetup& setup, const std::vector<WireId>& wires,
 } // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = want_csv(argc, argv);
+  Harness h(argc, argv, "table1_search_stats",
+            "Table 1: MATE search statistics for both cores and fault sets");
 
-  std::fprintf(stderr, "table1: building cores and tracing workloads...\n");
-  const CoreSetup avr = make_avr_setup();
-  const CoreSetup msp = make_msp430_setup();
+  const CoreSetup avr = h.setup(CoreKind::Avr);
+  const CoreSetup msp = h.setup(CoreKind::Msp430);
 
   std::vector<Column> cols;
   for (const CoreSetup* s : {&avr, &msp}) {
-    std::fprintf(stderr, "table1: MATE search on %s...\n", s->name.c_str());
-    cols.push_back(run(*s, s->ff, s->name + " FF"));
-    cols.push_back(run(*s, s->ff_xrf, s->name + " FF w/o RF"));
+    cols.push_back(run(h, *s, s->ff, s->name + " FF"));
+    cols.push_back(run(h, *s, s->ff_xrf, s->name + " FF w/o RF"));
   }
 
   TablePrinter t({"Table 1", cols[0].label, cols[1].label, cols[2].label,
@@ -79,6 +77,6 @@ int main(int argc, char** argv) {
                            static_cast<double>(c.candidates)); });
   row("#MATE", [](const Column& c) { return fmt_count(c.mates); });
 
-  emit(t, csv);
+  h.emit(t);
   return 0;
 }

@@ -5,9 +5,10 @@
 #include "bench/table_mates.hpp"
 
 int main(int argc, char** argv) {
-  const bool csv = ripple::bench::want_csv(argc, argv);
-  std::fprintf(stderr, "table2: building AVR core, tracing 8500 cycles...\n");
-  const ripple::bench::CoreSetup avr = ripple::bench::make_avr_setup();
-  ripple::bench::run_mate_performance_table(avr, "Table 2", csv);
+  using namespace ripple::bench;
+  Harness h(argc, argv, "table2_avr",
+            "Table 2: AVR MATE performance on the fib/conv traces");
+  const CoreSetup avr = h.setup(CoreKind::Avr);
+  run_mate_performance_table(h, avr, "Table 2");
   return 0;
 }

@@ -3,10 +3,10 @@
 #include "bench/table_mates.hpp"
 
 int main(int argc, char** argv) {
-  const bool csv = ripple::bench::want_csv(argc, argv);
-  std::fprintf(stderr,
-               "table3: building MSP430 core, tracing 8500 cycles...\n");
-  const ripple::bench::CoreSetup msp = ripple::bench::make_msp430_setup();
-  ripple::bench::run_mate_performance_table(msp, "Table 3", csv);
+  using namespace ripple::bench;
+  Harness h(argc, argv, "table3_msp430",
+            "Table 3: MSP430 MATE performance on the fib/conv traces");
+  const CoreSetup msp = h.setup(CoreKind::Msp430);
+  run_mate_performance_table(h, msp, "Table 3");
   return 0;
 }

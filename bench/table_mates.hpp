@@ -10,8 +10,9 @@
 
 namespace ripple::bench {
 
-inline void run_mate_performance_table(const CoreSetup& setup,
-                                       const char* table_name, bool csv) {
+inline void run_mate_performance_table(Harness& h, const CoreSetup& setup,
+                                       const char* table_name) {
+  pipeline::CampaignPipeline& pipe = h.pipe();
   TablePrinter t({std::string(table_name) + " " + setup.name + " MATEs",
                   "fib FF", "fib FF w/o RF", "conv FF", "conv FF w/o RF"});
 
@@ -25,20 +26,26 @@ inline void run_mate_performance_table(const CoreSetup& setup,
 
   // Column order: (fib FF), (fib xRF), (conv FF), (conv xRF); the fault set
   // is per column pair, the trace alternates.
-  std::fprintf(stderr, "%s: MATE search (%s, FF)...\n", table_name,
-               setup.name.c_str());
   SetEval ff;
-  ff.search = mate::find_mates(setup.netlist, setup.ff, {});
-  std::fprintf(stderr, "%s: MATE search (%s, FF w/o RF)...\n", table_name,
-               setup.name.c_str());
+  ff.search =
+      pipe.find_mates(setup, setup.ff, h.params(), setup.name + " FF");
   SetEval xrf;
-  xrf.search = mate::find_mates(setup.netlist, setup.ff_xrf, {});
+  xrf.search = pipe.find_mates(setup, setup.ff_xrf, h.params(),
+                               setup.name + " FF w/o RF");
 
   for (SetEval* e : {&ff, &xrf}) {
-    e->fib = mate::evaluate_mates(e->search.set, setup.fib_trace);
-    e->conv = mate::evaluate_mates(e->search.set, setup.conv_trace);
-    e->sel_fib = mate::rank_mates(e->search.set, setup.fib_trace);
-    e->sel_conv = mate::rank_mates(e->search.set, setup.conv_trace);
+    const char* set_name = e == &ff ? "FF" : "FF w/o RF";
+    e->fib = pipe.evaluate(e->search.set, setup.fib_trace, setup.fib_trace_fp,
+                           false, strprintf("%s, fib", set_name));
+    e->conv = pipe.evaluate(e->search.set, setup.conv_trace,
+                            setup.conv_trace_fp, false,
+                            strprintf("%s, conv", set_name));
+    e->sel_fib = pipe.select(e->search.set, setup.fib_trace,
+                             setup.fib_trace_fp,
+                             strprintf("%s, fib", set_name));
+    e->sel_conv = pipe.select(e->search.set, setup.conv_trace,
+                              setup.conv_trace_fp,
+                              strprintf("%s, conv", set_name));
   }
 
   const auto row4 = [&](const std::string& name, auto fn) {
@@ -60,13 +67,19 @@ inline void run_mate_performance_table(const CoreSetup& setup,
 
   for (const bool select_on_fib : {true, false}) {
     t.add_separator();
+    h.progress("%s: top-N sweep (selected on %s)...", table_name,
+               select_on_fib ? "fib" : "conv");
     for (const std::size_t n : {10u, 50u, 100u, 200u}) {
       const auto cell = [&](const SetEval& e, bool eval_fib) {
         const mate::SelectionResult& sel =
             select_on_fib ? e.sel_fib : e.sel_conv;
         const mate::MateSet sub = mate::top_n(e.search.set, sel, n);
-        const mate::EvalResult r = mate::evaluate_mates(
-            sub, eval_fib ? setup.fib_trace : setup.conv_trace);
+        const mate::EvalResult r = pipe.evaluate(
+            sub, eval_fib ? setup.fib_trace : setup.conv_trace,
+            eval_fib ? setup.fib_trace_fp : setup.conv_trace_fp, false,
+            strprintf("%s top-%zu sel. %s, %s", &e == &ff ? "FF" : "FF w/o RF",
+                      n, select_on_fib ? "fib" : "conv",
+                      eval_fib ? "fib" : "conv"));
         return fmt_percent(r.masked_fraction());
       };
       const std::string label = std::string("sel. ") +
@@ -77,7 +90,7 @@ inline void run_mate_performance_table(const CoreSetup& setup,
     }
   }
 
-  emit(t, csv);
+  h.emit(t);
 }
 
 } // namespace ripple::bench

@@ -5,7 +5,7 @@
 //   4. run a fault-injection campaign twice (baseline vs. MATE-pruned)
 //      and compare cost and outcome classification.
 //
-//   $ ./avr_campaign [sample-size]
+//   $ ./avr_campaign [--cache-dir=DIR] [sample-size]
 #include <cstdlib>
 #include <iostream>
 
@@ -13,13 +13,33 @@
 #include "hafi/campaign.hpp"
 #include "mate/search.hpp"
 #include "mate/select.hpp"
-#include "util/stopwatch.hpp"
+#include "pipeline/artifact.hpp"
+#include "pipeline/options.hpp"
+#include "pipeline/pipeline.hpp"
 
 using namespace ripple;
 
 int main(int argc, char** argv) {
+  OptionParser parser("avr_campaign",
+                      "End-to-end HAFI campaign with MATE pruning on the AVR");
+  pipeline::PipelineOptions opts;
+  pipeline::register_pipeline_options(parser, opts);
+  std::vector<std::string> positional;
+  parser.set_positional("sample-size", "number of sampled injection points",
+                        &positional);
+  switch (parser.parse(argc, argv)) {
+    case OptionParser::Result::Ok: break;
+    case OptionParser::Result::Help: return 0;
+    case OptionParser::Result::Error: return 2;
+  }
   const std::size_t sample =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 800;
+      positional.empty()
+          ? 800
+          : static_cast<std::size_t>(std::atoi(positional[0].c_str()));
+
+  pipeline::CampaignPipeline pipe(opts.config());
+  pipeline::ProgressObserver progress;
+  pipe.add_observer(&progress);
 
   // A small checksum workload: sums a memory block and reports the result.
   const cores::avr::Program program = cores::avr::assemble(R"(
@@ -41,41 +61,38 @@ sum:
   std::cout << "building AVR core..." << std::endl;
   const cores::avr::AvrCore core = cores::avr::build_avr_core(true);
 
-  std::cout << "searching MATEs..." << std::endl;
-  const mate::SearchResult search =
-      mate::find_mates(core.netlist, mate::all_flop_wires(core.netlist), {});
+  const mate::SearchResult search = pipe.find_mates(
+      core.netlist, pipeline::fingerprint(core.netlist),
+      mate::all_flop_wires(core.netlist), opts.search_params(), "AVR FF");
   std::cout << "  " << search.set.mates.size() << " MATEs, "
             << search.unmaskable_wires << " unmaskable flip-flops\n";
 
   std::cout << "recording trace and selecting top-50..." << std::endl;
   cores::avr::AvrSystem tracer(core, program);
   const sim::Trace trace = tracer.run_trace(1500);
-  const mate::SelectionResult sel = mate::rank_mates(search.set, trace);
+  const mate::SelectionResult sel =
+      pipe.select(search.set, trace, "checksum workload");
   const mate::MateSet top50 = mate::top_n(search.set, sel, 50);
 
   hafi::CampaignConfig cfg;
   cfg.run_cycles = 1000;
   cfg.sample = sample;
   cfg.seed = 7;
-  hafi::Campaign campaign(hafi::make_avr_factory(core, program), cfg);
 
-  const auto report = [](const char* name, const hafi::CampaignResult& r,
-                         double seconds) {
+  const auto report = [](const char* name, const hafi::CampaignResult& r) {
     std::cout << name << ": " << r.total << " injections, executed "
               << r.executed << ", pruned " << r.pruned << " | benign "
               << r.benign << ", latent " << r.latent << ", SDC " << r.sdc
-              << " | " << seconds << " s\n";
+              << "\n";
   };
 
-  std::cout << "running baseline campaign..." << std::endl;
-  Stopwatch w1;
-  const hafi::CampaignResult baseline = campaign.run(nullptr);
-  report("baseline ", baseline, w1.seconds());
+  const hafi::CampaignResult baseline = pipe.campaign(
+      hafi::make_avr_factory(core, program), cfg, nullptr, "baseline");
+  report("baseline ", baseline);
 
-  std::cout << "running campaign with top-50 MATE pruning..." << std::endl;
-  Stopwatch w2;
-  const hafi::CampaignResult pruned = campaign.run(&top50);
-  report("top-50   ", pruned, w2.seconds());
+  const hafi::CampaignResult pruned = pipe.campaign(
+      hafi::make_avr_factory(core, program), cfg, &top50, "top-50 MATEs");
+  report("top-50   ", pruned);
 
   std::cout << "\nexperiments saved by 50 MATEs (~50 FPGA LUTs): "
             << pruned.pruned << " of " << pruned.total << " ("

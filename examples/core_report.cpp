@@ -2,29 +2,28 @@
 // Verilog netlists, and the MATE sets as JSON/CSV — everything an external
 // HAFI flow needs to integrate the pruning.
 //
-//   $ ./core_report [output-dir]
+//   $ ./core_report [--cache-dir=DIR] [output-dir]
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
-#include "cores/avr/core.hpp"
-#include "cores/avr/programs.hpp"
-#include "cores/avr/system.hpp"
-#include "cores/msp430/core.hpp"
-#include "cores/msp430/programs.hpp"
-#include "cores/msp430/system.hpp"
 #include "mate/eval.hpp"
 #include "mate/report.hpp"
 #include "mate/search.hpp"
 #include "netlist/verilog.hpp"
+#include "pipeline/options.hpp"
+#include "pipeline/pipeline.hpp"
 #include "sim/stats.hpp"
 
 using namespace ripple;
 
 namespace {
 
-void report(const std::string& name, const netlist::Netlist& n,
-            const sim::Trace& trace, const std::filesystem::path& dir) {
+void report(pipeline::CampaignPipeline& pipe,
+            const pipeline::PipelineOptions& opts, const std::string& name,
+            const pipeline::CoreSetup& setup,
+            const std::filesystem::path& dir) {
+  const netlist::Netlist& n = setup.netlist;
   sim::print_stats(sim::compute_stats(n), std::cout);
 
   {
@@ -32,9 +31,10 @@ void report(const std::string& name, const netlist::Netlist& n,
     netlist::write_verilog(n, v);
   }
 
-  const mate::SearchResult search =
-      mate::find_mates(n, mate::all_flop_wires(n), {});
-  const mate::EvalResult eval = mate::evaluate_mates(search.set, trace);
+  const mate::SearchResult search = pipe.find_mates(
+      setup, setup.ff, opts.search_params(), setup.name + " FF");
+  const mate::EvalResult eval =
+      pipe.evaluate(search.set, setup.fib_trace, false, setup.name + ", fib");
   std::cout << "  MATEs: " << search.set.mates.size() << " (merged), masked "
             << 100.0 * eval.masked_fraction() << " % of the fault space\n\n";
 
@@ -51,23 +51,38 @@ void report(const std::string& name, const netlist::Netlist& n,
 } // namespace
 
 int main(int argc, char** argv) {
-  const std::filesystem::path dir = argc > 1 ? argv[1] : ".";
+  OptionParser parser("core_report",
+                      "Dump netlists, reports and MATE sets for both cores");
+  pipeline::PipelineOptions opts;
+  pipeline::register_pipeline_options(parser, opts);
+  std::vector<std::string> positional;
+  parser.set_positional("output-dir", "artifact output directory (default .)",
+                        &positional);
+  switch (parser.parse(argc, argv)) {
+    case OptionParser::Result::Ok: break;
+    case OptionParser::Result::Help: return 0;
+    case OptionParser::Result::Error: return 2;
+  }
+  const std::filesystem::path dir = positional.empty() ? "." : positional[0];
   std::filesystem::create_directories(dir);
+
+  pipeline::CampaignPipeline pipe(opts.config());
+  pipeline::ProgressObserver progress;
+  pipe.add_observer(&progress);
 
   {
     std::cout << "=== AVR core ===\n";
-    const cores::avr::AvrCore core = cores::avr::build_avr_core(true);
-    const cores::avr::Program prog = cores::avr::fib_program();
-    cores::avr::AvrSystem sys(core, prog);
-    report("avr_core", core.netlist, sys.run_trace(2000), dir);
+    const pipeline::CoreSetup setup =
+        pipe.setup({pipeline::CoreKind::Avr, opts.cycles != 0 ? opts.cycles
+                                                              : 2000});
+    report(pipe, opts, "avr_core", setup, dir);
   }
   {
     std::cout << "=== MSP430 core ===\n";
-    const cores::msp430::Msp430Core core =
-        cores::msp430::build_msp430_core(true);
-    const cores::msp430::Image img = cores::msp430::fib_image();
-    cores::msp430::Msp430System sys(core, img);
-    report("msp430_core", core.netlist, sys.run_trace(2000), dir);
+    const pipeline::CoreSetup setup =
+        pipe.setup({pipeline::CoreKind::Msp430, opts.cycles != 0 ? opts.cycles
+                                                                 : 2000});
+    report(pipe, opts, "msp430_core", setup, dir);
   }
 
   std::cout << "artifacts written to " << dir << ": *.v netlists, "

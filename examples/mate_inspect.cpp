@@ -13,22 +13,40 @@
 #include "mate/paths.hpp"
 #include "mate/search.hpp"
 #include "netlist/verilog.hpp"
+#include "pipeline/artifact.hpp"
+#include "pipeline/options.hpp"
+#include "pipeline/pipeline.hpp"
 
 using namespace ripple;
 
 int main(int argc, char** argv) {
+  OptionParser parser("mate_inspect",
+                      "Explain fault cone, paths and MATEs of one wire");
+  pipeline::PipelineOptions opts;
+  pipeline::register_pipeline_options(parser, opts);
+  std::vector<std::string> positional;
+  parser.set_positional("[netlist.v wire]",
+                        "Verilog netlist and wire name (default: Figure 1, "
+                        "wire d)",
+                        &positional);
+  switch (parser.parse(argc, argv)) {
+    case OptionParser::Result::Ok: break;
+    case OptionParser::Result::Help: return 0;
+    case OptionParser::Result::Error: return 2;
+  }
+
   netlist::Netlist n;
   std::string wire_name;
-  if (argc >= 3) {
-    std::ifstream in(argv[1]);
+  if (positional.size() >= 2) {
+    std::ifstream in(positional[0]);
     if (!in) {
-      std::cerr << "cannot open " << argv[1] << "\n";
+      std::cerr << "cannot open " << positional[0] << "\n";
       return 1;
     }
     std::stringstream ss;
     ss << in.rdbuf();
     n = netlist::parse_verilog(ss.str());
-    wire_name = argv[2];
+    wire_name = positional[1];
   } else {
     n = mate::build_figure1_circuit().netlist;
     wire_name = "d";
@@ -79,7 +97,11 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "\nMATE search for '" << wire_name << "':\n";
-  const mate::SearchResult r = mate::find_mates(n, {*wire}, {});
+  pipeline::CampaignPipeline pipe(opts.config());
+  const std::vector<WireId> faulty = {*wire};
+  const mate::SearchResult r =
+      pipe.find_mates(n, pipeline::fingerprint(n), faulty,
+                      opts.search_params(), wire_name);
   switch (r.outcomes[0].status) {
     case mate::WireStatus::Found:
       for (const mate::Mate& mt : r.set.mates) {

@@ -3,7 +3,7 @@
 // derive MATEs from the netlist, and quantify the pruned fault space per
 // fault set — including the per-flop breakdown of where masking happens.
 //
-//   $ ./msp430_pruning [trace.vcd]       (optionally saves the VCD)
+//   $ ./msp430_pruning [--cache-dir=DIR] [trace.vcd]   (optionally saves VCD)
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -14,36 +14,59 @@
 #include "mate/eval.hpp"
 #include "mate/faultspace.hpp"
 #include "mate/search.hpp"
+#include "pipeline/artifact.hpp"
+#include "pipeline/options.hpp"
+#include "pipeline/pipeline.hpp"
 #include "sim/vcd.hpp"
 
 using namespace ripple;
 
 int main(int argc, char** argv) {
+  OptionParser parser("msp430_pruning",
+                      "Offline fault-space pruning via a VCD trace file");
+  pipeline::PipelineOptions opts;
+  pipeline::register_pipeline_options(parser, opts);
+  std::vector<std::string> positional;
+  parser.set_positional("trace.vcd", "save the recorded VCD here (optional)",
+                        &positional);
+  switch (parser.parse(argc, argv)) {
+    case OptionParser::Result::Ok: break;
+    case OptionParser::Result::Help: return 0;
+    case OptionParser::Result::Error: return 2;
+  }
+
+  pipeline::CampaignPipeline pipe(opts.config());
+  pipeline::ProgressObserver progress;
+  pipe.add_observer(&progress);
+
   std::cout << "building MSP430 core..." << std::endl;
   const cores::msp430::Msp430Core core = cores::msp430::build_msp430_core();
 
-  std::cout << "running conv() for 4000 cycles..." << std::endl;
+  const std::size_t cycles = opts.cycles != 0 ? opts.cycles : 4000;
+  std::cout << "running conv() for " << cycles << " cycles..." << std::endl;
   const cores::msp430::Image image = cores::msp430::conv_image();
   cores::msp430::Msp430System sys(core, image);
-  const sim::Trace live = sys.run_trace(4000);
+  const sim::Trace live = sys.run_trace(cycles);
   std::cout << "  " << sys.io_log().size() << " output-port writes\n";
 
   // Round-trip the trace through VCD, as an external netlist simulator
   // would deliver it.
   const std::string vcd = sim::to_vcd(live, "msp430");
-  if (argc > 1) {
-    std::ofstream out(argv[1]);
+  if (!positional.empty()) {
+    std::ofstream out(positional[0]);
     out << vcd;
-    std::cout << "  VCD written to " << argv[1] << " (" << vcd.size()
+    std::cout << "  VCD written to " << positional[0] << " (" << vcd.size()
               << " bytes)\n";
   }
   const sim::Trace trace = sim::align_trace(sim::parse_vcd(vcd), core.netlist);
 
-  std::cout << "searching MATEs..." << std::endl;
   const auto all_ff = mate::all_flop_wires(core.netlist);
-  const mate::SearchResult search = mate::find_mates(core.netlist, all_ff, {});
+  const mate::SearchResult search =
+      pipe.find_mates(core.netlist, pipeline::fingerprint(core.netlist),
+                      all_ff, opts.search_params(), "MSP430 FF");
 
-  const mate::EvalResult eval = mate::evaluate_mates(search.set, trace);
+  const mate::EvalResult eval =
+      pipe.evaluate(search.set, trace, false, "conv trace");
   std::cout << "  " << search.set.mates.size() << " MATEs, "
             << eval.effective_mates << " effective on this trace\n"
             << "  fault space " << eval.fault_space() << ", benign "

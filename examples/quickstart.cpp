@@ -2,7 +2,7 @@
 // fault-masking terms (MATEs) for its flip-flops, and measure how much of
 // the fault space they prune on a short execution trace.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--cache-dir=DIR] [--threads=N] [--report=json]
 //
 // The circuit is a 4-bit accumulator with a write enable — the textbook
 // situation MATEs exploit: while `en` is low, an SEU in the shadow register
@@ -11,6 +11,9 @@
 
 #include "mate/eval.hpp"
 #include "mate/search.hpp"
+#include "pipeline/artifact.hpp"
+#include "pipeline/options.hpp"
+#include "pipeline/pipeline.hpp"
 #include "rtl/module.hpp"
 #include "rtl/optimize.hpp"
 #include "sim/simulator.hpp"
@@ -19,7 +22,20 @@
 
 using namespace ripple;
 
-int main() {
+int main(int argc, char** argv) {
+  OptionParser parser("quickstart",
+                      "MATE search and pruning on a 4-bit accumulator");
+  pipeline::PipelineOptions opts;
+  pipeline::register_pipeline_options(parser, opts);
+  switch (parser.parse(argc, argv)) {
+    case OptionParser::Result::Ok: break;
+    case OptionParser::Result::Help: return 0;
+    case OptionParser::Result::Error: return 2;
+  }
+  pipeline::CampaignPipeline pipe(opts.config());
+  pipeline::ProgressObserver progress;
+  pipe.add_observer(&progress);
+
   // --- 1. Describe a circuit with the RTL DSL -----------------------------
   rtl::Module m("accumulator");
   const WireId en = m.input("en");
@@ -37,9 +53,11 @@ int main() {
   std::cout << "circuit: " << n.num_gates() << " gates, " << n.num_flops()
             << " flip-flops\n\n";
 
-  // --- 2. Search for MATEs -------------------------------------------------
+  // --- 2. Search for MATEs (cached when --cache-dir is given) --------------
   const std::vector<WireId> faulty = mate::all_flop_wires(n);
-  const mate::SearchResult result = mate::find_mates(n, faulty, {});
+  const mate::SearchResult result =
+      pipe.find_mates(n, pipeline::fingerprint(n), faulty,
+                      opts.search_params(), "accumulator flops");
 
   std::cout << "MATEs found:\n";
   for (const mate::Mate& mt : result.set.mates) {
@@ -56,7 +74,8 @@ int main() {
         s.drive_bus(in, rng.next_below(16));
       });
 
-  const mate::EvalResult eval = mate::evaluate_mates(result.set, trace);
+  const mate::EvalResult eval =
+      pipe.evaluate(result.set, trace, false, "random-stimulus trace");
   std::cout << "\nfault space: " << eval.fault_space() << " (flip-flops x "
             << eval.num_cycles << " cycles)\n"
             << "proven benign by MATEs: " << eval.masked_faults << " ("

@@ -299,8 +299,10 @@ SearchResult find_mates(const netlist::Netlist& n,
 
   ThreadPool pool(params.threads);
   pool.parallel_for_index(faulty_wires.size(), [&](std::size_t i) {
+    Stopwatch wire_watch;
     WireSearch search(n, params, topo);
     cubes_per_wire[i] = search.run(faulty_wires[i], result.outcomes[i]);
+    result.outcomes[i].seconds = wire_watch.seconds();
   });
 
   // Merge identical cubes across wires: one MATE can prove several faults
@@ -322,6 +324,7 @@ SearchResult find_mates(const netlist::Netlist& n,
   }
   result.set.faulty_wires = faulty_wires;
   result.seconds = watch.seconds();
+  result.threads_used = pool.thread_count();
   return result;
 }
 

@@ -55,6 +55,9 @@ struct WireOutcome {
   std::size_t num_paths = 0;
   std::size_t candidates_tried = 0;
   std::size_t mates_found = 0;
+  /// Wall time of this wire's search; the sum over wires is the busy time
+  /// behind SearchResult::seconds (pipeline thread-utilization stat).
+  double seconds = 0.0;
 };
 
 struct SearchResult {
@@ -66,6 +69,9 @@ struct SearchResult {
   std::size_t total_mates = 0; // pre-merge: sum over wires of mates_found
   std::size_t unmaskable_wires = 0;
   double seconds = 0.0;
+  /// Worker threads the search ran with (pool size; informational only, not
+  /// part of any cache key — thread count does not change the result).
+  std::size_t threads_used = 0;
 
   [[nodiscard]] std::vector<std::size_t> cone_sizes() const;
 };

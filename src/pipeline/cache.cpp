@@ -1,0 +1,89 @@
+#include "pipeline/cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "pipeline/artifact.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace ripple::pipeline {
+
+ArtifactCache::ArtifactCache(std::filesystem::path dir, bool enabled)
+    : dir_(std::move(dir)), enabled_(enabled && !dir_.empty()) {
+  if (enabled_) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+      std::fprintf(stderr,
+                   "ripple: cannot create cache directory '%s' (%s); "
+                   "caching disabled\n",
+                   dir_.string().c_str(), ec.message().c_str());
+      enabled_ = false;
+    }
+  }
+}
+
+std::filesystem::path ArtifactCache::path_for(const CacheKey& key) const {
+  return dir_ / (key.stage + "-" + hex64(key.hash) + ".rpl");
+}
+
+std::optional<std::vector<std::uint8_t>> ArtifactCache::load(
+    const CacheKey& key) {
+  if (!enabled_) return std::nullopt;
+
+  const std::filesystem::path path = path_for(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> file(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  auto payload = unframe_artifact(key.stage, file);
+  if (!payload) {
+    ++stats_.corrupt;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return payload;
+}
+
+void ArtifactCache::store(const CacheKey& key,
+                          std::span<const std::uint8_t> payload) {
+  if (!enabled_) return;
+
+  const std::vector<std::uint8_t> framed = frame_artifact(key.stage, payload);
+  const std::filesystem::path path = path_for(key);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "ripple: cannot write cache file '%s'\n",
+                   tmp.string().c_str());
+      return;
+    }
+    out.write(reinterpret_cast<const char*>(framed.data()),
+              static_cast<std::streamsize>(framed.size()));
+    if (!out.good()) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  ++stats_.stores;
+}
+
+} // namespace ripple::pipeline

@@ -1,0 +1,59 @@
+// Content-addressed on-disk artifact cache.
+//
+// Artifacts are addressed by (stage tag, 64-bit key); the key is a hash over
+// everything that determines the artifact's content — netlist fingerprint,
+// fault set, search parameters, trace length, artifact format version. Files
+// are written atomically (temp file + rename) and validated on load via the
+// artifact frame checksum, so a torn or foreign file degrades to a miss.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ripple::pipeline {
+
+struct CacheKey {
+  std::string stage;     // "record_trace", "find_mates", "select", ...
+  std::uint64_t hash = 0;
+};
+
+class ArtifactCache {
+public:
+  /// An empty `dir` (or enabled = false) disables the cache: every load is
+  /// a miss that is not counted, every store a no-op.
+  ArtifactCache(std::filesystem::path dir, bool enabled);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+  /// The artifact payload stored under `key`, or nullopt (miss / corrupt /
+  /// cache disabled). Counted in stats() when the cache is enabled.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> load(
+      const CacheKey& key);
+
+  /// Store `payload` under `key` (framed + checksummed). No-op when disabled.
+  void store(const CacheKey& key, std::span<const std::uint8_t> payload);
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t stores = 0;
+    std::size_t corrupt = 0; // present but failed frame validation
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Cache file path for a key (exposed for tests/tooling).
+  [[nodiscard]] std::filesystem::path path_for(const CacheKey& key) const;
+
+private:
+  std::filesystem::path dir_;
+  bool enabled_ = false;
+  Stats stats_;
+};
+
+} // namespace ripple::pipeline

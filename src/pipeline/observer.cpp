@@ -1,0 +1,107 @@
+#include "pipeline/observer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "mate/report.hpp" // json_escape
+#include "util/strings.hpp"
+
+namespace ripple::pipeline {
+namespace {
+
+/// Doubles in JSON: integers print bare, everything else with enough digits
+/// to round-trip the interesting range (timings, fractions).
+std::string json_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    return strprintf("%.0f", v);
+  }
+  return strprintf("%.6g", v);
+}
+
+} // namespace
+
+ProgressObserver::ProgressObserver(std::FILE* out)
+    : out_(out != nullptr ? out : stderr) {}
+
+void ProgressObserver::stage_begin(std::string_view stage,
+                                   std::string_view detail) {
+  if (detail.empty()) {
+    std::fprintf(out_, "[%.*s] ...\n", static_cast<int>(stage.size()),
+                 stage.data());
+  } else {
+    std::fprintf(out_, "[%.*s] %.*s ...\n", static_cast<int>(stage.size()),
+                 stage.data(), static_cast<int>(detail.size()), detail.data());
+  }
+  std::fflush(out_);
+}
+
+void ProgressObserver::stage_end(const StageStats& stats) {
+  std::string line = "[" + stats.stage + "]";
+  if (!stats.detail.empty()) line += " " + stats.detail;
+  line += strprintf(": %.2f s", stats.seconds);
+  if (stats.cacheable) {
+    line += stats.cache_hit ? " (cache hit)" : " (cache miss)";
+  }
+  if (stats.threads > 1) {
+    line += strprintf(", %zu threads", stats.threads);
+    if (stats.utilization > 0.0) {
+      line += strprintf(" (%.0f %% busy)", 100.0 * stats.utilization);
+    }
+  }
+  std::fprintf(out_, "%s\n", line.c_str());
+  std::fflush(out_);
+}
+
+void ProgressObserver::progress(std::string_view message) {
+  std::fprintf(out_, "%.*s\n", static_cast<int>(message.size()),
+               message.data());
+  std::fflush(out_);
+}
+
+void JsonReportObserver::stage_end(const StageStats& stats) {
+  stages_.push_back(stats);
+}
+
+void JsonReportObserver::write(std::ostream& os, std::string_view binary,
+                               const ArtifactCache& cache) const {
+  os << "{\n  \"binary\": \"" << mate::json_escape(binary) << "\",\n";
+  os << "  \"stages\": [\n";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const StageStats& s = stages_[i];
+    os << "    {\"stage\": \"" << mate::json_escape(s.stage) << "\"";
+    if (!s.detail.empty()) {
+      os << ", \"detail\": \"" << mate::json_escape(s.detail) << "\"";
+    }
+    os << ", \"seconds\": " << json_number(s.seconds);
+    os << ", \"threads\": " << s.threads;
+    if (s.utilization > 0.0) {
+      os << ", \"utilization\": " << json_number(s.utilization);
+    }
+    if (s.cacheable) {
+      os << ", \"cache\": \"" << (s.cache_hit ? "hit" : "miss") << "\"";
+    }
+    if (!s.counters.empty()) {
+      os << ", \"counters\": {";
+      for (std::size_t c = 0; c < s.counters.size(); ++c) {
+        if (c != 0) os << ", ";
+        os << "\"" << mate::json_escape(s.counters[c].first)
+           << "\": " << json_number(s.counters[c].second);
+      }
+      os << "}";
+    }
+    os << "}" << (i + 1 < stages_.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  const ArtifactCache::Stats& cs = cache.stats();
+  os << "  \"cache\": {\"enabled\": " << (cache.enabled() ? "true" : "false");
+  if (cache.enabled()) {
+    os << ", \"dir\": \"" << mate::json_escape(cache.dir().string()) << "\"";
+  }
+  os << ", \"hits\": " << cs.hits << ", \"misses\": " << cs.misses
+     << ", \"stores\": " << cs.stores << ", \"corrupt\": " << cs.corrupt
+     << "}\n";
+  os << "}\n";
+}
+
+} // namespace ripple::pipeline

@@ -1,0 +1,83 @@
+// Per-stage observability for the campaign pipeline.
+//
+// Every pipeline stage reports begin/end plus a StageStats record (wall
+// time, worker threads and their utilization, stage-specific counters,
+// cache hit/miss). Observers consume these events:
+//   * ProgressObserver  -- human-readable progress on stderr (replaces the
+//                          ad-hoc fprintf(stderr, ...) lines of the benches;
+//                          stdout stays clean for tables/CSV/JSON),
+//   * JsonReportObserver -- collects all stage records and emits the
+//                          machine-readable `--report=json` document.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "pipeline/cache.hpp"
+
+namespace ripple::pipeline {
+
+struct StageStats {
+  std::string stage;   // "find_mates"
+  std::string detail;  // e.g. "AVR FF" — distinguishes invocations
+  double seconds = 0.0;
+  std::size_t threads = 1;
+  /// Busy thread-seconds / (threads * wall); 0 when unknown or cached.
+  double utilization = 0.0;
+  bool cacheable = false;   // stage consults the artifact cache
+  bool cache_hit = false;
+  /// Ordered stage-specific counters ("mates", "candidates", ...).
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+class StageObserver {
+public:
+  virtual ~StageObserver() = default;
+
+  virtual void stage_begin(std::string_view stage, std::string_view detail) {
+    (void)stage;
+    (void)detail;
+  }
+  virtual void stage_end(const StageStats& stats) { (void)stats; }
+
+  /// Free-form progress line (bench narration between stages).
+  virtual void progress(std::string_view message) { (void)message; }
+};
+
+/// stderr narration: one line per stage completion plus pass-through
+/// progress lines. Quiet by construction on stdout.
+class ProgressObserver final : public StageObserver {
+public:
+  explicit ProgressObserver(std::FILE* out = nullptr);
+
+  void stage_begin(std::string_view stage, std::string_view detail) override;
+  void stage_end(const StageStats& stats) override;
+  void progress(std::string_view message) override;
+
+private:
+  std::FILE* out_;
+};
+
+/// Collects stage records for the `--report=json` emitter.
+class JsonReportObserver final : public StageObserver {
+public:
+  void stage_end(const StageStats& stats) override;
+
+  [[nodiscard]] const std::vector<StageStats>& stages() const {
+    return stages_;
+  }
+
+  /// Emit the report: binary name, per-stage wall time / threads /
+  /// utilization / counters / cache outcome, and cache-wide totals.
+  void write(std::ostream& os, std::string_view binary,
+             const ArtifactCache& cache) const;
+
+private:
+  std::vector<StageStats> stages_;
+};
+
+} // namespace ripple::pipeline

@@ -1,0 +1,55 @@
+#include "pipeline/options.hpp"
+
+#include <cstdlib>
+
+namespace ripple::pipeline {
+
+PipelineConfig PipelineOptions::config() const {
+  PipelineConfig config;
+  if (!cache_dir.empty()) {
+    config.cache_dir = cache_dir;
+  } else if (const char* env = std::getenv("RIPPLE_CACHE_DIR");
+             env != nullptr && env[0] != '\0') {
+    config.cache_dir = env;
+  }
+  config.use_cache = !no_cache;
+  config.threads = threads;
+  return config;
+}
+
+mate::SearchParams PipelineOptions::search_params() const {
+  return apply(mate::SearchParams{});
+}
+
+mate::SearchParams PipelineOptions::apply(mate::SearchParams params) const {
+  if (depth != 0) params.path_depth = static_cast<unsigned>(depth);
+  if (threads != 0) params.threads = threads;
+  return params;
+}
+
+bool PipelineOptions::report_json() const {
+  return report == "json" || report.rfind("json:", 0) == 0;
+}
+
+std::string PipelineOptions::report_file() const {
+  if (report.rfind("json:", 0) == 0) return report.substr(5);
+  return {};
+}
+
+void register_pipeline_options(OptionParser& parser, PipelineOptions& opts) {
+  parser.add_flag("csv", "emit CSV instead of the pretty table", &opts.csv);
+  parser.add_value("cache-dir",
+                   "artifact cache directory (default: $RIPPLE_CACHE_DIR)",
+                   &opts.cache_dir);
+  parser.add_flag("no-cache", "disable the artifact cache", &opts.no_cache);
+  parser.add_value("threads",
+                   "MATE-search worker threads (0 = hardware concurrency)",
+                   &opts.threads);
+  parser.add_value("depth", "override the path-depth heuristic parameter",
+                   &opts.depth);
+  parser.add_value("cycles", "override the trace length", &opts.cycles);
+  parser.add_value("report", "stage/cache report format: json[:FILE]",
+                   &opts.report);
+}
+
+} // namespace ripple::pipeline

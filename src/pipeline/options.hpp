@@ -1,0 +1,49 @@
+// The shared pipeline command line.
+//
+// Every bench/example binary registers this flag set on its OptionParser
+// (replacing the old ad-hoc `want_csv` argv scan):
+//   --csv              machine-readable tables on stdout
+//   --cache-dir=DIR    artifact cache directory (default: $RIPPLE_CACHE_DIR)
+//   --no-cache         disable the artifact cache for this run
+//   --threads=N        MATE-search worker threads (0 = hardware concurrency)
+//   --depth=N          override SearchParams::path_depth
+//   --cycles=N         override the trace length
+//   --report=json[:F]  emit the stage/cache report as JSON (stderr, or file F)
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "mate/search.hpp"
+#include "pipeline/pipeline.hpp"
+#include "util/options.hpp"
+
+namespace ripple::pipeline {
+
+struct PipelineOptions {
+  bool csv = false;
+  bool no_cache = false;
+  std::string cache_dir; // empty -> $RIPPLE_CACHE_DIR -> caching off
+  std::size_t threads = 0;
+  std::size_t depth = 0;  // 0 = keep SearchParams default
+  std::size_t cycles = 0; // 0 = keep the binary's default
+  std::string report;     // "", "json" or "json:FILE"
+
+  /// PipelineConfig derived from the flags (env fallback applied).
+  [[nodiscard]] PipelineConfig config() const;
+
+  /// Default SearchParams with --depth/--threads applied.
+  [[nodiscard]] mate::SearchParams search_params() const;
+  /// Apply --depth/--threads to existing params.
+  [[nodiscard]] mate::SearchParams apply(mate::SearchParams params) const;
+
+  /// --report handling. Valid values: "" (off), "json", "json:FILE".
+  [[nodiscard]] bool report_json() const;
+  /// Output file of --report=json:FILE; empty = stderr.
+  [[nodiscard]] std::string report_file() const;
+};
+
+/// Register the shared flags on a parser (each binary may add its own).
+void register_pipeline_options(OptionParser& parser, PipelineOptions& opts);
+
+} // namespace ripple::pipeline

@@ -1,0 +1,406 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "cores/avr/core.hpp"
+#include "cores/avr/programs.hpp"
+#include "cores/avr/system.hpp"
+#include "cores/msp430/core.hpp"
+#include "cores/msp430/programs.hpp"
+#include "cores/msp430/system.hpp"
+#include "pipeline/artifact.hpp"
+#include "util/hash.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace ripple::pipeline {
+namespace {
+
+// --- cache key derivation (see DESIGN.md, "Pipeline & artifact cache") ----
+
+std::uint64_t trace_key(std::uint64_t netlist_fp, std::string_view workload,
+                        std::size_t cycles) {
+  Hasher h;
+  h.update_value(kArtifactVersion);
+  h.update_value(netlist_fp);
+  h.update_string(workload);
+  h.update_value(static_cast<std::uint64_t>(cycles));
+  return h.digest();
+}
+
+std::uint64_t search_key(std::uint64_t netlist_fp,
+                         std::span<const WireId> faulty,
+                         const mate::SearchParams& p) {
+  Hasher h;
+  h.update_value(kArtifactVersion);
+  h.update_value(netlist_fp);
+  h.update_value(static_cast<std::uint64_t>(faulty.size()));
+  for (WireId wire : faulty) h.update_value(wire.value());
+  // Every result-affecting parameter; `threads` is deliberately absent (it
+  // changes wall time, never results).
+  h.update_value(static_cast<std::uint32_t>(p.path_depth));
+  h.update_value(static_cast<std::uint32_t>(p.max_terms));
+  h.update_value(static_cast<std::uint64_t>(p.max_candidates_per_wire));
+  h.update_value(static_cast<std::uint64_t>(p.max_paths_per_wire));
+  h.update_value(static_cast<std::uint64_t>(p.max_mates_per_wire));
+  return h.digest();
+}
+
+std::uint64_t select_key(std::uint64_t set_fp, std::uint64_t trace_fp) {
+  Hasher h;
+  h.update_value(kArtifactVersion);
+  h.update_value(set_fp);
+  h.update_value(trace_fp);
+  return h.digest();
+}
+
+std::uint64_t eval_key(std::uint64_t set_fp, std::uint64_t trace_fp,
+                       bool keep_trigger_lists) {
+  Hasher h;
+  h.update_value(kArtifactVersion);
+  h.update_value(set_fp);
+  h.update_value(trace_fp);
+  h.update_value(static_cast<std::uint8_t>(keep_trigger_lists ? 1 : 0));
+  return h.digest();
+}
+
+void fill_eval_counters(StageStats& stats, const mate::EvalResult& result) {
+  stats.counters = {
+      {"fault_space", static_cast<double>(result.fault_space())},
+      {"masked_faults", static_cast<double>(result.masked_faults)},
+      {"effective_mates", static_cast<double>(result.effective_mates)},
+  };
+}
+
+void fill_search_counters(StageStats& stats, const mate::SearchResult& r) {
+  stats.counters = {
+      {"faulty_wires", static_cast<double>(r.outcomes.size())},
+      {"mates", static_cast<double>(r.set.mates.size())},
+      {"candidates", static_cast<double>(r.total_candidates)},
+      {"unmaskable_wires", static_cast<double>(r.unmaskable_wires)},
+  };
+}
+
+} // namespace
+
+std::string_view core_name(CoreKind kind) {
+  switch (kind) {
+    case CoreKind::Avr: return "AVR";
+    case CoreKind::Msp430: return "MSP430";
+  }
+  return "?";
+}
+
+CampaignPipeline::CampaignPipeline(PipelineConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_dir, config_.use_cache) {}
+
+void CampaignPipeline::add_observer(StageObserver* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+}
+
+void CampaignPipeline::notify_begin(std::string_view stage,
+                                    std::string_view detail) {
+  for (StageObserver* o : observers_) o->stage_begin(stage, detail);
+}
+
+void CampaignPipeline::notify_end(const StageStats& stats) {
+  for (StageObserver* o : observers_) o->stage_end(stats);
+}
+
+void CampaignPipeline::progress(const char* fmt, ...) {
+  char buf[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  for (StageObserver* o : observers_) o->progress(buf);
+}
+
+mate::SearchParams CampaignPipeline::apply_threads(
+    mate::SearchParams params) const {
+  if (config_.threads != 0) params.threads = config_.threads;
+  return params;
+}
+
+mate::SearchParams CampaignPipeline::default_params() const {
+  return apply_threads(mate::SearchParams{});
+}
+
+CoreSetup CampaignPipeline::setup(const CoreSetupSpec& spec) {
+  const std::string name{core_name(spec.kind)};
+  notify_begin("build_core", name);
+  Stopwatch watch;
+
+  CoreSetup s;
+  s.name = name;
+
+  if (spec.kind == CoreKind::Avr) {
+    cores::avr::AvrCore core = cores::avr::build_avr_core(spec.optimized);
+    s.fingerprint = fingerprint(core.netlist);
+    s.ff = mate::all_flop_wires(core.netlist);
+    s.ff_xrf = mate::flop_wires_excluding_prefix(core.netlist,
+                                                 cores::avr::kRegfilePrefix);
+    {
+      StageStats stats;
+      stats.stage = "build_core";
+      stats.detail = name;
+      stats.seconds = watch.seconds();
+      stats.counters = {
+          {"wires", static_cast<double>(core.netlist.num_wires())},
+          {"gates", static_cast<double>(core.netlist.num_gates())},
+          {"flops", static_cast<double>(core.netlist.num_flops())},
+      };
+      notify_end(stats);
+    }
+    s.fib_trace =
+        record_trace(s.fingerprint, "fib", spec.trace_cycles, [&core, &spec] {
+          cores::avr::AvrSystem sys(core, cores::avr::fib_program());
+          return sys.run_trace(spec.trace_cycles);
+        });
+    s.conv_trace =
+        record_trace(s.fingerprint, "conv", spec.trace_cycles, [&core, &spec] {
+          cores::avr::AvrSystem sys(core, cores::avr::conv_program());
+          return sys.run_trace(spec.trace_cycles);
+        });
+    s.fib_trace_fp = fingerprint(s.fib_trace);
+    s.conv_trace_fp = fingerprint(s.conv_trace);
+    s.netlist = std::move(core.netlist);
+  } else {
+    cores::msp430::Msp430Core core =
+        cores::msp430::build_msp430_core(spec.optimized);
+    s.fingerprint = fingerprint(core.netlist);
+    s.ff = mate::all_flop_wires(core.netlist);
+    s.ff_xrf = mate::flop_wires_excluding_prefix(
+        core.netlist, cores::msp430::kRegfilePrefix);
+    {
+      StageStats stats;
+      stats.stage = "build_core";
+      stats.detail = name;
+      stats.seconds = watch.seconds();
+      stats.counters = {
+          {"wires", static_cast<double>(core.netlist.num_wires())},
+          {"gates", static_cast<double>(core.netlist.num_gates())},
+          {"flops", static_cast<double>(core.netlist.num_flops())},
+      };
+      notify_end(stats);
+    }
+    s.fib_trace =
+        record_trace(s.fingerprint, "fib", spec.trace_cycles, [&core, &spec] {
+          cores::msp430::Msp430System sys(core, cores::msp430::fib_image());
+          return sys.run_trace(spec.trace_cycles);
+        });
+    s.conv_trace =
+        record_trace(s.fingerprint, "conv", spec.trace_cycles, [&core, &spec] {
+          cores::msp430::Msp430System sys(core, cores::msp430::conv_image());
+          return sys.run_trace(spec.trace_cycles);
+        });
+    s.fib_trace_fp = fingerprint(s.fib_trace);
+    s.conv_trace_fp = fingerprint(s.conv_trace);
+    s.netlist = std::move(core.netlist);
+  }
+  return s;
+}
+
+sim::Trace CampaignPipeline::record_trace(
+    std::uint64_t netlist_fingerprint, std::string_view workload,
+    std::size_t cycles, const std::function<sim::Trace()>& run) {
+  const CacheKey key{"record_trace",
+                     trace_key(netlist_fingerprint, workload, cycles)};
+  StageStats stats;
+  stats.stage = "record_trace";
+  stats.detail = strprintf("%.*s, %zu cycles",
+                           static_cast<int>(workload.size()), workload.data(),
+                           cycles);
+  stats.cacheable = cache_.enabled();
+  notify_begin(stats.stage, stats.detail);
+  Stopwatch watch;
+
+  if (auto payload = cache_.load(key)) {
+    ByteReader r(*payload);
+    sim::Trace t = read_trace(r);
+    r.expect_done();
+    stats.cache_hit = true;
+    stats.seconds = watch.seconds();
+    stats.counters = {{"cycles", static_cast<double>(t.num_cycles())},
+                      {"wires", static_cast<double>(t.num_wires())}};
+    notify_end(stats);
+    return t;
+  }
+
+  sim::Trace t = run();
+  ByteWriter w;
+  write_trace(w, t);
+  cache_.store(key, w.bytes());
+  stats.seconds = watch.seconds();
+  stats.counters = {{"cycles", static_cast<double>(t.num_cycles())},
+                    {"wires", static_cast<double>(t.num_wires())}};
+  notify_end(stats);
+  return t;
+}
+
+mate::SearchResult CampaignPipeline::find_mates(
+    const CoreSetup& setup, std::span<const WireId> faulty,
+    const mate::SearchParams& params, std::string detail) {
+  return find_mates(setup.netlist, setup.fingerprint, faulty, params,
+                    std::move(detail));
+}
+
+mate::SearchResult CampaignPipeline::find_mates(
+    const netlist::Netlist& n, std::uint64_t netlist_fingerprint,
+    std::span<const WireId> faulty, const mate::SearchParams& params,
+    std::string detail) {
+  const mate::SearchParams run_params = apply_threads(params);
+  const CacheKey key{"find_mates",
+                     search_key(netlist_fingerprint, faulty, run_params)};
+  StageStats stats;
+  stats.stage = "find_mates";
+  stats.detail = std::move(detail);
+  stats.cacheable = cache_.enabled();
+  notify_begin(stats.stage, stats.detail);
+  Stopwatch watch;
+
+  if (auto payload = cache_.load(key)) {
+    ByteReader r(*payload);
+    mate::SearchResult result = read_search_result(r);
+    r.expect_done();
+    stats.cache_hit = true;
+    stats.seconds = watch.seconds();
+    fill_search_counters(stats, result);
+    notify_end(stats);
+    return result;
+  }
+
+  mate::SearchResult result = mate::find_mates(
+      n, std::vector<WireId>(faulty.begin(), faulty.end()), run_params);
+  ByteWriter w;
+  write_search_result(w, result);
+  cache_.store(key, w.bytes());
+
+  stats.seconds = watch.seconds();
+  stats.threads = std::max<std::size_t>(result.threads_used, 1);
+  double busy = 0.0;
+  for (const mate::WireOutcome& o : result.outcomes) busy += o.seconds;
+  if (stats.seconds > 0.0) {
+    stats.utilization = std::min(
+        1.0, busy / (static_cast<double>(stats.threads) * stats.seconds));
+  }
+  fill_search_counters(stats, result);
+  notify_end(stats);
+  return result;
+}
+
+mate::EvalResult CampaignPipeline::evaluate(const mate::MateSet& set,
+                                            const sim::Trace& trace,
+                                            bool keep_trigger_lists,
+                                            std::string detail) {
+  return evaluate(set, trace, fingerprint(trace), keep_trigger_lists,
+                  std::move(detail));
+}
+
+mate::EvalResult CampaignPipeline::evaluate(const mate::MateSet& set,
+                                            const sim::Trace& trace,
+                                            std::uint64_t trace_fingerprint,
+                                            bool keep_trigger_lists,
+                                            std::string detail) {
+  const CacheKey key{
+      "evaluate",
+      eval_key(fingerprint(set), trace_fingerprint, keep_trigger_lists)};
+  StageStats stats;
+  stats.stage = "evaluate";
+  stats.detail = std::move(detail);
+  stats.cacheable = cache_.enabled();
+  notify_begin(stats.stage, stats.detail);
+  Stopwatch watch;
+
+  if (auto payload = cache_.load(key)) {
+    ByteReader r(*payload);
+    mate::EvalResult result = read_eval_result(r);
+    r.expect_done();
+    stats.cache_hit = true;
+    stats.seconds = watch.seconds();
+    fill_eval_counters(stats, result);
+    notify_end(stats);
+    return result;
+  }
+
+  mate::EvalResult result =
+      mate::evaluate_mates(set, trace, keep_trigger_lists);
+  ByteWriter w;
+  write_eval_result(w, result);
+  cache_.store(key, w.bytes());
+
+  stats.seconds = watch.seconds();
+  fill_eval_counters(stats, result);
+  notify_end(stats);
+  return result;
+}
+
+mate::SelectionResult CampaignPipeline::select(const mate::MateSet& set,
+                                               const sim::Trace& trace,
+                                               std::string detail) {
+  return select(set, trace, fingerprint(trace), std::move(detail));
+}
+
+mate::SelectionResult CampaignPipeline::select(const mate::MateSet& set,
+                                               const sim::Trace& trace,
+                                               std::uint64_t trace_fingerprint,
+                                               std::string detail) {
+  const CacheKey key{"select",
+                     select_key(fingerprint(set), trace_fingerprint)};
+  StageStats stats;
+  stats.stage = "select";
+  stats.detail = std::move(detail);
+  stats.cacheable = cache_.enabled();
+  notify_begin(stats.stage, stats.detail);
+  Stopwatch watch;
+
+  if (auto payload = cache_.load(key)) {
+    ByteReader r(*payload);
+    mate::SelectionResult result = read_selection(r);
+    r.expect_done();
+    stats.cache_hit = true;
+    stats.seconds = watch.seconds();
+    stats.counters = {{"ranked", static_cast<double>(result.ranking.size())}};
+    notify_end(stats);
+    return result;
+  }
+
+  mate::SelectionResult result = mate::rank_mates(set, trace);
+  ByteWriter w;
+  write_selection(w, result);
+  cache_.store(key, w.bytes());
+  stats.seconds = watch.seconds();
+  stats.counters = {{"ranked", static_cast<double>(result.ranking.size())}};
+  notify_end(stats);
+  return result;
+}
+
+hafi::CampaignResult CampaignPipeline::campaign(
+    hafi::DutFactory factory, const hafi::CampaignConfig& config,
+    const mate::MateSet* mates, std::string detail) {
+  StageStats stats;
+  stats.stage = "campaign";
+  stats.detail = std::move(detail);
+  notify_begin(stats.stage, stats.detail);
+  Stopwatch watch;
+
+  hafi::Campaign campaign(std::move(factory), config);
+  hafi::CampaignResult result = campaign.run(mates);
+
+  stats.seconds = watch.seconds();
+  stats.counters = {
+      {"experiments", static_cast<double>(result.total)},
+      {"pruned", static_cast<double>(result.pruned)},
+      {"executed", static_cast<double>(result.executed)},
+      {"benign", static_cast<double>(result.benign)},
+      {"latent", static_cast<double>(result.latent)},
+      {"sdc", static_cast<double>(result.sdc)},
+  };
+  notify_end(stats);
+  return result;
+}
+
+} // namespace ripple::pipeline

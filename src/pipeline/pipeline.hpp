@@ -1,0 +1,161 @@
+// The unified campaign pipeline (tying Sections 3-6 together).
+//
+// Models the paper's cross-layer flow as named stages over typed artifacts:
+//
+//   build_core ──> record_trace ──┐
+//        │                        ├──> evaluate ──> select ──> campaign
+//        └───────> find_mates ────┘
+//
+// Stage inputs/outputs are the artifact types of artifact.hpp; cacheable
+// stages (record_trace, find_mates, evaluate, select) consult the
+// content-addressed ArtifactCache so a second run with the same inputs
+// replays stored results instead of recomputing them. Every stage reports begin/end plus a
+// StageStats record to the registered StageObservers, which is where all
+// bench progress output and the `--report=json` emitter hang off.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hafi/campaign.hpp"
+#include "mate/eval.hpp"
+#include "mate/search.hpp"
+#include "mate/select.hpp"
+#include "netlist/netlist.hpp"
+#include "pipeline/cache.hpp"
+#include "pipeline/observer.hpp"
+#include "sim/trace.hpp"
+
+namespace ripple::pipeline {
+
+/// The paper's trace length (Tables 2 and 3: "Both programs ran for 8500
+/// clock cycles").
+inline constexpr std::size_t kDefaultTraceCycles = 8500;
+
+enum class CoreKind { Avr, Msp430 };
+
+[[nodiscard]] std::string_view core_name(CoreKind kind);
+
+/// Everything that determines a core setup; replaces the parallel
+/// make_avr_setup/make_msp430_setup code paths.
+struct CoreSetupSpec {
+  CoreKind kind = CoreKind::Avr;
+  std::size_t trace_cycles = kDefaultTraceCycles;
+  bool optimized = true; // netlist optimization passes (always on in benches)
+};
+
+/// Output of the build_core + record_trace stages: the core netlist, its
+/// content fingerprint, the two workload traces and the evaluation's two
+/// fault sets ("FF" and "FF w/o RF").
+struct CoreSetup {
+  std::string name; // "AVR" or "MSP430"
+  netlist::Netlist netlist;
+  std::uint64_t fingerprint = 0; // content fingerprint of `netlist`
+  sim::Trace fib_trace;
+  sim::Trace conv_trace;
+  std::uint64_t fib_trace_fp = 0;  // content fingerprint of `fib_trace`
+  std::uint64_t conv_trace_fp = 0; // content fingerprint of `conv_trace`
+  std::vector<WireId> ff;     // all flipflops
+  std::vector<WireId> ff_xrf; // flipflops outside the register file
+};
+
+struct PipelineConfig {
+  /// Artifact cache directory; empty disables caching.
+  std::filesystem::path cache_dir;
+  bool use_cache = true; // `--no-cache` clears this
+  /// Worker threads for the MATE search; 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+class CampaignPipeline {
+public:
+  explicit CampaignPipeline(PipelineConfig config = {});
+
+  /// Observers are not owned and must outlive the pipeline.
+  void add_observer(StageObserver* observer);
+
+  /// build_core + record_trace (x2 workloads). Traces are cached by
+  /// (netlist fingerprint, workload, cycles); the netlist build itself is
+  /// fast and always runs (it also provides the fingerprint).
+  [[nodiscard]] CoreSetup setup(const CoreSetupSpec& spec);
+
+  /// MATE search stage, cached by (netlist fingerprint, fault set, search
+  /// params). `params.threads` is excluded from the key — the thread count
+  /// changes wall time, never results.
+  [[nodiscard]] mate::SearchResult find_mates(const CoreSetup& setup,
+                                              std::span<const WireId> faulty,
+                                              const mate::SearchParams& params,
+                                              std::string detail = {});
+
+  /// Same, for netlists that did not come from setup() (e.g. the Figure 1
+  /// example circuit). `netlist_fingerprint` must be fingerprint(n).
+  [[nodiscard]] mate::SearchResult find_mates(const netlist::Netlist& n,
+                                              std::uint64_t netlist_fingerprint,
+                                              std::span<const WireId> faulty,
+                                              const mate::SearchParams& params,
+                                              std::string detail = {});
+
+  /// Trace evaluation stage (fault-space quantification), cached by (MATE
+  /// set fingerprint, trace fingerprint, keep_trigger_lists). The first
+  /// overload fingerprints the trace itself; pass a precomputed
+  /// `trace_fingerprint` (e.g. CoreSetup::fib_trace_fp) when evaluating
+  /// many MATE sets against the same long trace.
+  [[nodiscard]] mate::EvalResult evaluate(const mate::MateSet& set,
+                                          const sim::Trace& trace,
+                                          bool keep_trigger_lists = false,
+                                          std::string detail = {});
+  [[nodiscard]] mate::EvalResult evaluate(const mate::MateSet& set,
+                                          const sim::Trace& trace,
+                                          std::uint64_t trace_fingerprint,
+                                          bool keep_trigger_lists,
+                                          std::string detail);
+
+  /// Greedy top-N ranking stage, cached by (MATE set fingerprint, trace
+  /// fingerprint).
+  [[nodiscard]] mate::SelectionResult select(const mate::MateSet& set,
+                                             const sim::Trace& trace,
+                                             std::string detail = {});
+  [[nodiscard]] mate::SelectionResult select(const mate::MateSet& set,
+                                             const sim::Trace& trace,
+                                             std::uint64_t trace_fingerprint,
+                                             std::string detail);
+
+  /// Fault-injection campaign stage. Never cached — the campaign *is* the
+  /// experiment (and its DUT factory captures arbitrary state).
+  [[nodiscard]] hafi::CampaignResult campaign(
+      hafi::DutFactory factory, const hafi::CampaignConfig& config,
+      const mate::MateSet* mates, std::string detail = {});
+
+  /// Free-form narration routed to the observers (bench progress lines;
+  /// keeps stdout clean for tables/CSV/JSON).
+  void progress(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  [[nodiscard]] ArtifactCache& cache() { return cache_; }
+  [[nodiscard]] const ArtifactCache& cache() const { return cache_; }
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+
+  /// Default SearchParams with the pipeline's --threads applied.
+  [[nodiscard]] mate::SearchParams default_params() const;
+  /// Apply the pipeline's --threads override to existing params.
+  [[nodiscard]] mate::SearchParams apply_threads(
+      mate::SearchParams params) const;
+
+private:
+  void notify_begin(std::string_view stage, std::string_view detail);
+  void notify_end(const StageStats& stats);
+
+  [[nodiscard]] sim::Trace record_trace(
+      std::uint64_t netlist_fingerprint, std::string_view workload,
+      std::size_t cycles, const std::function<sim::Trace()>& run);
+
+  PipelineConfig config_;
+  ArtifactCache cache_;
+  std::vector<StageObserver*> observers_;
+};
+
+} // namespace ripple::pipeline

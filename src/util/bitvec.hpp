@@ -105,6 +105,19 @@ public:
     return words_;
   }
 
+  /// Word-level bulk load (artifact deserialization): adopt `words` as the
+  /// backing store of an `nbits`-wide vector. Bits past `nbits` are cleared.
+  static BitVec from_words(std::size_t nbits, std::vector<std::uint64_t> words) {
+    RIPPLE_ASSERT(words.size() == (nbits + 63) / 64,
+                  "word count mismatch: ", words.size(), " for ", nbits,
+                  " bits");
+    BitVec v;
+    v.nbits_ = nbits;
+    v.words_ = std::move(words);
+    v.trim();
+    return v;
+  }
+
 private:
   void trim() {
     if (nbits_ % 64 != 0 && !words_.empty()) {

@@ -1,0 +1,73 @@
+// Content hashing for the artifact cache (FNV-1a, 64 bit).
+//
+// Cache keys are derived by hashing the serialized form of pipeline inputs
+// (netlist fingerprint, fault set, search parameters). FNV-1a is not
+// cryptographic — it only has to make accidental collisions between distinct
+// parameter sets vanishingly unlikely, and it keeps the repo dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace ripple {
+
+class Hasher {
+public:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= bytes[i];
+      state_ *= kPrime;
+    }
+  }
+
+  void update_bytes(std::span<const std::uint8_t> bytes) {
+    update(bytes.data(), bytes.size());
+  }
+
+  /// Hash a trivially copyable value by its object representation. Only use
+  /// with fixed-width integer/float types — padding would leak indeterminate
+  /// bytes into the key.
+  template <typename T>
+  void update_value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    update(&v, sizeof(v));
+  }
+
+  /// Length-prefixed, so ("ab","c") and ("a","bc") hash differently.
+  void update_string(std::string_view s) {
+    update_value(static_cast<std::uint64_t>(s.size()));
+    update(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+private:
+  std::uint64_t state_ = kOffset;
+};
+
+[[nodiscard]] inline std::uint64_t hash_bytes(
+    std::span<const std::uint8_t> bytes) {
+  Hasher h;
+  h.update_bytes(bytes);
+  return h.digest();
+}
+
+/// Fixed-width lower-case hex form used for cache file names.
+[[nodiscard]] inline std::string hex64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+} // namespace ripple

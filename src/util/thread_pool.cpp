@@ -37,55 +37,88 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for_index(
-    std::size_t n, const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
+namespace {
 
-  // Dynamic chunking: one atomic counter, each worker claims indices until
-  // exhausted. Chunk size 1 is fine -- work items (one MATE search per wire)
-  // are large compared to the atomic increment.
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  auto remaining = std::make_shared<std::atomic<std::size_t>>(n);
-  auto first_error = std::make_shared<std::atomic<bool>>(false);
-  auto error_ptr = std::make_shared<std::exception_ptr>();
-  auto done_mutex = std::make_shared<std::mutex>();
-  auto done_cv = std::make_shared<std::condition_variable>();
+/// Shared state of one parallel_for_index call; a single heap allocation
+/// instead of one std::function per index. Workers may still observe the
+/// claim counter after the caller finished waiting, so the state is kept
+/// alive by shared_ptr until the last enqueued job returns.
+struct ForLoopState {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t)>* fn = nullptr; // valid while remaining > 0
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
 
-  auto body = [=, &fn] {
+  /// Claim and run batches until the index space is exhausted.
+  void drain() {
     while (true) {
-      const std::size_t i = next->fetch_add(1);
-      if (i >= n) break;
-      try {
-        if (!first_error->load(std::memory_order_relaxed)) fn(i);
-      } catch (...) {
-        bool expected = false;
-        if (first_error->compare_exchange_strong(expected, true)) {
-          *error_ptr = std::current_exception();
+      const std::size_t begin = next.fetch_add(grain);
+      if (begin >= n) return;
+      const std::size_t end = std::min(n, begin + grain);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          if (!failed.load(std::memory_order_relaxed)) (*fn)(i);
+        } catch (...) {
+          bool expected = false;
+          if (failed.compare_exchange_strong(expected, true)) {
+            error = std::current_exception();
+          }
         }
       }
-      if (remaining->fetch_sub(1) == 1) {
-        std::lock_guard lock(*done_mutex);
-        done_cv->notify_all();
+      if (remaining.fetch_sub(end - begin) == end - begin) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_all();
       }
     }
-  };
+  }
+};
 
-  const std::size_t jobs = std::min(n, workers_.size());
+} // namespace
+
+void ThreadPool::parallel_for_index(std::size_t n,
+                                    const std::function<void(std::size_t)>& fn,
+                                    std::size_t grain) {
+  if (n == 0) return;
+
+  const std::size_t participants = workers_.size() + 1; // pool + caller
+  if (grain == 0) {
+    // A few batches per participant: large enough that scheduling (one
+    // atomic fetch_add per batch) is noise even for per-index work in the
+    // tens of nanoseconds, small enough that skewed item costs (MATE search
+    // cones differ by orders of magnitude) still rebalance.
+    grain = std::max<std::size_t>(1, n / (participants * 8));
+  }
+
+  auto state = std::make_shared<ForLoopState>();
+  state->n = n;
+  state->grain = grain;
+  state->fn = &fn;
+  state->remaining.store(n);
+
+  const std::size_t jobs =
+      std::min((n + grain - 1) / grain, workers_.size());
   {
     std::lock_guard lock(mutex_);
     RIPPLE_ASSERT(!stopping_);
-    for (std::size_t i = 0; i < jobs; ++i) queue_.push(body);
+    for (std::size_t i = 0; i < jobs; ++i) {
+      queue_.push([state] { state->drain(); });
+    }
   }
   cv_.notify_all();
 
   // The calling thread participates too, so a pool is usable even with
   // a single worker under heavy nesting.
-  body();
+  state->drain();
 
-  std::unique_lock lock(*done_mutex);
-  done_cv->wait(lock, [&] { return remaining->load() == 0; });
+  std::unique_lock lock(state->done_mutex);
+  state->done_cv.wait(lock, [&] { return state->remaining.load() == 0; });
 
-  if (*error_ptr) std::rethrow_exception(*error_ptr);
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 } // namespace ripple

@@ -2,8 +2,11 @@
 //
 // The MATE search is embarrassingly parallel over faulty wires (the paper
 // parallelized the same axis with multiprocessing); parallel_for_index is the
-// only primitive it needs. Exceptions thrown by work items are captured and
-// rethrown on the caller's thread (first one wins).
+// only primitive it needs. Work is claimed in chunks off a shared atomic
+// counter (dynamic scheduling), so per-index overhead stays negligible even
+// for fine-grained loops while skewed item costs still balance across
+// workers. Exceptions thrown by work items are captured and rethrown on the
+// caller's thread (first one wins).
 #pragma once
 
 #include <atomic>
@@ -31,8 +34,12 @@ public:
 
   /// Run `fn(i)` for every i in [0, n), distributing work over the pool.
   /// Blocks until all iterations finished. Rethrows the first exception.
+  /// `grain` is the number of indices claimed per scheduling step; 0 picks
+  /// a batch size from n and the worker count (n/threads split into a few
+  /// waves so uneven item costs can still rebalance).
   void parallel_for_index(std::size_t n,
-                          const std::function<void(std::size_t)>& fn);
+                          const std::function<void(std::size_t)>& fn,
+                          std::size_t grain = 0);
 
 private:
   void worker_loop();

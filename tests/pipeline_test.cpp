@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "mate/example.hpp"
+#include "pipeline/artifact.hpp"
+#include "pipeline/cache.hpp"
+#include "pipeline/options.hpp"
+#include "pipeline/pipeline.hpp"
+#include "util/options.hpp"
+
+namespace ripple::pipeline {
+namespace {
+
+/// Unique temp cache dir per test, removed on destruction.
+struct TempDir {
+  std::filesystem::path path;
+
+  TempDir() {
+    const auto base = std::filesystem::temp_directory_path();
+    for (int i = 0;; ++i) {
+      auto candidate =
+          base / ("ripple_cache_test_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(i));
+      if (std::filesystem::create_directories(candidate)) {
+        path = std::move(candidate);
+        return;
+      }
+    }
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+TEST(ArtifactCache, StoreThenLoad) {
+  TempDir tmp;
+  ArtifactCache cache(tmp.path, true);
+  const CacheKey key{"find_mates", 0x1234};
+  const std::vector<std::uint8_t> payload = {10, 20, 30};
+
+  EXPECT_FALSE(cache.load(key).has_value());
+  cache.store(key, payload);
+  const auto back = cache.load(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().stores, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ArtifactCache, DisabledCacheNeverHitsOrCounts) {
+  TempDir tmp;
+  ArtifactCache cache(tmp.path, false);
+  const CacheKey key{"find_mates", 7};
+  cache.store(key, std::vector<std::uint8_t>{1});
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().stores, 0u);
+}
+
+TEST(ArtifactCache, CorruptFileDegradesToMiss) {
+  TempDir tmp;
+  ArtifactCache cache(tmp.path, true);
+  const CacheKey key{"trace", 42};
+  cache.store(key, std::vector<std::uint8_t>{1, 2, 3});
+
+  {
+    std::ofstream f(cache.path_for(key), std::ios::binary | std::ios::trunc);
+    f << "not an artifact";
+  }
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ArtifactCache, KeysAreIndependent) {
+  TempDir tmp;
+  ArtifactCache cache(tmp.path, true);
+  cache.store({"find_mates", 1}, std::vector<std::uint8_t>{1});
+  EXPECT_FALSE(cache.load({"find_mates", 2}).has_value());
+  EXPECT_FALSE(cache.load({"select", 1}).has_value());
+  EXPECT_TRUE(cache.load({"find_mates", 1}).has_value());
+}
+
+// The cache-key contract of the find_mates stage: identical inputs hit,
+// any SearchParams delta (here: path_depth) misses.
+TEST(Pipeline, FindMatesCacheHitAndParamMiss) {
+  TempDir tmp;
+  const mate::Figure1Circuit fig = mate::build_figure1_circuit();
+  const std::uint64_t fp = fingerprint(fig.netlist);
+  const std::vector<WireId> faulty = {fig.a, fig.b, fig.d};
+
+  PipelineConfig config;
+  config.cache_dir = tmp.path;
+  CampaignPipeline pipe(config);
+
+  mate::SearchParams params;
+  params.threads = 1;
+  const mate::SearchResult first =
+      pipe.find_mates(fig.netlist, fp, faulty, params);
+  EXPECT_EQ(pipe.cache().stats().hits, 0u);
+  EXPECT_EQ(pipe.cache().stats().stores, 1u);
+
+  const mate::SearchResult second =
+      pipe.find_mates(fig.netlist, fp, faulty, params);
+  EXPECT_EQ(pipe.cache().stats().hits, 1u);
+
+  // Cached result is byte-identical, timing included.
+  ByteWriter w1, w2;
+  write_search_result(w1, first);
+  write_search_result(w2, second);
+  EXPECT_EQ(w1.bytes(), w2.bytes());
+
+  // A changed heuristic parameter is a different experiment: miss.
+  params.path_depth += 1;
+  (void)pipe.find_mates(fig.netlist, fp, faulty, params);
+  EXPECT_EQ(pipe.cache().stats().hits, 1u);
+  EXPECT_EQ(pipe.cache().stats().stores, 2u);
+
+  // The thread count is excluded from the key: it changes wall time, never
+  // results.
+  params.path_depth -= 1;
+  params.threads = 2;
+  (void)pipe.find_mates(fig.netlist, fp, faulty, params);
+  EXPECT_EQ(pipe.cache().stats().hits, 2u);
+}
+
+TEST(Pipeline, ObserverSeesCacheHitFlag) {
+  struct Recorder : StageObserver {
+    std::vector<StageStats> stages;
+    void stage_end(const StageStats& stats) override {
+      stages.push_back(stats);
+    }
+  };
+
+  TempDir tmp;
+  const mate::Figure1Circuit fig = mate::build_figure1_circuit();
+  const std::uint64_t fp = fingerprint(fig.netlist);
+  const std::vector<WireId> faulty = {fig.d};
+
+  PipelineConfig config;
+  config.cache_dir = tmp.path;
+  CampaignPipeline pipe(config);
+  Recorder rec;
+  pipe.add_observer(&rec);
+
+  mate::SearchParams params;
+  params.threads = 1;
+  (void)pipe.find_mates(fig.netlist, fp, faulty, params);
+  (void)pipe.find_mates(fig.netlist, fp, faulty, params);
+
+  ASSERT_EQ(rec.stages.size(), 2u);
+  EXPECT_EQ(rec.stages[0].stage, "find_mates");
+  EXPECT_TRUE(rec.stages[0].cacheable);
+  EXPECT_FALSE(rec.stages[0].cache_hit);
+  EXPECT_TRUE(rec.stages[1].cache_hit);
+  EXPECT_GE(rec.stages[0].seconds, 0.0);
+}
+
+TEST(PipelineOptions, ParsesSharedFlags) {
+  OptionParser parser("prog", "test");
+  PipelineOptions opts;
+  register_pipeline_options(parser, opts);
+
+  const char* argv[] = {"prog",          "--csv",       "--cache-dir=/tmp/c",
+                        "--threads", "3", "--depth=9",   "--no-cache",
+                        "--report=json:out.json"};
+  EXPECT_EQ(parser.parse(8, const_cast<char**>(argv)),
+            OptionParser::Result::Ok);
+  EXPECT_TRUE(opts.csv);
+  EXPECT_TRUE(opts.no_cache);
+  EXPECT_EQ(opts.cache_dir, "/tmp/c");
+  EXPECT_EQ(opts.threads, 3u);
+  EXPECT_EQ(opts.depth, 9u);
+  EXPECT_TRUE(opts.report_json());
+  EXPECT_EQ(opts.report_file(), "out.json");
+
+  const PipelineConfig config = opts.config();
+  EXPECT_EQ(config.cache_dir, "/tmp/c");
+  EXPECT_FALSE(config.use_cache); // --no-cache wins over --cache-dir
+  EXPECT_EQ(config.threads, 3u);
+
+  const mate::SearchParams params = opts.search_params();
+  EXPECT_EQ(params.path_depth, 9u);
+  EXPECT_EQ(params.threads, 3u);
+}
+
+TEST(PipelineOptions, DepthZeroKeepsDefault) {
+  OptionParser parser("prog", "test");
+  PipelineOptions opts;
+  register_pipeline_options(parser, opts);
+  const char* argv[] = {"prog"};
+  EXPECT_EQ(parser.parse(1, const_cast<char**>(argv)),
+            OptionParser::Result::Ok);
+  EXPECT_EQ(opts.search_params().path_depth, mate::SearchParams{}.path_depth);
+  EXPECT_FALSE(opts.report_json());
+}
+
+TEST(PipelineOptions, RejectsUnknownFlag) {
+  OptionParser parser("prog", "test");
+  PipelineOptions opts;
+  register_pipeline_options(parser, opts);
+  const char* argv[] = {"prog", "--frobnicate"};
+  EXPECT_EQ(parser.parse(2, const_cast<char**>(argv)),
+            OptionParser::Result::Error);
+}
+
+} // namespace
+} // namespace ripple::pipeline
