@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -16,6 +17,7 @@
 
 #include "mate/search.hpp"
 #include "pipeline/options.hpp"
+#include "util/assert.hpp"
 #include "pipeline/pipeline.hpp"
 #include "util/table.hpp"
 
@@ -34,10 +36,14 @@ using pipeline::CoreSetup;
 /// emits the report when the binary finishes.
 class Harness {
 public:
-  Harness(int argc, char** argv, std::string program, std::string description)
+  /// `extra` registers binary-specific flags on the parser before parsing
+  /// (e.g. eval_throughput's --core/--reps/--check).
+  Harness(int argc, char** argv, std::string program, std::string description,
+          const std::function<void(OptionParser&)>& extra = {})
       : program_(program),
         parser_(std::move(program), std::move(description)) {
     pipeline::register_pipeline_options(parser_, opts_);
+    if (extra) extra(parser_);
     switch (parser_.parse(argc, argv)) {
       case OptionParser::Result::Ok:
         break;
@@ -46,7 +52,13 @@ public:
       case OptionParser::Result::Error:
         std::exit(2);
     }
-    pipe_.emplace(opts_.config());
+    try {
+      pipe_.emplace(opts_.config());
+    } catch (const Error& e) { // bad flag value, e.g. --eval-engine=typo
+      std::fprintf(stderr, "%s: %s\nsee --help\n", program_.c_str(),
+                   e.what());
+      std::exit(2);
+    }
     pipe_->add_observer(&progress_observer_);
     if (opts_.report_json()) {
       report_.emplace();

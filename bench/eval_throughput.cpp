@@ -1,0 +1,161 @@
+// Microbenchmark: scalar vs bit-parallel MATE evaluation throughput.
+//
+// Finds the core's FF MATE set, then times evaluate_mates and rank_mates
+// with both engines against the fib trace and reports wall time, replayed
+// cycles/sec, MATE-cycle evaluations/sec, and the bit-parallel speedup.
+// The transpose cost is reported as its own row (it is paid once per trace
+// and amortized across every evaluate/select of a campaign).
+//
+// Doubles as the engines' end-to-end cross-check: results are compared for
+// equality and any mismatch fails the run. With --check the binary exits
+// non-zero if the bit-parallel engine is slower than scalar — the
+// eval_bench_smoke ctest target runs `--smoke --check` on a trimmed setup.
+#include "bench/common.hpp"
+
+#include <cstdio>
+
+#include "mate/eval.hpp"
+#include "mate/select.hpp"
+#include "sim/transposed.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace ripple;
+using namespace ripple::bench;
+
+struct Timing {
+  double scalar_s = 0.0;
+  double bitpar_s = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return scalar_s / std::max(bitpar_s, 1e-9);
+  }
+};
+
+/// Time `fn` over `reps` repetitions; returns total seconds.
+template <typename Fn>
+double time_reps(std::size_t reps, Fn&& fn) {
+  Stopwatch watch;
+  for (std::size_t i = 0; i < reps; ++i) fn();
+  return watch.seconds();
+}
+
+std::string fmt_rate(double per_sec) {
+  if (per_sec >= 1e9) return strprintf("%.2f G/s", per_sec / 1e9);
+  if (per_sec >= 1e6) return strprintf("%.2f M/s", per_sec / 1e6);
+  if (per_sec >= 1e3) return strprintf("%.2f k/s", per_sec / 1e3);
+  return strprintf("%.0f /s", per_sec);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string core = "avr";
+  std::size_t reps = 5;
+  bool check = false;
+  bool smoke = false;
+  Harness h(argc, argv, "eval_throughput",
+            "scalar vs bit-parallel MATE evaluation throughput",
+            [&](OptionParser& parser) {
+              parser.add_value("core", "core to benchmark: avr or msp430",
+                               &core);
+              parser.add_value("reps", "repetitions per engine", &reps);
+              parser.add_flag(
+                  "check",
+                  "exit non-zero if bitpar is slower than scalar", &check);
+              parser.add_flag(
+                  "smoke",
+                  "trimmed setup for CI (short trace, small fault set)",
+                  &smoke);
+            });
+  if (core != "avr" && core != "msp430") {
+    std::fprintf(stderr, "eval_throughput: unknown --core '%s'\n",
+                 core.c_str());
+    return 2;
+  }
+  if (reps == 0) reps = 1;
+
+  pipeline::CampaignPipeline& pipe = h.pipe();
+  const CoreSetup setup =
+      h.setup(core == "avr" ? CoreKind::Avr : CoreKind::Msp430,
+              smoke ? 1024 : kTraceCycles);
+
+  std::vector<WireId> faulty = setup.ff;
+  mate::SearchParams params = h.params();
+  if (smoke && faulty.size() > 48) {
+    faulty.resize(48);
+    params.path_depth = 10;
+    params.max_candidates_per_wire = 5000;
+  }
+  const mate::SearchResult search =
+      pipe.find_mates(setup, faulty, params, setup.name + " FF");
+  const mate::MateSet& set = search.set;
+  const sim::Trace& trace = setup.fib_trace;
+  const std::size_t threads = h.options().threads;
+
+  h.progress("eval_throughput: %zu mates, %zu cycles, %zu reps/engine...",
+             set.mates.size(), trace.num_cycles(), reps);
+
+  Stopwatch transpose_watch;
+  const sim::TransposedTrace tt(trace);
+  const double transpose_s = transpose_watch.seconds();
+
+  // Results double as the equivalence cross-check.
+  const mate::EvalResult eval_scalar = mate::evaluate_mates_scalar(set, trace);
+  const mate::EvalResult eval_bitpar = mate::evaluate_mates_bitpar(set, tt);
+  const mate::SelectionResult sel_scalar = mate::rank_mates_scalar(set, trace);
+  const mate::SelectionResult sel_bitpar = mate::rank_mates_bitpar(set, tt);
+  if (!(eval_scalar == eval_bitpar) || !(sel_scalar == sel_bitpar)) {
+    std::fprintf(stderr,
+                 "eval_throughput: ENGINE MISMATCH — bit-parallel results "
+                 "differ from the scalar oracle\n");
+    return 1;
+  }
+
+  Timing eval_t;
+  eval_t.scalar_s = time_reps(reps, [&] {
+    (void)mate::evaluate_mates_scalar(set, trace);
+  });
+  eval_t.bitpar_s = time_reps(reps, [&] {
+    (void)mate::evaluate_mates_bitpar(set, tt, false, threads);
+  });
+
+  Timing select_t;
+  select_t.scalar_s = time_reps(reps, [&] {
+    (void)mate::rank_mates_scalar(set, trace);
+  });
+  select_t.bitpar_s = time_reps(reps, [&] {
+    (void)mate::rank_mates_bitpar(set, tt, threads);
+  });
+
+  const double total_reps = static_cast<double>(reps);
+  const double cycles = static_cast<double>(trace.num_cycles());
+  const double mate_cycles = cycles * static_cast<double>(set.mates.size());
+
+  TablePrinter t({"eval_throughput " + setup.name, "scalar", "bitpar",
+                  "speedup", "bitpar cycles/s", "bitpar mate-evals/s"});
+  const auto add = [&](const char* stage, const Timing& timing) {
+    const double per_run = timing.bitpar_s / total_reps;
+    t.add_row({stage, strprintf("%.4f s", timing.scalar_s / total_reps),
+               strprintf("%.4f s", per_run),
+               strprintf("%.1fx", timing.speedup()),
+               fmt_rate(cycles / std::max(per_run, 1e-9)),
+               fmt_rate(mate_cycles / std::max(per_run, 1e-9))});
+  };
+  add("evaluate", eval_t);
+  add("select", select_t);
+  t.add_row({"transpose (once/trace)", "-", strprintf("%.4f s", transpose_s),
+             "-", fmt_rate(cycles / std::max(transpose_s, 1e-9)), "-"});
+  h.emit(t);
+
+  if (check && (eval_t.speedup() < 1.0 || select_t.speedup() < 1.0)) {
+    std::fprintf(stderr,
+                 "eval_throughput: --check FAILED — bit-parallel slower than "
+                 "scalar (evaluate %.2fx, select %.2fx)\n",
+                 eval_t.speedup(), select_t.speedup());
+    return 1;
+  }
+  return 0;
+}

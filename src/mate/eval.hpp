@@ -4,6 +4,16 @@
 // which faults they prove benign. This is both the offline fault-space
 // quantification of the paper's evaluation and — applied cycle-by-cycle in
 // the simulator — the online pruning a HAFI platform would perform.
+//
+// Two engines produce identical results:
+//   * Scalar      -- the literal-by-literal reference oracle: per cycle, per
+//                    MATE, per literal (O(cycles x mates x literals) bit ops);
+//   * BitParallel -- 64 cycles per machine word over a sim::TransposedTrace:
+//                    a MATE's trigger stream for a 64-cycle block is the AND
+//                    over its literals of (wire_stream ^ invert_mask), after
+//                    which trigger counts are popcounts and the per-cycle
+//                    masked-fault unions are word-wide ORs, fanned out over
+//                    the ThreadPool in 64-cycle blocks.
 #pragma once
 
 #include <cstddef>
@@ -11,12 +21,24 @@
 
 #include "mate/mate.hpp"
 #include "sim/trace.hpp"
+#include "sim/transposed.hpp"
 
 namespace ripple::mate {
+
+/// Which evaluate/rank implementation to run. Both return identical results
+/// (enforced by eval_bitpar_test and the eval_bench_smoke ctest target);
+/// Scalar survives as the reference oracle and as the fallback for
+/// debugging word-level issues.
+enum class EvalEngine { Scalar, BitParallel };
+
+/// "scalar" / "bitpar" (the --eval-engine spelling).
+[[nodiscard]] const char* eval_engine_name(EvalEngine engine);
 
 struct MateTraceStats {
   std::size_t triggers = 0;       // cycles in which the cube held
   std::size_t masked_total = 0;   // sum over cycles of faults masked
+
+  bool operator==(const MateTraceStats&) const = default;
 };
 
 struct EvalResult {
@@ -52,10 +74,29 @@ struct EvalResult {
   /// Per cycle, the indices of triggered MATEs (in MateSet order). Retained
   /// for the selection pass; empty when `keep_trigger_lists` was false.
   std::vector<std::vector<std::uint32_t>> triggered_by_cycle;
+
+  bool operator==(const EvalResult&) const = default;
 };
 
-[[nodiscard]] EvalResult evaluate_mates(const MateSet& set,
-                                        const sim::Trace& trace,
-                                        bool keep_trigger_lists = false);
+/// Evaluate with the chosen engine. The BitParallel engine transposes the
+/// trace internally; when evaluating several MATE sets against the same
+/// trace, build one sim::TransposedTrace and call evaluate_mates_bitpar
+/// directly (the campaign pipeline does this). `threads` only affects the
+/// BitParallel engine (0 = hardware concurrency).
+[[nodiscard]] EvalResult evaluate_mates(
+    const MateSet& set, const sim::Trace& trace,
+    bool keep_trigger_lists = false,
+    EvalEngine engine = EvalEngine::BitParallel, std::size_t threads = 0);
+
+/// The scalar reference oracle (the pre-word-parallel implementation).
+[[nodiscard]] EvalResult evaluate_mates_scalar(const MateSet& set,
+                                               const sim::Trace& trace,
+                                               bool keep_trigger_lists = false);
+
+/// The bit-parallel engine over a prebuilt transposed trace; 64 cycles per
+/// word, blocks fanned out across `threads` workers.
+[[nodiscard]] EvalResult evaluate_mates_bitpar(
+    const MateSet& set, const sim::TransposedTrace& trace,
+    bool keep_trigger_lists = false, std::size_t threads = 0);
 
 } // namespace ripple::mate

@@ -88,7 +88,11 @@ public:
     found_sets_.clear();
     candidates_ = 0;
     chosen_.clear();
-    dfs(0, Cube{}, BitVec(num_paths_));
+    // Per-depth coverage scratch (depth = chosen_.size()): dfs copies the
+    // parent's coverage into slot depth+1 instead of heap-allocating a
+    // BitVec per node. Slot 0 is the empty initial coverage.
+    cov_stack_.assign(params_.max_terms + 1, BitVec(num_paths_));
+    dfs(0, Cube{});
 
     outcome.candidates_tried = candidates_;
     outcome.mates_found = found_.size();
@@ -179,43 +183,41 @@ private:
   }
 
   /// Depth-first enumeration of term combinations in `order_` index order.
-  /// `conj` is the conjunction of the chosen terms, `covered` the union of
-  /// their blocked paths.
-  void dfs(std::size_t from, const Cube& conj, const BitVec& covered) {
+  /// `conj` is the conjunction of the chosen terms; the union of their
+  /// blocked paths lives in cov_stack_[chosen_.size()] (per-depth scratch,
+  /// no per-node heap allocation).
+  void dfs(std::size_t from, const Cube& conj) {
     if (budget_exhausted()) return;
+    const std::size_t depth = chosen_.size();
+    const BitVec& covered = cov_stack_[depth];
     for (std::size_t i = from; i < order_.size(); ++i) {
       if (budget_exhausted()) return;
       if (chosen_.size() >= params_.max_terms) return;
       if (found_.size() >= params_.max_mates_per_wire) return;
 
-      // Prune: remaining terms (including i) can no longer complete coverage.
-      {
-        BitVec reachable = covered;
-        reachable |= suffix_[i];
-        if (!(reachable == full_)) return;
-      }
+      // Prune: remaining terms (including i) can no longer complete
+      // coverage. full_ is all-ones over the paths, so coverage completion
+      // is a popcount of the un-materialized union.
+      if (covered.popcount_or(suffix_[i]) != num_paths_) return;
 
       const Term& t = terms_[order_[i]];
 
       // Useless term: adds no newly blocked path.
-      {
-        BitVec added = t.blocks;
-        added |= covered;
-        if (added == covered) continue;
-      }
+      if (t.blocks.is_subset_of(covered)) continue;
 
       const std::optional<Cube> next = conj.conjoin(t.cube);
       ++candidates_;
       if (!next) continue; // contradictory literals
 
       chosen_.push_back(order_[i]);
-      BitVec next_cov = covered;
+      BitVec& next_cov = cov_stack_[depth + 1];
+      next_cov = covered; // copy-assign reuses the slot's capacity
       next_cov |= t.blocks;
 
       if (next_cov == full_) {
         record(*next);
       } else {
-        dfs(i + 1, *next, next_cov);
+        dfs(i + 1, *next);
       }
       chosen_.pop_back();
     }
@@ -248,6 +250,7 @@ private:
   std::vector<std::size_t> order_;
   std::vector<BitVec> suffix_;
   BitVec full_;
+  std::vector<BitVec> cov_stack_; // per-depth dfs coverage scratch
 
   std::vector<Cube> found_;
   std::vector<std::vector<std::size_t>> found_sets_;

@@ -5,6 +5,11 @@
 // masks that no earlier MATE of the same cycle already masked (its marginal
 // gain). The top-N MATEs by accumulated credit form the subset synthesized
 // into the HAFI platform.
+//
+// Like evaluate_mates, ranking comes in two equivalent engines: the scalar
+// reference oracle and the bit-parallel one, whose pass 1 is the word-wide
+// trigger evaluation and whose pass 2 computes marginal gains with word-level
+// BitVec ops (or_count), fanned out across cycles on the ThreadPool.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +18,7 @@
 #include "mate/eval.hpp"
 #include "mate/mate.hpp"
 #include "sim/trace.hpp"
+#include "sim/transposed.hpp"
 
 namespace ripple::mate {
 
@@ -21,10 +27,25 @@ struct SelectionResult {
   std::vector<std::size_t> ranking;
   /// hit[i] = marginal-gain counter of MATE i (MateSet order).
   std::vector<std::size_t> hits;
+
+  bool operator==(const SelectionResult&) const = default;
 };
 
-[[nodiscard]] SelectionResult rank_mates(const MateSet& set,
-                                         const sim::Trace& trace);
+/// Rank with the chosen engine (identical results either way). `threads`
+/// only affects the BitParallel engine (0 = hardware concurrency).
+[[nodiscard]] SelectionResult rank_mates(
+    const MateSet& set, const sim::Trace& trace,
+    EvalEngine engine = EvalEngine::BitParallel, std::size_t threads = 0);
+
+/// The scalar reference oracle.
+[[nodiscard]] SelectionResult rank_mates_scalar(const MateSet& set,
+                                                const sim::Trace& trace);
+
+/// The bit-parallel engine over a prebuilt transposed trace (reusable
+/// across evaluate and select runs on the same trace).
+[[nodiscard]] SelectionResult rank_mates_bitpar(
+    const MateSet& set, const sim::TransposedTrace& trace,
+    std::size_t threads = 0);
 
 /// The top-N subset of `set` according to a ranking (N is clamped to the set
 /// size). Faulty-wire universe is preserved.

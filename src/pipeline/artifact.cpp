@@ -170,6 +170,28 @@ sim::Trace read_trace(ByteReader& r) {
   return t;
 }
 
+// Column-major twin of write_trace/read_trace. Wire names are not carried —
+// a transposed trace is a derived view; its identity is the source trace's
+// fingerprint.
+void write_transposed_trace(ByteWriter& w, const sim::TransposedTrace& t) {
+  w.u64(t.num_wires());
+  w.u64(t.num_cycles());
+  for (std::uint64_t word : t.words()) w.u64(word);
+}
+
+sim::TransposedTrace read_transposed_trace(ByteReader& r) {
+  const std::size_t num_wires = static_cast<std::size_t>(r.u64());
+  const std::size_t num_cycles = static_cast<std::size_t>(r.u64());
+  const std::size_t words = num_wires * ((num_cycles + 63) / 64);
+  RIPPLE_CHECK(words <= r.remaining() / 8,
+               "transposed-trace word count exceeds payload size");
+  std::vector<std::uint64_t> bits;
+  bits.reserve(words);
+  for (std::size_t i = 0; i < words; ++i) bits.push_back(r.u64());
+  return sim::TransposedTrace::from_words(num_wires, num_cycles,
+                                          std::move(bits));
+}
+
 // --- MATE sets / search results / selections ------------------------------
 
 void write_mate_set(ByteWriter& w, const mate::MateSet& set) {

@@ -26,6 +26,7 @@
 #include "mate/select.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/trace.hpp"
+#include "sim/transposed.hpp"
 #include "util/serialize.hpp"
 
 namespace ripple::pipeline {
@@ -41,6 +42,9 @@ void write_netlist(ByteWriter& w, const netlist::Netlist& n);
 
 void write_trace(ByteWriter& w, const sim::Trace& t);
 [[nodiscard]] sim::Trace read_trace(ByteReader& r);
+
+void write_transposed_trace(ByteWriter& w, const sim::TransposedTrace& t);
+[[nodiscard]] sim::TransposedTrace read_transposed_trace(ByteReader& r);
 
 void write_mate_set(ByteWriter& w, const mate::MateSet& set);
 [[nodiscard]] mate::MateSet read_mate_set(ByteReader& r);

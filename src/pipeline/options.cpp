@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "util/assert.hpp"
+
 namespace ripple::pipeline {
 
 PipelineConfig PipelineOptions::config() const {
@@ -14,7 +16,17 @@ PipelineConfig PipelineOptions::config() const {
   }
   config.use_cache = !no_cache;
   config.threads = threads;
+  config.eval_engine = engine();
   return config;
+}
+
+mate::EvalEngine PipelineOptions::engine() const {
+  if (eval_engine.empty() || eval_engine == "bitpar") {
+    return mate::EvalEngine::BitParallel;
+  }
+  RIPPLE_CHECK(eval_engine == "scalar", "unknown --eval-engine '",
+               eval_engine, "' (expected 'bitpar' or 'scalar')");
+  return mate::EvalEngine::Scalar;
 }
 
 mate::SearchParams PipelineOptions::search_params() const {
@@ -48,6 +60,9 @@ void register_pipeline_options(OptionParser& parser, PipelineOptions& opts) {
   parser.add_value("depth", "override the path-depth heuristic parameter",
                    &opts.depth);
   parser.add_value("cycles", "override the trace length", &opts.cycles);
+  parser.add_value("eval-engine",
+                   "MATE evaluation engine: bitpar (default) or scalar",
+                   &opts.eval_engine);
   parser.add_value("report", "stage/cache report format: json[:FILE]",
                    &opts.report);
 }

@@ -74,6 +74,20 @@ void fill_eval_counters(StageStats& stats, const mate::EvalResult& result) {
   };
 }
 
+/// Hot-path throughput counters for computed (non-cached) evaluate/select
+/// stages, so BENCH_*.json can track the engine across PRs: trace cycles
+/// replayed per second and MATE-cycle evaluations per second.
+void fill_throughput_counters(StageStats& stats, std::size_t cycles,
+                              std::size_t mates) {
+  if (stats.seconds <= 0.0) return;
+  stats.counters.emplace_back(
+      "cycles_per_sec", static_cast<double>(cycles) / stats.seconds);
+  stats.counters.emplace_back(
+      "mates_per_sec",
+      static_cast<double>(cycles) * static_cast<double>(mates) /
+          stats.seconds);
+}
+
 void fill_search_counters(StageStats& stats, const mate::SearchResult& r) {
   stats.counters = {
       {"faulty_wires", static_cast<double>(r.outcomes.size())},
@@ -127,6 +141,16 @@ mate::SearchParams CampaignPipeline::apply_threads(
 
 mate::SearchParams CampaignPipeline::default_params() const {
   return apply_threads(mate::SearchParams{});
+}
+
+const sim::TransposedTrace& CampaignPipeline::transposed(
+    const sim::Trace& trace, std::uint64_t trace_fingerprint) {
+  auto it = transposed_.find(trace_fingerprint);
+  if (it == transposed_.end()) {
+    it = transposed_.emplace(trace_fingerprint, sim::TransposedTrace(trace))
+             .first;
+  }
+  return it->second;
 }
 
 CoreSetup CampaignPipeline::setup(const CoreSetupSpec& spec) {
@@ -326,14 +350,21 @@ mate::EvalResult CampaignPipeline::evaluate(const mate::MateSet& set,
     return result;
   }
 
-  mate::EvalResult result =
-      mate::evaluate_mates(set, trace, keep_trigger_lists);
+  mate::EvalResult result;
+  if (config_.eval_engine == mate::EvalEngine::BitParallel) {
+    result = mate::evaluate_mates_bitpar(
+        set, transposed(trace, trace_fingerprint), keep_trigger_lists,
+        config_.threads);
+  } else {
+    result = mate::evaluate_mates_scalar(set, trace, keep_trigger_lists);
+  }
   ByteWriter w;
   write_eval_result(w, result);
   cache_.store(key, w.bytes());
 
   stats.seconds = watch.seconds();
   fill_eval_counters(stats, result);
+  fill_throughput_counters(stats, result.num_cycles, set.mates.size());
   notify_end(stats);
   return result;
 }
@@ -368,12 +399,19 @@ mate::SelectionResult CampaignPipeline::select(const mate::MateSet& set,
     return result;
   }
 
-  mate::SelectionResult result = mate::rank_mates(set, trace);
+  mate::SelectionResult result;
+  if (config_.eval_engine == mate::EvalEngine::BitParallel) {
+    result = mate::rank_mates_bitpar(
+        set, transposed(trace, trace_fingerprint), config_.threads);
+  } else {
+    result = mate::rank_mates_scalar(set, trace);
+  }
   ByteWriter w;
   write_selection(w, result);
   cache_.store(key, w.bytes());
   stats.seconds = watch.seconds();
   stats.counters = {{"ranked", static_cast<double>(result.ranking.size())}};
+  fill_throughput_counters(stats, trace.num_cycles(), set.mates.size());
   notify_end(stats);
   return result;
 }

@@ -20,6 +20,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "hafi/campaign.hpp"
@@ -30,6 +31,7 @@
 #include "pipeline/cache.hpp"
 #include "pipeline/observer.hpp"
 #include "sim/trace.hpp"
+#include "sim/transposed.hpp"
 
 namespace ripple::pipeline {
 
@@ -70,6 +72,9 @@ struct PipelineConfig {
   bool use_cache = true; // `--no-cache` clears this
   /// Worker threads for the MATE search; 0 = hardware concurrency.
   std::size_t threads = 0;
+  /// Engine for the evaluate/select stages (`--eval-engine`). Deliberately
+  /// absent from the cache keys: both engines produce identical results.
+  mate::EvalEngine eval_engine = mate::EvalEngine::BitParallel;
 };
 
 class CampaignPipeline {
@@ -145,6 +150,12 @@ public:
   [[nodiscard]] mate::SearchParams apply_threads(
       mate::SearchParams params) const;
 
+  /// Column-major view of `trace` for the bit-parallel engine, built on
+  /// first use and memoized by trace fingerprint so repeated evaluate/select
+  /// stages against the same trace transpose it only once.
+  [[nodiscard]] const sim::TransposedTrace& transposed(
+      const sim::Trace& trace, std::uint64_t trace_fingerprint);
+
 private:
   void notify_begin(std::string_view stage, std::string_view detail);
   void notify_end(const StageStats& stats);
@@ -156,6 +167,7 @@ private:
   PipelineConfig config_;
   ArtifactCache cache_;
   std::vector<StageObserver*> observers_;
+  std::unordered_map<std::uint64_t, sim::TransposedTrace> transposed_;
 };
 
 } // namespace ripple::pipeline

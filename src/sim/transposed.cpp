@@ -1,0 +1,79 @@
+#include "sim/transposed.hpp"
+
+#include <algorithm>
+
+namespace ripple::sim {
+namespace {
+
+/// In-place 64x64 bit-matrix transpose (Hacker's Delight 7-3, widened to 64
+/// bits): swaps progressively smaller off-diagonal blocks. With the rows
+/// loaded in reverse order, the result rows come out in reverse order too,
+/// which the caller undoes when scattering into the wire streams.
+void transpose64(std::uint64_t x[64]) {
+  std::uint64_t m = 0x00000000FFFFFFFFull;
+  for (std::size_t j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (std::size_t k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = (x[k] ^ (x[k + j] >> j)) & m;
+      x[k] ^= t;
+      x[k + j] ^= t << j;
+    }
+  }
+}
+
+} // namespace
+
+TransposedTrace::TransposedTrace(const Trace& trace)
+    : num_wires_(trace.num_wires()),
+      num_cycles_(trace.num_cycles()),
+      num_blocks_((trace.num_cycles() + 63) / 64),
+      bits_(trace.num_wires() * ((trace.num_cycles() + 63) / 64), 0) {
+  const std::size_t row_words = (num_wires_ + 63) / 64;
+  std::uint64_t tmp[64];
+  for (std::size_t block = 0; block < num_blocks_; ++block) {
+    const std::size_t base_cycle = block * 64;
+    const std::size_t cycles_here = std::min<std::size_t>(
+        64, num_cycles_ - base_cycle);
+    for (std::size_t j = 0; j < row_words; ++j) {
+      // Gather the block's 64 row words for wire columns [64j, 64j+64) in
+      // reverse cycle order; transpose64 then yields, in tmp[63 - i], wire
+      // (64j + i)'s cycle bits for this block (bit c = cycle base_cycle+c).
+      for (std::size_t k = 0; k < 64; ++k) {
+        const std::size_t rev = 63 - k;
+        tmp[k] = rev < cycles_here
+                     ? trace.cycle_values(base_cycle + rev).words()[j]
+                     : 0;
+      }
+      transpose64(tmp);
+      const std::size_t wires_here = std::min<std::size_t>(
+          64, num_wires_ - j * 64);
+      for (std::size_t i = 0; i < wires_here; ++i) {
+        bits_[(j * 64 + i) * num_blocks_ + block] = tmp[63 - i];
+      }
+    }
+  }
+}
+
+TransposedTrace TransposedTrace::from_words(std::size_t num_wires,
+                                            std::size_t num_cycles,
+                                            std::vector<std::uint64_t> words) {
+  const std::size_t blocks = (num_cycles + 63) / 64;
+  RIPPLE_CHECK(words.size() == num_wires * blocks,
+               "transposed-trace word count mismatch: ", words.size(),
+               " for ", num_wires, " wires x ", blocks, " blocks");
+  TransposedTrace t;
+  t.num_wires_ = num_wires;
+  t.num_cycles_ = num_cycles;
+  t.num_blocks_ = blocks;
+  t.bits_ = std::move(words);
+  // Clear any stray bits past num_cycles so equality/fingerprints of the
+  // backing words stay canonical.
+  if (num_cycles % 64 != 0 && blocks > 0) {
+    const std::uint64_t tail = ~std::uint64_t{0} >> (64 - num_cycles % 64);
+    for (std::size_t w = 0; w < num_wires; ++w) {
+      t.bits_[w * blocks + blocks - 1] &= tail;
+    }
+  }
+  return t;
+}
+
+} // namespace ripple::sim

@@ -85,6 +85,57 @@ public:
     return *this;
   }
 
+  /// this &= ~o (clear every bit set in `o`).
+  BitVec& and_not(const BitVec& o) {
+    RIPPLE_ASSERT(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+  }
+
+  /// popcount(*this & o) without materializing the intersection.
+  [[nodiscard]] std::size_t popcount_and(const BitVec& o) const {
+    RIPPLE_ASSERT(nbits_ == o.nbits_);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      n += static_cast<std::size_t>(
+          __builtin_popcountll(words_[i] & o.words_[i]));
+    }
+    return n;
+  }
+
+  /// popcount(*this | o) without materializing the union.
+  [[nodiscard]] std::size_t popcount_or(const BitVec& o) const {
+    RIPPLE_ASSERT(nbits_ == o.nbits_);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      n += static_cast<std::size_t>(
+          __builtin_popcountll(words_[i] | o.words_[i]));
+    }
+    return n;
+  }
+
+  /// OR `o` into this vector; returns the number of bits newly set (the
+  /// marginal gain of `o` over the current contents).
+  std::size_t or_count(const BitVec& o) {
+    RIPPLE_ASSERT(nbits_ == o.nbits_);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t added = o.words_[i] & ~words_[i];
+      n += static_cast<std::size_t>(__builtin_popcountll(added));
+      words_[i] |= added;
+    }
+    return n;
+  }
+
+  /// True iff every set bit of this vector is also set in `o`.
+  [[nodiscard]] bool is_subset_of(const BitVec& o) const {
+    RIPPLE_ASSERT(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~o.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
   bool operator==(const BitVec& o) const = default;
 
   /// Index of the first bit that differs from `o`, or size() if equal.

@@ -93,6 +93,30 @@ TEST(Artifact, TraceRoundTrip) {
   EXPECT_EQ(back.value(69, WireId{2}), t.value(69, WireId{2}));
 }
 
+TEST(Artifact, TransposedTraceRoundTrip) {
+  const netlist::Netlist n = build_sequential_netlist();
+  sim::Trace t(n);
+  for (std::size_t c = 0; c < 70; ++c) { // partial second 64-cycle block
+    BitVec row(n.num_wires());
+    for (std::size_t i = 0; i < n.num_wires(); ++i) {
+      row.set(i, ((c * 5 + i) % 3) == 0);
+    }
+    t.append(row);
+  }
+  const sim::TransposedTrace tt(t);
+  expect_roundtrip(tt, write_transposed_trace,
+                   [](ByteReader& r) { return read_transposed_trace(r); });
+
+  ByteWriter w;
+  write_transposed_trace(w, tt);
+  ByteReader r(w.bytes());
+  const sim::TransposedTrace back = read_transposed_trace(r);
+  EXPECT_EQ(back.num_wires(), tt.num_wires());
+  EXPECT_EQ(back.num_cycles(), 70u);
+  EXPECT_EQ(back.words(), tt.words());
+  EXPECT_EQ(back.value(69, WireId{2}), t.value(69, WireId{2}));
+}
+
 mate::MateSet make_mate_set() {
   mate::MateSet set;
   mate::Mate m1;

@@ -1,0 +1,235 @@
+// Equivalence of the bit-parallel MATE evaluation engine with the scalar
+// reference oracle: identical EvalResult / SelectionResult (via their
+// operator==, which covers trigger counts, masked totals, the derived
+// doubles, trigger lists and rankings) across randomized netlists, traces
+// whose length is not a multiple of 64, empty and constant-true cubes, and
+// any thread count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mate/eval.hpp"
+#include "mate/example.hpp"
+#include "mate/search.hpp"
+#include "mate/select.hpp"
+#include "netlist/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "sim/transposed.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace ripple::mate {
+namespace {
+
+using netlist::Netlist;
+using netlist::RandomCircuitSpec;
+
+/// Randomly driven trace of `cycles` cycles.
+sim::Trace random_trace(const Netlist& n, std::size_t cycles, Rng& rng) {
+  sim::Simulator sim(n);
+  const std::span<const WireId> ins = n.primary_inputs();
+  return sim::record_trace(sim, cycles, [&](sim::Simulator& s, std::size_t) {
+    for (const WireId w : ins) s.set_input(w, rng.next_bool());
+  });
+}
+
+/// A synthetic MATE set over random wires of `n`: cubes of 0..4 literals
+/// (0 = the constant-true cube), masked wires drawn from a random
+/// faulty-wire universe. Exercises shapes the search never emits (empty
+/// cubes, repeated wires across MATEs) on purpose.
+MateSet random_mate_set(const Netlist& n, std::size_t num_mates, Rng& rng) {
+  MateSet set;
+  const std::size_t universe = std::min<std::size_t>(8, n.num_wires());
+  for (std::size_t i = 0; i < universe; ++i) {
+    set.faulty_wires.push_back(
+        WireId{static_cast<std::uint32_t>(rng.next_below(n.num_wires()))});
+  }
+  for (std::size_t m = 0; m < num_mates; ++m) {
+    Mate mate;
+    std::vector<Literal> lits;
+    const std::size_t num_lits = rng.next_below(5); // 0..4
+    for (std::size_t l = 0; l < num_lits; ++l) {
+      lits.push_back(
+          {WireId{static_cast<std::uint32_t>(rng.next_below(n.num_wires()))},
+           rng.next_bool()});
+    }
+    mate.cube = Cube(std::move(lits));
+    const std::size_t num_masked = 1 + rng.next_below(3);
+    for (std::size_t w = 0; w < num_masked; ++w) {
+      mate.masked_wires.push_back(
+          set.faulty_wires[rng.next_below(set.faulty_wires.size())]);
+    }
+    set.mates.push_back(std::move(mate));
+  }
+  return set;
+}
+
+void expect_engines_agree(const MateSet& set, const sim::Trace& trace) {
+  const sim::TransposedTrace tt(trace);
+  for (const bool keep : {false, true}) {
+    const EvalResult scalar = evaluate_mates_scalar(set, trace, keep);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const EvalResult bitpar = evaluate_mates_bitpar(set, tt, keep, threads);
+      EXPECT_EQ(scalar, bitpar)
+          << "keep=" << keep << " threads=" << threads << " cycles="
+          << trace.num_cycles() << " mates=" << set.mates.size();
+    }
+  }
+  const SelectionResult scalar_sel = rank_mates_scalar(set, trace);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const SelectionResult bitpar_sel = rank_mates_bitpar(set, tt, threads);
+    EXPECT_EQ(scalar_sel, bitpar_sel) << "threads=" << threads;
+  }
+  // The dispatching entry points run the same code paths.
+  EXPECT_EQ(evaluate_mates(set, trace, true, EvalEngine::Scalar),
+            evaluate_mates(set, trace, true, EvalEngine::BitParallel));
+  EXPECT_EQ(rank_mates(set, trace, EvalEngine::Scalar),
+            rank_mates(set, trace, EvalEngine::BitParallel));
+}
+
+TEST(TransposedTrace, MatchesTraceBitForBit) {
+  Rng rng(11);
+  const Netlist n = netlist::random_circuit({.num_inputs = 3, .num_flops = 5,
+                                    .num_gates = 30},
+                                   rng);
+  // Lengths around the 64-cycle block boundary, including partial blocks.
+  for (const std::size_t cycles : {1u, 7u, 63u, 64u, 65u, 130u, 257u}) {
+    const sim::Trace trace = random_trace(n, cycles, rng);
+    const sim::TransposedTrace tt(trace);
+    ASSERT_EQ(tt.num_wires(), trace.num_wires());
+    ASSERT_EQ(tt.num_cycles(), cycles);
+    ASSERT_EQ(tt.num_blocks(), (cycles + 63) / 64);
+    for (std::size_t c = 0; c < cycles; ++c) {
+      for (std::size_t w = 0; w < trace.num_wires(); ++w) {
+        ASSERT_EQ(tt.value(c, WireId{static_cast<std::uint32_t>(w)}),
+                  trace.value(c, WireId{static_cast<std::uint32_t>(w)}))
+            << "cycle " << c << " wire " << w << " of " << cycles;
+      }
+    }
+  }
+}
+
+TEST(TransposedTrace, TailBitsPastEndAreZero) {
+  Rng rng(12);
+  const Netlist n = netlist::random_circuit({.num_inputs = 2, .num_flops = 3,
+                                    .num_gates = 10},
+                                   rng);
+  const sim::Trace trace = random_trace(n, 70, rng);
+  const sim::TransposedTrace tt(trace);
+  const std::uint64_t mask = tt.block_mask(1);
+  EXPECT_EQ(mask, (std::uint64_t{1} << 6) - 1); // 70 - 64 = 6 tail cycles
+  EXPECT_EQ(tt.block_mask(0), ~std::uint64_t{0});
+  for (std::size_t w = 0; w < tt.num_wires(); ++w) {
+    EXPECT_EQ(tt.wire_stream(w)[1] & ~mask, 0u) << "wire " << w;
+  }
+}
+
+TEST(TransposedTrace, EmptyTrace) {
+  const sim::Trace trace;
+  const sim::TransposedTrace tt(trace);
+  EXPECT_EQ(tt.num_cycles(), 0u);
+  EXPECT_EQ(tt.num_blocks(), 0u);
+}
+
+TEST(BitVecWordOps, MatchBitwiseDefinitions) {
+  Rng rng(13);
+  for (const std::size_t bits : {1u, 64u, 65u, 200u}) {
+    BitVec a(bits), b(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (rng.next_bool()) a.set(i, true);
+      if (rng.next_bool()) b.set(i, true);
+    }
+    std::size_t expect_and = 0, expect_or = 0, expect_new = 0;
+    bool subset = true;
+    for (std::size_t i = 0; i < bits; ++i) {
+      expect_and += a.get(i) && b.get(i) ? 1 : 0;
+      expect_or += a.get(i) || b.get(i) ? 1 : 0;
+      expect_new += !a.get(i) && b.get(i) ? 1 : 0;
+      if (a.get(i) && !b.get(i)) subset = false;
+    }
+    EXPECT_EQ(a.popcount_and(b), expect_and);
+    EXPECT_EQ(a.popcount_or(b), expect_or);
+    EXPECT_EQ(a.is_subset_of(b), subset);
+
+    BitVec or_acc = a;
+    EXPECT_EQ(or_acc.or_count(b), expect_new); // newly set bits
+    EXPECT_EQ(or_acc.popcount(), expect_or);   // and the OR result itself
+    EXPECT_EQ(or_acc.or_count(b), 0u);         // second OR adds nothing
+
+    BitVec diff = a;
+    diff.and_not(b);
+    for (std::size_t i = 0; i < bits; ++i) {
+      EXPECT_EQ(diff.get(i), a.get(i) && !b.get(i));
+    }
+  }
+}
+
+TEST(EvalBitpar, RandomizedEquivalence) {
+  Rng rng(42);
+  for (std::size_t round = 0; round < 6; ++round) {
+    const Netlist n = netlist::random_circuit({.num_inputs = 4, .num_flops = 6,
+                                      .num_gates = 40},
+                                     rng);
+    // Cycle counts straddling the block boundary, never only multiples of 64.
+    const std::size_t cycles = 1 + rng.next_below(200);
+    const sim::Trace trace = random_trace(n, cycles, rng);
+    const MateSet set = random_mate_set(n, 1 + rng.next_below(12), rng);
+    expect_engines_agree(set, trace);
+  }
+}
+
+TEST(EvalBitpar, ConstantTrueAndEmptySets) {
+  Rng rng(7);
+  const Netlist n = netlist::random_circuit({.num_inputs = 3, .num_flops = 4,
+                                    .num_gates = 20},
+                                   rng);
+  const sim::Trace trace = random_trace(n, 130, rng);
+
+  // Empty MATE set.
+  MateSet empty;
+  empty.faulty_wires = {WireId{0}, WireId{1}};
+  expect_engines_agree(empty, trace);
+
+  // A single constant-true MATE must trigger every cycle in both engines.
+  MateSet constant = empty;
+  Mate m;
+  m.cube = Cube{};
+  m.masked_wires = {WireId{0}};
+  constant.mates.push_back(m);
+  expect_engines_agree(constant, trace);
+  const EvalResult eval =
+      evaluate_mates_bitpar(constant, sim::TransposedTrace(trace));
+  EXPECT_EQ(eval.per_mate[0].triggers, trace.num_cycles());
+  EXPECT_EQ(eval.masked_faults, trace.num_cycles());
+}
+
+TEST(EvalBitpar, SearchedMatesOnFigure1) {
+  const Figure1Circuit fig = build_figure1_circuit();
+  const std::vector<WireId> faulty = {fig.a, fig.b, fig.c, fig.d, fig.e};
+  const SearchResult r = find_mates(fig.netlist, faulty, {});
+  ASSERT_FALSE(r.set.mates.empty());
+  Rng rng(99);
+  for (const std::size_t cycles : {8u, 100u, 192u}) {
+    expect_engines_agree(r.set, random_trace(fig.netlist, cycles, rng));
+  }
+}
+
+TEST(EvalBitpar, SearchedMatesOnRandomCircuits) {
+  Rng rng(123);
+  for (std::size_t round = 0; round < 3; ++round) {
+    const Netlist n = netlist::random_circuit({.num_inputs = 4, .num_flops = 8,
+                                      .num_gates = 60, .allow_xor = false},
+                                     rng);
+    const std::vector<WireId> faulty = all_flop_wires(n);
+    SearchParams params;
+    params.path_depth = 8;
+    params.max_candidates_per_wire = 2000;
+    const SearchResult r = find_mates(n, faulty, params);
+    const std::size_t cycles = 65 + rng.next_below(150);
+    expect_engines_agree(r.set, random_trace(n, cycles, rng));
+  }
+}
+
+} // namespace
+} // namespace ripple::mate
