@@ -1,13 +1,22 @@
 // Validation V1: a full (simulated) HAFI fault-injection campaign on the AVR
-// core with and without MATE pruning. Reports outcome classification,
-// experiments saved by the pruning, and — with validation enabled — confirms
-// every pruned injection really is benign.
+// or MSP430 core with and without MATE pruning, on the shard-parallel
+// campaign engine. Reports outcome classification, experiments saved by the
+// pruning and the parallel-engine throughput; with --validate-pruned every
+// pruned injection is executed anyway and the engine aborts on any that is
+// not benign. `--resume` checkpoints finished shards to the artifact cache
+// so a killed campaign picks up where it left off.
+#include <optional>
+
 #include "bench/common.hpp"
 #include "cores/avr/core.hpp"
 #include "cores/avr/programs.hpp"
 #include "cores/avr/system.hpp"
+#include "cores/msp430/core.hpp"
+#include "cores/msp430/programs.hpp"
+#include "cores/msp430/system.hpp"
 #include "hafi/avr_dut.hpp"
 #include "hafi/campaign.hpp"
+#include "hafi/msp430_dut.hpp"
 #include "mate/select.hpp"
 #include "pipeline/artifact.hpp"
 #include "util/stopwatch.hpp"
@@ -16,29 +25,87 @@
 using namespace ripple;
 using namespace ripple::bench;
 
-int main(int argc, char** argv) {
-  Harness h(argc, argv, "hafi_campaign",
-            "Validation V1: simulated HAFI campaign with MATE pruning");
-  h.progress("hafi_campaign: building AVR core...");
-  const cores::avr::AvrCore core = cores::avr::build_avr_core(true);
-  const cores::avr::Program fib = cores::avr::fib_program();
+namespace {
 
-  const auto faulty = mate::all_flop_wires(core.netlist);
-  const mate::SearchResult search =
-      h.pipe().find_mates(core.netlist, pipeline::fingerprint(core.netlist),
-                          faulty, h.params(), "AVR FF");
-  h.progress("hafi_campaign: tracing fib for the selection pass...");
-  cores::avr::AvrSystem tracer(core, fib);
-  const sim::Trace trace = tracer.run_trace(h.cycles_or(2000));
-  const mate::SelectionResult sel =
-      h.pipe().select(search.set, trace, "AVR FF, fib");
-  const mate::MateSet top50 = mate::top_n(search.set, sel, 50);
+/// Everything the campaign needs from one core build: a thread-safe DUT
+/// factory, the netlist (for the MATE search) and a workload trace for the
+/// selection pass.
+struct CampaignTarget {
+  std::optional<cores::avr::AvrCore> avr;
+  std::optional<cores::avr::Program> avr_program;
+  std::optional<cores::msp430::Msp430Core> msp430;
+  std::optional<cores::msp430::Image> msp430_image;
+
+  hafi::DutFactory factory;
+  const netlist::Netlist* netlist = nullptr;
+  std::uint64_t fingerprint = 0;
+  sim::Trace trace;
+};
+
+CampaignTarget make_target(CoreKind kind, std::size_t trace_cycles) {
+  CampaignTarget t;
+  if (kind == CoreKind::Avr) {
+    t.avr.emplace(cores::avr::build_avr_core(true));
+    t.avr_program.emplace(cores::avr::fib_program());
+    t.netlist = &t.avr->netlist;
+    t.factory = hafi::make_avr_factory(*t.avr, *t.avr_program);
+    cores::avr::AvrSystem tracer(*t.avr, *t.avr_program);
+    t.trace = tracer.run_trace(trace_cycles);
+  } else {
+    t.msp430.emplace(cores::msp430::build_msp430_core(true));
+    t.msp430_image.emplace(cores::msp430::fib_image());
+    t.netlist = &t.msp430->netlist;
+    t.factory = hafi::make_msp430_factory(*t.msp430, *t.msp430_image);
+    cores::msp430::Msp430System tracer(*t.msp430, *t.msp430_image);
+    t.trace = tracer.run_trace(trace_cycles);
+  }
+  t.fingerprint = pipeline::fingerprint(*t.netlist);
+  return t;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  pipeline::CampaignOptions copts;
+  std::string core_name = "avr";
+  bool no_speedup = false;
+  Harness h(argc, argv, "hafi_campaign",
+            "Validation V1: simulated HAFI campaign with MATE pruning",
+            [&](OptionParser& p) {
+              pipeline::register_campaign_options(p, copts);
+              p.add_value("core", "target core: avr (default) or msp430",
+                          &core_name);
+              p.add_flag("no-speedup",
+                         "skip the serial reference run of the baseline "
+                         "campaign", &no_speedup);
+            });
+  const CoreKind kind = core_name == "msp430" ? CoreKind::Msp430
+                                              : CoreKind::Avr;
 
   hafi::CampaignConfig cfg;
   cfg.run_cycles = 1500;
   cfg.sample = 3000;
   cfg.seed = 42;
-  cfg.validate_pruned = true;
+  cfg = copts.apply(cfg);
+
+  h.progress("hafi_campaign: building %s core...",
+             kind == CoreKind::Avr ? "AVR" : "MSP430");
+  CampaignTarget target = make_target(kind, cfg.run_cycles);
+
+  const auto faulty = mate::all_flop_wires(*target.netlist);
+  const mate::SearchResult search =
+      h.pipe().find_mates(*target.netlist, target.fingerprint, faulty,
+                          h.params(), core_name + " FF");
+  const mate::SelectionResult sel =
+      h.pipe().select(search.set, target.trace, core_name + " FF, fib");
+  const mate::MateSet top50 = mate::top_n(search.set, sel, 50);
+
+  // One plan, shared by every campaign below: baseline and pruned runs
+  // inject the exact same (flop, cycle) points.
+  hafi::Campaign planner(target.factory, cfg);
+  const hafi::CampaignPlan plan = planner.plan();
+  h.progress("hafi_campaign: %zu injection points in %zu shards of %zu",
+             plan.points.size(), plan.num_shards(), plan.shard_size);
 
   TablePrinter t({"campaign", "experiments", "executed", "pruned", "benign",
                   "latent", "SDC", "pruned&confirmed", "time [s]"});
@@ -50,32 +117,73 @@ int main(int argc, char** argv) {
                strprintf("%.1f", secs)});
   };
 
-  Stopwatch w1;
-  const hafi::CampaignResult base = h.pipe().campaign(
-      hafi::make_avr_factory(core, fib), cfg, nullptr, "baseline");
-  row("baseline (no pruning)", base, w1.seconds());
+  const auto spec_for = [&](hafi::CampaignMode mode,
+                            const mate::MateSet* mates) {
+    pipeline::CampaignPipeline::CampaignSpec spec;
+    spec.factory = target.factory;
+    spec.config = cfg;
+    spec.config.mode = mode;
+    spec.mates = mates;
+    spec.netlist_fingerprint = target.fingerprint;
+    spec.resume = copts.resume;
+    spec.plan = plan;
+    return spec;
+  };
+  const hafi::CampaignMode pruned_mode = copts.pruned_mode();
 
-  Stopwatch w2;
-  const hafi::CampaignResult full = h.pipe().campaign(
-      hafi::make_avr_factory(core, fib), cfg, &search.set, "full MATE set");
-  row("full MATE set (validated)", full, w2.seconds());
+  try {
+    Stopwatch w1;
+    const hafi::CampaignResult base = h.pipe().campaign(
+        spec_for(hafi::CampaignMode::Baseline, nullptr), "baseline");
+    const double parallel_secs = w1.seconds();
+    row("baseline (no pruning)", base, parallel_secs);
 
-  Stopwatch w3;
-  const hafi::CampaignResult t50 = h.pipe().campaign(
-      hafi::make_avr_factory(core, fib), cfg, &top50, "top-50 MATEs");
-  row("top-50 MATEs (validated)", t50, w3.seconds());
+    Stopwatch w2;
+    const hafi::CampaignResult full =
+        h.pipe().campaign(spec_for(pruned_mode, &search.set),
+                          "full MATE set");
+    row(strprintf("full MATE set (%.*s)",
+                  static_cast<int>(mode_name(pruned_mode).size()),
+                  mode_name(pruned_mode).data()),
+        full, w2.seconds());
 
-  h.emit(t);
+    Stopwatch w3;
+    const hafi::CampaignResult t50 =
+        h.pipe().campaign(spec_for(pruned_mode, &top50), "top-50 MATEs");
+    row(strprintf("top-50 MATEs (%.*s)",
+                  static_cast<int>(mode_name(pruned_mode).size()),
+                  mode_name(pruned_mode).data()),
+        t50, w3.seconds());
 
-  const double saved =
-      100.0 * static_cast<double>(full.pruned) / static_cast<double>(
-                                                     full.total);
-  std::printf("\nfull MATE set prunes %.2f %% of the sampled campaign; "
-              "%zu/%zu pruned injections executed for validation were "
-              "confirmed benign.\n",
-              saved, full.pruned_confirmed, full.pruned);
-  return full.pruned_confirmed == full.pruned &&
-                 t50.pruned_confirmed == t50.pruned
-             ? 0
-             : 1;
+    h.emit(t);
+
+    const double saved = 100.0 * static_cast<double>(full.pruned) /
+                         static_cast<double>(full.total);
+    std::printf("\nfull MATE set prunes %.2f %% of the sampled campaign "
+                "(%zu/%zu pruned injections confirmed benign).\n",
+                saved, full.pruned_confirmed, full.pruned);
+
+    // Shard-parallel speedup: re-run the baseline campaign serially
+    // (--threads has no effect on results, only on wall time).
+    if (!no_speedup) {
+      auto serial = spec_for(hafi::CampaignMode::Baseline, nullptr);
+      serial.config.threads = 1;
+      serial.resume = false; // a checkpoint replay would time nothing
+      Stopwatch ws;
+      const hafi::CampaignResult serial_base =
+          h.pipe().campaign(std::move(serial), "baseline, serial reference");
+      const double serial_secs = ws.seconds();
+      RIPPLE_CHECK(serial_base.sdc == base.sdc &&
+                       serial_base.executed == base.executed,
+                   "serial and sharded campaigns must agree");
+      std::printf("shard-parallel engine: %.1f s vs %.1f s serial "
+                  "-> %.2fx speedup\n",
+                  parallel_secs, serial_secs,
+                  parallel_secs > 0.0 ? serial_secs / parallel_secs : 0.0);
+    }
+  } catch (const hafi::SoundnessError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
 }

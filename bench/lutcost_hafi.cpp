@@ -1,7 +1,13 @@
 // Reproduces the Section 6.1 argument: the FPGA LUT cost of top-N MATE sets
 // is negligible next to a HAFI platform's fault-injection control unit
-// (1500-6000 LUTs in the literature) and a mid-range Virtex-6.
+// (1500-6000 LUTs in the literature) and a mid-range Virtex-6. A small
+// pruned campaign on the AVR top-50 set then turns the cost into a rate:
+// experiments saved per LUT spent on the fabric.
 #include "bench/common.hpp"
+#include "cores/avr/core.hpp"
+#include "cores/avr/programs.hpp"
+#include "hafi/avr_dut.hpp"
+#include "hafi/campaign.hpp"
 #include "mate/eval.hpp"
 #include "mate/lut_cost.hpp"
 #include "mate/select.hpp"
@@ -11,12 +17,20 @@ using namespace ripple;
 using namespace ripple::bench;
 
 int main(int argc, char** argv) {
+  pipeline::CampaignOptions copts;
   Harness h(argc, argv, "lutcost_hafi",
-            "Section 6.1: FPGA LUT cost of top-N MATE sets");
+            "Section 6.1: FPGA LUT cost of top-N MATE sets",
+            [&](OptionParser& p) {
+              pipeline::register_campaign_options(p, copts);
+            });
 
   TablePrinter table({"MATE set", "#MATEs", "LUTs", "% of FI ctrl (low)",
                       "% of Virtex-6 LX240T"});
   const mate::HafiPlatformCosts ref;
+
+  mate::MateSet avr_top50;
+  std::size_t avr_top50_luts = 0;
+  std::uint64_t avr_fingerprint = 0;
 
   for (const CoreKind kind : {CoreKind::Avr, CoreKind::Msp430}) {
     const CoreSetup setup = h.setup(kind);
@@ -27,6 +41,11 @@ int main(int argc, char** argv) {
     for (const std::size_t n : {10u, 50u, 100u, 200u}) {
       const mate::MateSet sub = mate::top_n(r.set, sel, n);
       const std::size_t luts = mate::set_luts(sub);
+      if (kind == CoreKind::Avr && n == 50) {
+        avr_top50 = sub;
+        avr_top50_luts = luts;
+        avr_fingerprint = setup.fingerprint;
+      }
       table.add_row(
           {setup.name + " top " + std::to_string(n), fmt_count(sub.mates.size()),
            fmt_count(luts),
@@ -45,5 +64,39 @@ int main(int argc, char** argv) {
               "(Entrena et al. / FLINT), Virtex-6 LX240T: %zu LUTs\n",
               ref.controller_luts_low, ref.controller_luts_high,
               ref.virtex6_lx240t_luts);
+
+  // What do those LUTs buy? Run a small pruned campaign against the AVR
+  // top-50 set and report the pruned (= skipped) experiments per LUT.
+  hafi::CampaignConfig cfg;
+  cfg.run_cycles = 600;
+  cfg.sample = 400;
+  cfg.seed = 17;
+  cfg = copts.apply(cfg);
+  cfg.mode = copts.pruned_mode();
+
+  const cores::avr::AvrCore core = cores::avr::build_avr_core(true);
+  const cores::avr::Program program = cores::avr::fib_program();
+
+  pipeline::CampaignPipeline::CampaignSpec spec;
+  spec.factory = hafi::make_avr_factory(core, program);
+  spec.config = cfg;
+  spec.mates = &avr_top50;
+  spec.netlist_fingerprint = avr_fingerprint;
+  spec.resume = copts.resume;
+  try {
+    const hafi::CampaignResult r =
+        h.pipe().campaign(std::move(spec), "AVR top-50");
+    std::printf("AVR top-50 campaign: %zu of %zu sampled experiments pruned "
+                "-> %.2f experiments saved per LUT (%zu LUTs)\n",
+                r.pruned, r.total,
+                avr_top50_luts > 0
+                    ? static_cast<double>(r.pruned) /
+                          static_cast<double>(avr_top50_luts)
+                    : 0.0,
+                avr_top50_luts);
+  } catch (const hafi::SoundnessError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
   return 0;
 }

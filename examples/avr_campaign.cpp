@@ -5,7 +5,7 @@
 //   4. run a fault-injection campaign twice (baseline vs. MATE-pruned)
 //      and compare cost and outcome classification.
 //
-//   $ ./avr_campaign [--cache-dir=DIR] [sample-size]
+//   $ ./avr_campaign [--cache-dir=DIR] [--threads=N] [--resume] [sample-size]
 #include <cstdlib>
 #include <iostream>
 
@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
                       "End-to-end HAFI campaign with MATE pruning on the AVR");
   pipeline::PipelineOptions opts;
   pipeline::register_pipeline_options(parser, opts);
+  pipeline::CampaignOptions copts;
+  pipeline::register_campaign_options(parser, copts);
   std::vector<std::string> positional;
   parser.set_positional("sample-size", "number of sampled injection points",
                         &positional);
@@ -78,6 +80,7 @@ sum:
   cfg.run_cycles = 1000;
   cfg.sample = sample;
   cfg.seed = 7;
+  cfg = copts.apply(cfg);
 
   const auto report = [](const char* name, const hafi::CampaignResult& r) {
     std::cout << name << ": " << r.total << " injections, executed "
@@ -86,12 +89,32 @@ sum:
               << "\n";
   };
 
-  const hafi::CampaignResult baseline = pipe.campaign(
-      hafi::make_avr_factory(core, program), cfg, nullptr, "baseline");
+  // Both campaigns share one plan so they inject the exact same points;
+  // with --resume, finished shards checkpoint to the artifact cache.
+  const std::uint64_t netlist_fp = pipeline::fingerprint(core.netlist);
+  hafi::Campaign planner(hafi::make_avr_factory(core, program), cfg);
+  const hafi::CampaignPlan plan = planner.plan();
+
+  const auto spec_for = [&](hafi::CampaignMode mode,
+                            const mate::MateSet* mates) {
+    pipeline::CampaignPipeline::CampaignSpec spec;
+    spec.factory = hafi::make_avr_factory(core, program);
+    spec.config = cfg;
+    spec.config.mode = mode;
+    spec.mates = mates;
+    spec.netlist_fingerprint = netlist_fp;
+    spec.resume = copts.resume;
+    spec.plan = plan;
+    return spec;
+  };
+
+  const hafi::CampaignResult baseline =
+      pipe.campaign(spec_for(hafi::CampaignMode::Baseline, nullptr),
+                    "baseline");
   report("baseline ", baseline);
 
-  const hafi::CampaignResult pruned = pipe.campaign(
-      hafi::make_avr_factory(core, program), cfg, &top50, "top-50 MATEs");
+  const hafi::CampaignResult pruned =
+      pipe.campaign(spec_for(copts.pruned_mode(), &top50), "top-50 MATEs");
   report("top-50   ", pruned);
 
   std::cout << "\nexperiments saved by 50 MATEs (~50 FPGA LUTs): "

@@ -1,88 +1,199 @@
 #include "hafi/campaign.hpp"
 
+#include <mutex>
 #include <unordered_map>
 
 #include "mate/faultspace.hpp"
 #include "sim/trace.hpp"
-#include "util/assert.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ripple::hafi {
+namespace {
 
-Campaign::Campaign(DutFactory factory, CampaignConfig config)
-    : factory_(std::move(factory)), config_(config) {
-  RIPPLE_CHECK(config_.run_cycles > 0, "campaign needs at least one cycle");
+std::string_view outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Benign: return "benign";
+    case Outcome::Latent: return "latent";
+    case Outcome::Sdc: return "SDC";
+  }
+  return "?";
 }
 
-std::vector<InjectionPoint> Campaign::injection_points(
-    const netlist::Netlist& n) const {
-  std::vector<InjectionPoint> points;
+/// Default shard size: aim for enough shards that the fan-out load-balances
+/// well past 8 workers, but keep shards large enough that the per-shard
+/// bookkeeping (hook calls, checkpoint artifacts) stays negligible. The size
+/// depends only on the point count — never on the thread count — so shard
+/// boundaries (and therefore checkpoint artifacts) are stable across
+/// --threads values.
+std::size_t auto_shard_size(std::size_t num_points) {
+  constexpr std::size_t kTargetShards = 64;
+  constexpr std::size_t kMaxShardSize = 512;
+  const std::size_t size = (num_points + kTargetShards - 1) / kTargetShards;
+  return std::clamp<std::size_t>(size, 1, kMaxShardSize);
+}
+
+/// Golden-run reference shared read-only by all shard workers.
+struct GoldenRun {
+  std::string observable;
+  std::string state;
+  /// mode != Baseline: benign[fault row][cycle] per mate::benign_matrix,
+  /// plus the flop -> fault-row mapping.
+  std::vector<std::vector<bool>> benign;
+  std::unordered_map<FlopId, std::size_t> fault_index;
+};
+
+} // namespace
+
+std::string_view mode_name(CampaignMode mode) {
+  switch (mode) {
+    case CampaignMode::Baseline: return "baseline";
+    case CampaignMode::Pruned: return "pruned";
+    case CampaignMode::Validate: return "validate";
+  }
+  return "?";
+}
+
+Campaign::Campaign(DutFactory factory, CampaignConfig config,
+                   const mate::MateSet* mates)
+    : factory_(std::move(factory)), config_(config), mates_(mates) {
+  RIPPLE_CHECK(config_.run_cycles > 0, "campaign needs at least one cycle");
+  RIPPLE_CHECK(config_.mode == CampaignMode::Baseline || mates_ != nullptr,
+               "campaign mode '", mode_name(config_.mode),
+               "' needs a MATE set");
+}
+
+const CampaignPlan& Campaign::plan() {
+  if (plan_.has_value()) return *plan_;
+
+  // Boot one DUT to size the fault space (flops x cycles).
+  const std::unique_ptr<Dut> dut = factory_();
+  const netlist::Netlist& n = dut->netlist();
+
+  CampaignPlan plan;
   const std::size_t space = n.num_flops() * config_.run_cycles;
   if (config_.sample == 0 || config_.sample >= space) {
-    points.reserve(space);
+    plan.points.reserve(space);
     for (FlopId f : n.all_flops()) {
       for (std::size_t c = 0; c < config_.run_cycles; ++c) {
-        points.push_back(InjectionPoint{f, c});
+        plan.points.push_back(InjectionPoint{f, c});
       }
     }
-    return points;
+  } else {
+    Rng rng(config_.seed);
+    plan.points.reserve(config_.sample);
+    for (std::size_t i = 0; i < config_.sample; ++i) {
+      const std::uint64_t flat = rng.next_below(space);
+      plan.points.push_back(InjectionPoint{
+          FlopId{static_cast<FlopId::value_type>(flat / config_.run_cycles)},
+          flat % config_.run_cycles});
+    }
   }
-  Rng rng(config_.seed);
-  points.reserve(config_.sample);
-  for (std::size_t i = 0; i < config_.sample; ++i) {
-    const std::uint64_t flat = rng.next_below(space);
-    points.push_back(InjectionPoint{
-        FlopId{static_cast<FlopId::value_type>(flat / config_.run_cycles)},
-        flat % config_.run_cycles});
-  }
-  return points;
+  plan.shard_size = config_.shard_size != 0 ? config_.shard_size
+                                            : auto_shard_size(
+                                                  plan.points.size());
+  plan_ = std::move(plan);
+  return *plan_;
+}
+
+void Campaign::use_plan(CampaignPlan plan) {
+  RIPPLE_CHECK(plan.shard_size > 0, "campaign plan needs a shard size");
+  plan_ = std::move(plan);
+}
+
+CampaignResult Campaign::run(const ShardHooks& hooks) {
+  return run_impl(hooks);
 }
 
 CampaignResult Campaign::run(const mate::MateSet* mates) {
+  const CampaignConfig saved_config = config_;
+  const mate::MateSet* saved_mates = mates_;
+  mates_ = mates;
+  config_.mode = mates == nullptr
+                     ? CampaignMode::Baseline
+                     : (config_.validate_pruned ? CampaignMode::Validate
+                                                : CampaignMode::Pruned);
+  CampaignResult result = run_impl({});
+  config_ = saved_config;
+  mates_ = saved_mates;
+  return result;
+}
+
+CampaignResult Campaign::run_impl(const ShardHooks& hooks) {
+  const CampaignPlan& plan = this->plan();
+  const bool pruning = config_.mode != CampaignMode::Baseline;
+
   // --- golden run -----------------------------------------------------------
-  auto golden = factory_();
-  const netlist::Netlist& n = golden->netlist();
+  auto golden_dut = factory_();
+  const netlist::Netlist& n = golden_dut->netlist();
 
   // Record the golden trace when pruning: the per-cycle MATE evaluation is
   // exactly what the FPGA fabric would compute online.
   sim::Trace golden_trace(n);
   for (std::size_t c = 0; c < config_.run_cycles; ++c) {
-    golden->step(mates != nullptr ? &golden_trace : nullptr);
+    golden_dut->step(pruning ? &golden_trace : nullptr);
   }
-  const std::string golden_obs = golden->observable();
-  const std::string golden_state = golden->architectural_state();
 
-  // Per-cycle MATE evaluation over the golden trace — exactly what the FPGA
-  // fabric would compute online while the workload runs.
-  std::vector<std::vector<bool>> benign; // [fault index][cycle]
-  std::unordered_map<FlopId, std::size_t> fault_index;
-  if (mates != nullptr) {
-    benign = mate::benign_matrix(*mates, golden_trace);
-    for (std::size_t i = 0; i < mates->faulty_wires.size(); ++i) {
-      const netlist::Wire& w = n.wire(mates->faulty_wires[i]);
+  GoldenRun golden;
+  golden.observable = golden_dut->observable();
+  golden.state = golden_dut->architectural_state();
+  if (pruning) {
+    golden.benign = mate::benign_matrix(*mates_, golden_trace);
+    for (std::size_t i = 0; i < mates_->faulty_wires.size(); ++i) {
+      const netlist::Wire& w = n.wire(mates_->faulty_wires[i]);
       RIPPLE_CHECK(w.driver_kind == netlist::DriverKind::Flop,
                    "campaign MATE sets must target flop outputs");
-      fault_index.emplace(w.driver_flop, i);
+      golden.fault_index.emplace(w.driver_flop, i);
     }
   }
+  golden_dut.reset();
 
-  // --- experiments -----------------------------------------------------------
-  CampaignResult result;
-  const std::vector<InjectionPoint> points = injection_points(n);
-  result.total = points.size();
+  // --- shard fan-out --------------------------------------------------------
+  const std::size_t num_shards = plan.num_shards();
+  std::vector<ShardResult> shards(num_shards);
+  std::vector<bool> resumed(num_shards, false);
+  std::vector<double> shard_seconds(num_shards, 0.0);
 
-  for (const InjectionPoint& point : points) {
+  // Resume pass: collect previously persisted shards before spinning up
+  // workers. A stale artifact (points that no longer match the plan) is
+  // discarded, not trusted.
+  std::vector<std::size_t> pending;
+  pending.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (hooks.load) {
+      if (std::optional<ShardResult> loaded = hooks.load(s)) {
+        const std::span<const InjectionPoint> points = plan.shard(s);
+        const bool matches =
+            loaded->shard == s && loaded->experiments.size() == points.size() &&
+            std::equal(points.begin(), points.end(),
+                       loaded->experiments.begin(),
+                       [](const InjectionPoint& p, const Experiment& e) {
+                         return p == e.point;
+                       });
+        if (matches) {
+          shards[s] = std::move(*loaded);
+          resumed[s] = true;
+          continue;
+        }
+      }
+    }
+    pending.push_back(s);
+  }
+
+  const auto run_one = [&](const InjectionPoint& point) {
     Experiment exp;
     exp.point = point;
 
-    if (mates != nullptr) {
-      const auto it = fault_index.find(point.flop);
-      if (it != fault_index.end() && benign[it->second][point.cycle]) {
+    if (pruning) {
+      const auto it = golden.fault_index.find(point.flop);
+      if (it != golden.fault_index.end() &&
+          golden.benign[it->second][point.cycle]) {
         exp.pruned = true;
-        ++result.pruned;
       }
     }
 
-    if (!exp.pruned || config_.validate_pruned) {
+    if (!exp.pruned || config_.mode == CampaignMode::Validate) {
       auto dut = factory_();
       for (std::size_t c = 0; c < point.cycle; ++c) dut->step();
       // Flip the flop's state at the start of the injection cycle, i.e. the
@@ -92,24 +203,118 @@ CampaignResult Campaign::run(const mate::MateSet* mates) {
         dut->step();
       }
       exp.executed = true;
-      ++result.executed;
 
-      if (dut->observable() != golden_obs) {
+      if (dut->observable() != golden.observable) {
         exp.outcome = Outcome::Sdc;
-        ++result.sdc;
-      } else if (dut->architectural_state() != golden_state) {
+      } else if (dut->architectural_state() != golden.state) {
         exp.outcome = Outcome::Latent;
-        ++result.latent;
       } else {
         exp.outcome = Outcome::Benign;
-        ++result.benign;
-      }
-      if (exp.pruned && exp.outcome == Outcome::Benign) {
-        ++result.pruned_confirmed;
       }
     }
+    return exp;
+  };
 
-    result.experiments.push_back(exp);
+  std::mutex hook_mutex; // serializes store/progress hook invocations
+  std::size_t shards_done = 0;
+
+  const auto emit_progress = [&](std::size_t s) {
+    // Caller holds hook_mutex.
+    ++shards_done;
+    if (!hooks.progress) return;
+    ShardProgress p;
+    p.shard = s;
+    p.shards_done = shards_done;
+    p.num_shards = num_shards;
+    for (const Experiment& e : shards[s].experiments) {
+      p.executed += e.executed ? 1 : 0;
+    }
+    p.seconds = shard_seconds[s];
+    p.resumed = resumed[s];
+    hooks.progress(p);
+  };
+
+  {
+    std::lock_guard lock(hook_mutex);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (resumed[s]) emit_progress(s);
+    }
+  }
+
+  const auto execute_shard = [&](std::size_t pending_index) {
+    const std::size_t s = pending[pending_index];
+    Stopwatch watch;
+    ShardResult& result = shards[s];
+    result.shard = static_cast<std::uint32_t>(s);
+    const std::span<const InjectionPoint> points = plan.shard(s);
+    result.experiments.reserve(points.size());
+    for (const InjectionPoint& point : points) {
+      result.experiments.push_back(run_one(point));
+    }
+    shard_seconds[s] = watch.seconds();
+
+    std::lock_guard lock(hook_mutex);
+    if (hooks.store) hooks.store(result);
+    emit_progress(s);
+  };
+
+  if (!pending.empty()) {
+    // One shard per scheduling step (grain 1): shard sizes already amortize
+    // the claim cost, and shard wall times can be skewed by pruning.
+    ThreadPool pool(config_.threads);
+    pool.parallel_for_index(pending.size(), execute_shard, 1);
+  }
+
+  // --- deterministic merge --------------------------------------------------
+  // Shard-index order, independent of completion order, thread count and
+  // resume pattern: the result is byte-identical for any --threads value.
+  CampaignResult result;
+  result.total = plan.points.size();
+  result.experiments.reserve(plan.points.size());
+  std::vector<SoundnessViolation> violations;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    for (const Experiment& exp : shards[s].experiments) {
+      if (exp.pruned) ++result.pruned;
+      if (exp.executed) {
+        ++result.executed;
+        switch (exp.outcome) {
+          case Outcome::Benign: ++result.benign; break;
+          case Outcome::Latent: ++result.latent; break;
+          case Outcome::Sdc: ++result.sdc; break;
+        }
+        if (exp.pruned) {
+          if (exp.outcome == Outcome::Benign) {
+            ++result.pruned_confirmed;
+          } else {
+            violations.push_back(SoundnessViolation{s, exp.point,
+                                                    exp.outcome});
+          }
+        }
+      }
+      result.experiments.push_back(exp);
+    }
+  }
+
+  if (!violations.empty()) {
+    std::string report = strprintf(
+        "MATE soundness violated: %zu pruned injection(s) executed to a "
+        "non-benign outcome under validate mode",
+        violations.size());
+    std::size_t current_shard = violations.front().shard + 1; // force header
+    for (const SoundnessViolation& v : violations) {
+      if (v.shard != current_shard) {
+        current_shard = v.shard;
+        report += strprintf("\n  shard %zu [points %zu..%zu):",
+                            v.shard, plan.shard_begin(v.shard),
+                            plan.shard_end(v.shard));
+      }
+      report += strprintf("\n    flop %u, cycle %llu -> %.*s",
+                          v.point.flop.value(),
+                          static_cast<unsigned long long>(v.point.cycle),
+                          static_cast<int>(outcome_name(v.outcome).size()),
+                          outcome_name(v.outcome).data());
+    }
+    throw SoundnessError(std::move(report), std::move(violations));
   }
   return result;
 }

@@ -1,4 +1,4 @@
-// Fault-injection campaign controller (Section 1.1 / Section 6).
+// Shard-parallel fault-injection campaign engine (Section 1.1 / Section 6).
 //
 // Emulates what an FPGA-based HAFI platform does: run the workload once
 // (golden run), then re-run it once per fault-space point, flipping one flop
@@ -6,13 +6,27 @@
 // set installed, injections whose fault the triggered MATEs prove benign are
 // skipped — the paper's fault-space pruning — and can optionally still be
 // executed to validate soundness.
+//
+// Every injection is independent, so the engine partitions the injection-
+// point list into fixed shards and fans them out across a ThreadPool; each
+// worker boots its own DUT instances through the DutFactory. Shards are
+// merged in shard-index order, so the CampaignResult — including the
+// per-experiment outcome list — is byte-identical for any thread count.
+// Shard hooks let callers persist finished shards (the pipeline layer stores
+// them as versioned artifacts) and skip them on resume after an interrupt.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
 #include <vector>
 
 #include "hafi/dut.hpp"
 #include "mate/mate.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace ripple::hafi {
@@ -20,6 +34,8 @@ namespace ripple::hafi {
 struct InjectionPoint {
   FlopId flop;
   std::uint64_t cycle;
+
+  bool operator==(const InjectionPoint&) const = default;
 };
 
 enum class Outcome {
@@ -28,11 +44,24 @@ enum class Outcome {
   Sdc,        // observable diverged: silent data corruption / wrong output
 };
 
+/// What the campaign does with the MATE set (replaces the old nullable
+/// `const mate::MateSet*` parameter of Campaign::run plus the
+/// `validate_pruned` flag).
+enum class CampaignMode {
+  Baseline, // no pruning: execute every sampled injection
+  Pruned,   // skip injections a triggered MATE proves benign
+  Validate, // execute pruned injections anyway; abort on a non-benign one
+};
+
+[[nodiscard]] std::string_view mode_name(CampaignMode mode);
+
 struct Experiment {
   InjectionPoint point;
   bool pruned = false; // a MATE proved it benign; skipped unless validating
   bool executed = false;
   Outcome outcome = Outcome::Benign;
+
+  bool operator==(const Experiment&) const = default;
 };
 
 struct CampaignConfig {
@@ -42,8 +71,76 @@ struct CampaignConfig {
   /// 0 = exhaustive (every flop, every cycle — large!).
   std::size_t sample = 1000;
   std::uint64_t seed = 1;
-  /// Execute pruned injections anyway and check they really are benign.
+  /// Pruned and Validate require a MATE set (Campaign constructor).
+  CampaignMode mode = CampaignMode::Baseline;
+  /// Worker threads for the shard fan-out; 0 = hardware concurrency.
+  /// Never affects results (shards merge in deterministic order).
+  std::size_t threads = 0;
+  /// Injection points per shard; 0 picks a size from the plan (deterministic
+  /// in the point count, independent of the thread count).
+  std::size_t shard_size = 0;
+  /// Deprecated (pre-CampaignMode): read only by the run(const MateSet*)
+  /// shim, which maps it to CampaignMode::Validate.
   bool validate_pruned = false;
+};
+
+/// The campaign's work list: the sampled (or exhaustive) injection points
+/// plus the shard partition over them. Produced by the campaign itself —
+/// callers no longer rebuild a throwaway DUT to get at the netlist — and
+/// stable for a fixed config, so baseline and pruned campaigns (and the
+/// benches' like-for-like comparisons) share one plan.
+struct CampaignPlan {
+  std::vector<InjectionPoint> points;
+  std::size_t shard_size = 1; // resolved: never 0
+
+  [[nodiscard]] std::size_t num_shards() const {
+    return points.empty() ? 0 : (points.size() + shard_size - 1) / shard_size;
+  }
+  [[nodiscard]] std::size_t shard_begin(std::size_t shard) const {
+    return shard * shard_size;
+  }
+  [[nodiscard]] std::size_t shard_end(std::size_t shard) const {
+    return std::min(points.size(), (shard + 1) * shard_size);
+  }
+  [[nodiscard]] std::span<const InjectionPoint> shard(
+      std::size_t index) const {
+    return std::span<const InjectionPoint>(points)
+        .subspan(shard_begin(index), shard_end(index) - shard_begin(index));
+  }
+};
+
+/// One finished shard: the experiments of plan.shard(shard), in plan order.
+/// This is the unit of checkpointing — the pipeline layer persists it as a
+/// versioned artifact and feeds it back through ShardHooks::load on resume.
+struct ShardResult {
+  std::uint32_t shard = 0;
+  std::vector<Experiment> experiments;
+
+  bool operator==(const ShardResult&) const = default;
+};
+
+/// A pruned injection that executed to a non-benign outcome under
+/// CampaignMode::Validate — a MATE soundness violation.
+struct SoundnessViolation {
+  std::size_t shard = 0;
+  InjectionPoint point;
+  Outcome outcome = Outcome::Benign;
+};
+
+/// Raised by Campaign::run when Validate mode finds soundness violations.
+/// what() carries a per-shard report (shard index, flop, cycle, outcome for
+/// every violation) instead of the old bare counter mismatch.
+class SoundnessError : public Error {
+public:
+  SoundnessError(std::string report, std::vector<SoundnessViolation> v)
+      : Error(std::move(report)), violations_(std::move(v)) {}
+
+  [[nodiscard]] const std::vector<SoundnessViolation>& violations() const {
+    return violations_;
+  }
+
+private:
+  std::vector<SoundnessViolation> violations_;
 };
 
 struct CampaignResult {
@@ -55,27 +152,72 @@ struct CampaignResult {
   std::size_t benign = 0;
   std::size_t latent = 0;
   std::size_t sdc = 0;
-  /// validate_pruned only: pruned experiments whose execution confirmed
-  /// Benign. Soundness demands pruned_confirmed == pruned.
+  /// Validate mode only: pruned experiments whose execution confirmed
+  /// Benign. The engine aborts with SoundnessError otherwise, so a returned
+  /// result always has pruned_confirmed == pruned.
   std::size_t pruned_confirmed = 0;
 };
 
 class Campaign {
 public:
-  Campaign(DutFactory factory, CampaignConfig config);
+  /// `mates` must be non-null for Pruned/Validate mode and target flop Q
+  /// wires of the DUT netlist; it is ignored in Baseline mode. The set must
+  /// outlive the campaign.
+  Campaign(DutFactory factory, CampaignConfig config,
+           const mate::MateSet* mates = nullptr);
 
-  /// Run the campaign. `mates` may be null (baseline: no pruning). The MATE
-  /// set must target flop Q wires of the DUT netlist.
-  [[nodiscard]] CampaignResult run(const mate::MateSet* mates);
+  /// The injection points and shard partition (built on first use; boots one
+  /// DUT to size the fault space). Stable across runs for a fixed config, so
+  /// baseline and pruned campaigns compare like for like.
+  [[nodiscard]] const CampaignPlan& plan();
 
-  /// The sampled injection points (stable across runs for a fixed config, so
-  /// baseline and pruned campaigns compare like for like).
-  [[nodiscard]] std::vector<InjectionPoint> injection_points(
-      const netlist::Netlist& n) const;
+  /// Install a plan produced by another campaign over the same DUT and
+  /// config — benches hand one plan to their baseline and pruned campaigns
+  /// so the comparison is like for like by construction.
+  void use_plan(CampaignPlan plan);
+
+  /// Per-shard progress record, delivered to ShardHooks::progress in merge
+  /// (shard-index) order.
+  struct ShardProgress {
+    std::size_t shard = 0;
+    std::size_t shards_done = 0; // including this one
+    std::size_t num_shards = 0;
+    std::size_t executed = 0;   // experiments simulated in this shard
+    double seconds = 0.0;       // this shard's execution wall time
+    bool resumed = false;       // served by ShardHooks::load, not executed
+  };
+
+  /// Checkpoint/instrumentation hooks. All hooks are invoked with external
+  /// synchronization (never concurrently); `store` and `progress` may run on
+  /// the caller or any worker thread.
+  struct ShardHooks {
+    /// Return a previously persisted result to skip executing shard `index`.
+    /// A result whose experiments do not match the plan (stale artifact) is
+    /// discarded and the shard re-executes.
+    std::function<std::optional<ShardResult>(std::size_t index)> load;
+    /// Called once per *executed* shard (not for resumed ones).
+    std::function<void(const ShardResult&)> store;
+    std::function<void(const ShardProgress&)> progress;
+  };
+
+  /// Run the campaign in config.mode. Throws SoundnessError in Validate
+  /// mode if any pruned injection executes to a non-benign outcome.
+  [[nodiscard]] CampaignResult run(const ShardHooks& hooks = {});
+
+  /// Deprecated pre-CampaignMode entry point: null = Baseline, non-null =
+  /// Pruned (or Validate when config.validate_pruned is set). Overrides the
+  /// MATE set passed to the constructor. Migrate to run().
+  [[deprecated("set CampaignMode in CampaignConfig, pass the MATE set to the "
+               "Campaign constructor and call run()")]] [[nodiscard]]
+  CampaignResult run(const mate::MateSet* mates);
 
 private:
+  [[nodiscard]] CampaignResult run_impl(const ShardHooks& hooks);
+
   DutFactory factory_;
   CampaignConfig config_;
+  const mate::MateSet* mates_ = nullptr;
+  std::optional<CampaignPlan> plan_;
 };
 
 } // namespace ripple::hafi

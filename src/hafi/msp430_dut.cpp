@@ -1,0 +1,30 @@
+#include "hafi/msp430_dut.hpp"
+
+#include <memory>
+
+#include "util/strings.hpp"
+
+namespace ripple::hafi {
+
+std::string Msp430Dut::observable() const {
+  std::string out;
+  for (const cores::msp430::IoEvent& e : system_.io_log()) {
+    out += strprintf("%llu:%04x=%04x;", static_cast<unsigned long long>(
+                                            e.cycle),
+                     e.addr, e.data);
+  }
+  return out;
+}
+
+std::string Msp430Dut::architectural_state() const {
+  const auto& mem = system_.memory();
+  return std::string(reinterpret_cast<const char*>(mem.data()),
+                     mem.size() * sizeof(std::uint16_t));
+}
+
+DutFactory make_msp430_factory(const cores::msp430::Msp430Core& core,
+                               const cores::msp430::Image& image) {
+  return [&core, &image] { return std::make_unique<Msp430Dut>(core, image); };
+}
+
+} // namespace ripple::hafi

@@ -1,0 +1,37 @@
+// Dut adapter for the MSP430 core + its memory/I/O environment, mirroring
+// the AVR adapter so campaigns run on both paper cores.
+#pragma once
+
+#include "cores/msp430/system.hpp"
+#include "hafi/dut.hpp"
+
+namespace ripple::hafi {
+
+class Msp430Dut final : public Dut {
+public:
+  Msp430Dut(const cores::msp430::Msp430Core& core,
+            const cores::msp430::Image& image)
+      : system_(core, image) {}
+
+  [[nodiscard]] const netlist::Netlist& netlist() const override {
+    return system_.core().netlist;
+  }
+  [[nodiscard]] sim::Simulator& simulator() override {
+    return system_.simulator();
+  }
+  void step(sim::Trace* trace = nullptr) override { system_.step(trace); }
+  [[nodiscard]] std::string observable() const override;
+  [[nodiscard]] std::string architectural_state() const override;
+
+  [[nodiscard]] cores::msp430::Msp430System& system() { return system_; }
+
+private:
+  cores::msp430::Msp430System system_;
+};
+
+/// Factory capturing core and image by reference (both must outlive the
+/// campaign).
+[[nodiscard]] DutFactory make_msp430_factory(
+    const cores::msp430::Msp430Core& core, const cores::msp430::Image& image);
+
+} // namespace ripple::hafi

@@ -335,6 +335,81 @@ mate::EvalResult read_eval_result(ByteReader& r) {
   return eval;
 }
 
+// --- campaign shards & results --------------------------------------------
+
+namespace {
+
+void write_experiment(ByteWriter& w, const hafi::Experiment& e) {
+  w.u32(e.point.flop.value());
+  w.u64(e.point.cycle);
+  w.b(e.pruned);
+  w.b(e.executed);
+  w.u8(static_cast<std::uint8_t>(e.outcome));
+}
+
+[[nodiscard]] hafi::Experiment read_experiment(ByteReader& r) {
+  hafi::Experiment e;
+  e.point.flop = FlopId{r.u32()};
+  e.point.cycle = r.u64();
+  e.pruned = r.b();
+  e.executed = r.b();
+  const std::uint8_t outcome = r.u8();
+  RIPPLE_CHECK(outcome <= static_cast<std::uint8_t>(hafi::Outcome::Sdc),
+               "bad outcome in campaign artifact");
+  e.outcome = static_cast<hafi::Outcome>(outcome);
+  return e;
+}
+
+constexpr std::size_t kExperimentBytes = 4 + 8 + 1 + 1 + 1;
+
+} // namespace
+
+void write_shard_result(ByteWriter& w, const hafi::ShardResult& shard) {
+  w.u32(shard.shard);
+  w.u64(shard.experiments.size());
+  for (const hafi::Experiment& e : shard.experiments) write_experiment(w, e);
+}
+
+hafi::ShardResult read_shard_result(ByteReader& r) {
+  hafi::ShardResult shard;
+  shard.shard = r.u32();
+  const std::size_t n = r.count(kExperimentBytes);
+  shard.experiments.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shard.experiments.push_back(read_experiment(r));
+  }
+  return shard;
+}
+
+void write_campaign_result(ByteWriter& w, const hafi::CampaignResult& result) {
+  w.u64(result.experiments.size());
+  for (const hafi::Experiment& e : result.experiments) write_experiment(w, e);
+  w.u64(result.total);
+  w.u64(result.pruned);
+  w.u64(result.executed);
+  w.u64(result.benign);
+  w.u64(result.latent);
+  w.u64(result.sdc);
+  w.u64(result.pruned_confirmed);
+}
+
+hafi::CampaignResult read_campaign_result(ByteReader& r) {
+  hafi::CampaignResult result;
+  const std::size_t n = r.count(kExperimentBytes);
+  result.experiments.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.experiments.push_back(read_experiment(r));
+  }
+  result.total = static_cast<std::size_t>(r.u64());
+  result.pruned = static_cast<std::size_t>(r.u64());
+  result.executed = static_cast<std::size_t>(r.u64());
+  result.benign = static_cast<std::size_t>(r.u64());
+  result.latent = static_cast<std::size_t>(r.u64());
+  result.sdc = static_cast<std::size_t>(r.u64());
+  result.pruned_confirmed = static_cast<std::size_t>(r.u64());
+  return result;
+}
+
 // --- fingerprints ---------------------------------------------------------
 
 std::uint64_t fingerprint(const netlist::Netlist& n) {

@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "hafi/campaign.hpp"
 #include "mate/eval.hpp"
 #include "mate/search.hpp"
 #include "mate/select.hpp"
@@ -57,6 +58,15 @@ void write_selection(ByteWriter& w, const mate::SelectionResult& sel);
 
 void write_eval_result(ByteWriter& w, const mate::EvalResult& eval);
 [[nodiscard]] mate::EvalResult read_eval_result(ByteReader& r);
+
+/// Campaign shard checkpoint (the unit of interrupt/resume persistence) and
+/// the merged campaign result (canonical form backing the byte-identity
+/// guarantee across thread counts).
+void write_shard_result(ByteWriter& w, const hafi::ShardResult& shard);
+[[nodiscard]] hafi::ShardResult read_shard_result(ByteReader& r);
+
+void write_campaign_result(ByteWriter& w, const hafi::CampaignResult& result);
+[[nodiscard]] hafi::CampaignResult read_campaign_result(ByteReader& r);
 
 // --- content fingerprints -------------------------------------------------
 

@@ -48,6 +48,31 @@ std::string PipelineOptions::report_file() const {
   return {};
 }
 
+hafi::CampaignConfig CampaignOptions::apply(hafi::CampaignConfig config) const {
+  if (sample != kUnset) config.sample = sample;
+  if (run_cycles != kUnset) config.run_cycles = run_cycles;
+  if (shard_size != 0) config.shard_size = shard_size;
+  return config;
+}
+
+void register_campaign_options(OptionParser& parser, CampaignOptions& opts) {
+  parser.add_value("sample",
+                   "sampled injection points (0 = exhaustive fault space)",
+                   &opts.sample);
+  parser.add_value("run-cycles", "cycles per golden/faulty campaign run",
+                   &opts.run_cycles);
+  parser.add_flag("validate-pruned",
+                  "execute pruned injections anyway and verify soundness",
+                  &opts.validate_pruned);
+  parser.add_value("shard-size",
+                   "injection points per campaign shard (0 = auto)",
+                   &opts.shard_size);
+  parser.add_flag("resume",
+                  "checkpoint finished shards to the artifact cache and "
+                  "skip shards already stored there",
+                  &opts.resume);
+}
+
 void register_pipeline_options(OptionParser& parser, PipelineOptions& opts) {
   parser.add_flag("csv", "emit CSV instead of the pretty table", &opts.csv);
   parser.add_value("cache-dir",

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <string>
 
+#include "hafi/campaign.hpp"
 #include "mate/search.hpp"
 #include "pipeline/pipeline.hpp"
 #include "util/options.hpp"
@@ -51,5 +52,38 @@ struct PipelineOptions {
 
 /// Register the shared flags on a parser (each binary may add its own).
 void register_pipeline_options(OptionParser& parser, PipelineOptions& opts);
+
+/// The shared campaign flag set (previously duplicated hard-coded configs
+/// across the hafi benches):
+///   --sample=N           sampled injection points (0 = exhaustive)
+///   --run-cycles=N       cycles per golden/faulty run
+///   --validate-pruned    execute pruned injections and verify soundness
+///   --shard-size=N       injection points per checkpointable shard (0=auto)
+///   --resume             persist finished shards to the artifact cache and
+///                        skip shards already checkpointed there
+/// (`--threads` comes from the pipeline flag set and applies to the shard
+/// fan-out as well.)
+struct CampaignOptions {
+  std::size_t sample = kUnset;     // kUnset = keep the binary's default
+  std::size_t run_cycles = kUnset; // kUnset = keep the binary's default
+  bool validate_pruned = false;
+  std::size_t shard_size = 0;
+  bool resume = false;
+
+  static constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+
+  /// Apply the flag overrides to a binary's default campaign config. The
+  /// mode is the caller's choice per campaign run; --validate-pruned
+  /// upgrades Pruned to Validate via pruned_mode().
+  [[nodiscard]] hafi::CampaignConfig apply(hafi::CampaignConfig config) const;
+
+  /// Pruned, or Validate when --validate-pruned was passed.
+  [[nodiscard]] hafi::CampaignMode pruned_mode() const {
+    return validate_pruned ? hafi::CampaignMode::Validate
+                           : hafi::CampaignMode::Pruned;
+  }
+};
+
+void register_campaign_options(OptionParser& parser, CampaignOptions& opts);
 
 } // namespace ripple::pipeline

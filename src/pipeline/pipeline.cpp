@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <thread>
 
 #include "cores/avr/core.hpp"
 #include "cores/avr/programs.hpp"
@@ -416,19 +417,101 @@ mate::SelectionResult CampaignPipeline::select(const mate::MateSet& set,
   return result;
 }
 
-hafi::CampaignResult CampaignPipeline::campaign(
-    hafi::DutFactory factory, const hafi::CampaignConfig& config,
-    const mate::MateSet* mates, std::string detail) {
+hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
+                                                std::string detail) {
+  // The pipeline's --threads applies when the spec leaves the campaign
+  // thread count at "hardware concurrency" (0). Never part of any key.
+  if (spec.config.threads == 0) spec.config.threads = config_.threads;
+
   StageStats stats;
   stats.stage = "campaign";
   stats.detail = std::move(detail);
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
-  hafi::Campaign campaign(std::move(factory), config);
-  hafi::CampaignResult result = campaign.run(mates);
+  hafi::Campaign campaign(std::move(spec.factory), spec.config, spec.mates);
+  if (spec.plan.has_value()) campaign.use_plan(std::move(*spec.plan));
+
+  const bool checkpoint =
+      spec.resume && spec.netlist_fingerprint != 0 && cache_.enabled();
+  const std::uint64_t mates_fp =
+      spec.config.mode != hafi::CampaignMode::Baseline
+          ? fingerprint(*spec.mates)
+          : 0;
+  const auto shard_cache_key = [&](std::size_t shard) {
+    Hasher h;
+    h.update_value(kArtifactVersion);
+    h.update_value(spec.netlist_fingerprint);
+    h.update_value(static_cast<std::uint64_t>(spec.config.run_cycles));
+    h.update_value(static_cast<std::uint64_t>(spec.config.sample));
+    h.update_value(spec.config.seed);
+    h.update_value(static_cast<std::uint8_t>(spec.config.mode));
+    h.update_value(mates_fp);
+    // The *resolved* shard size: boundaries must match across runs for a
+    // shard artifact to be reusable. threads is deliberately absent.
+    h.update_value(static_cast<std::uint64_t>(campaign.plan().shard_size));
+    h.update_value(static_cast<std::uint64_t>(shard));
+    return CacheKey{"campaign_shard", h.digest()};
+  };
+
+  // Per-shard throughput/ETA narration plus the counters that end up in
+  // --report=json. Executed-shard wall times feed the ETA; resumed shards
+  // (zero cost) deliberately do not.
+  EtaTracker eta;
+  std::size_t executed_injections = 0;
+  std::size_t shards_resumed = 0;
+  double busy_seconds = 0.0;
+
+  hafi::Campaign::ShardHooks hooks;
+  if (checkpoint) {
+    hooks.load = [&](std::size_t shard) -> std::optional<hafi::ShardResult> {
+      auto payload = cache_.load(shard_cache_key(shard));
+      if (!payload) return std::nullopt;
+      ByteReader r(*payload);
+      hafi::ShardResult result = read_shard_result(r);
+      r.expect_done();
+      return result;
+    };
+    hooks.store = [&](const hafi::ShardResult& shard) {
+      ByteWriter w;
+      write_shard_result(w, shard);
+      cache_.store(shard_cache_key(shard.shard), w.bytes());
+    };
+  }
+  hooks.progress = [&](const hafi::Campaign::ShardProgress& p) {
+    if (p.resumed) {
+      ++shards_resumed;
+    } else {
+      eta.add(p.seconds);
+      busy_seconds += p.seconds;
+    }
+    executed_injections += p.executed;
+    const std::size_t remaining = p.num_shards - p.shards_done;
+    if (p.resumed) {
+      progress("[campaign] shard %zu/%zu resumed from checkpoint",
+               p.shards_done, p.num_shards);
+    } else {
+      const double inj_per_sec =
+          p.seconds > 0.0 ? static_cast<double>(p.executed) / p.seconds : 0.0;
+      progress("[campaign] shard %zu/%zu done: %.0f inj/s, ETA %.1f s",
+               p.shards_done, p.num_shards, inj_per_sec,
+               eta.eta_seconds(remaining));
+    }
+  };
+
+  hafi::CampaignResult result = campaign.run(hooks);
 
   stats.seconds = watch.seconds();
+  stats.threads = spec.config.threads != 0
+                      ? spec.config.threads
+                      : std::max<std::size_t>(
+                            1, std::thread::hardware_concurrency());
+  if (stats.seconds > 0.0) {
+    stats.utilization = std::min(
+        1.0, busy_seconds / (static_cast<double>(stats.threads) *
+                             stats.seconds));
+  }
+  const std::size_t num_shards = campaign.plan().num_shards();
   stats.counters = {
       {"experiments", static_cast<double>(result.total)},
       {"pruned", static_cast<double>(result.pruned)},
@@ -436,9 +519,36 @@ hafi::CampaignResult CampaignPipeline::campaign(
       {"benign", static_cast<double>(result.benign)},
       {"latent", static_cast<double>(result.latent)},
       {"sdc", static_cast<double>(result.sdc)},
+      {"shards", static_cast<double>(num_shards)},
+      {"shards_resumed", static_cast<double>(shards_resumed)},
+      {"pruned_rate",
+       result.total > 0
+           ? static_cast<double>(result.pruned) /
+                 static_cast<double>(result.total)
+           : 0.0},
   };
+  if (eta.total_seconds() > 0.0) {
+    stats.counters.emplace_back(
+        "injections_per_sec",
+        static_cast<double>(executed_injections) / eta.total_seconds());
+  }
   notify_end(stats);
   return result;
+}
+
+hafi::CampaignResult CampaignPipeline::campaign(
+    hafi::DutFactory factory, const hafi::CampaignConfig& config,
+    const mate::MateSet* mates, std::string detail) {
+  CampaignSpec spec;
+  spec.factory = std::move(factory);
+  spec.config = config;
+  spec.config.mode = mates == nullptr
+                         ? hafi::CampaignMode::Baseline
+                         : (config.validate_pruned
+                                ? hafi::CampaignMode::Validate
+                                : hafi::CampaignMode::Pruned);
+  spec.mates = mates;
+  return campaign(std::move(spec), std::move(detail));
 }
 
 } // namespace ripple::pipeline

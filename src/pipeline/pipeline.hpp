@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -130,8 +131,40 @@ public:
                                              std::uint64_t trace_fingerprint,
                                              std::string detail);
 
-  /// Fault-injection campaign stage. Never cached — the campaign *is* the
-  /// experiment (and its DUT factory captures arbitrary state).
+  /// Fault-injection campaign stage input. The merged campaign result is
+  /// never cached — the campaign *is* the experiment (and its DUT factory
+  /// captures arbitrary state) — but finished *shards* are persisted as
+  /// versioned artifacts when `resume` is set, keyed by (netlist
+  /// fingerprint, campaign config, MATE-set fingerprint, shard index), so a
+  /// killed campaign picks up from its last finished shard.
+  struct CampaignSpec {
+    hafi::DutFactory factory;
+    hafi::CampaignConfig config;
+    /// Required for Pruned/Validate mode; ignored for Baseline.
+    const mate::MateSet* mates = nullptr;
+    /// Fingerprint of the DUT netlist; keys the shard checkpoints. 0
+    /// disables checkpointing even with `resume` set.
+    std::uint64_t netlist_fingerprint = 0;
+    /// Persist finished shards to the artifact cache and skip shards already
+    /// present (interrupt/resume). Requires the cache and a fingerprint.
+    bool resume = false;
+    /// Reuse a plan produced by another campaign over the same DUT/config
+    /// (like-for-like baseline vs pruned comparisons). Stale shard
+    /// checkpoints that disagree with the plan re-execute.
+    std::optional<hafi::CampaignPlan> plan;
+  };
+
+  /// Run the campaign stage: shard fan-out per CampaignConfig::threads
+  /// (0 falls back to the pipeline's --threads), per-shard progress with
+  /// injections/sec, pruned-rate and ETA via the observers, and optional
+  /// shard checkpointing per `spec.resume`. Throws hafi::SoundnessError
+  /// (with its per-shard violation report) in Validate mode.
+  [[nodiscard]] hafi::CampaignResult campaign(CampaignSpec spec,
+                                              std::string detail = {});
+
+  /// Deprecated pre-CampaignMode entry point: null = baseline, non-null =
+  /// pruned (validate when config.validate_pruned). No checkpointing.
+  /// Migrate to the CampaignSpec overload.
   [[nodiscard]] hafi::CampaignResult campaign(
       hafi::DutFactory factory, const hafi::CampaignConfig& config,
       const mate::MateSet* mates, std::string detail = {});

@@ -29,17 +29,42 @@ CampaignConfig small_config() {
   return cfg;
 }
 
-TEST(Campaign, SamplingIsDeterministicAndInRange) {
-  Campaign campaign(make_avr_factory(core(), fib()), small_config());
-  const auto p1 = campaign.injection_points(core().netlist);
-  const auto p2 = campaign.injection_points(core().netlist);
-  ASSERT_EQ(p1.size(), 60u);
-  for (std::size_t i = 0; i < p1.size(); ++i) {
-    EXPECT_EQ(p1[i].flop, p2[i].flop);
-    EXPECT_EQ(p1[i].cycle, p2[i].cycle);
-    EXPECT_LT(p1[i].flop.index(), core().netlist.num_flops());
-    EXPECT_LT(p1[i].cycle, 400u);
+const mate::SearchResult& avr_search() {
+  static const mate::SearchResult r = [] {
+    mate::SearchParams sp;
+    sp.threads = 2;
+    return find_mates(core().netlist, mate::all_flop_wires(core().netlist),
+                      sp);
+  }();
+  return r;
+}
+
+TEST(Campaign, PlanIsDeterministicAndInRange) {
+  Campaign c1(make_avr_factory(core(), fib()), small_config());
+  Campaign c2(make_avr_factory(core(), fib()), small_config());
+  const CampaignPlan& p1 = c1.plan();
+  const CampaignPlan& p2 = c2.plan();
+  ASSERT_EQ(p1.points.size(), 60u);
+  ASSERT_EQ(p1.points, p2.points);
+  EXPECT_EQ(p1.shard_size, p2.shard_size);
+  for (const InjectionPoint& p : p1.points) {
+    EXPECT_LT(p.flop.index(), core().netlist.num_flops());
+    EXPECT_LT(p.cycle, 400u);
   }
+}
+
+TEST(Campaign, PlanShardsPartitionThePoints) {
+  Campaign campaign(make_avr_factory(core(), fib()), small_config());
+  const CampaignPlan& plan = campaign.plan();
+  ASSERT_GT(plan.shard_size, 0u);
+  std::size_t covered = 0;
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    EXPECT_EQ(plan.shard_begin(s), covered);
+    EXPECT_EQ(plan.shard(s).size(), plan.shard_end(s) - plan.shard_begin(s));
+    EXPECT_GT(plan.shard(s).size(), 0u);
+    covered += plan.shard(s).size();
+  }
+  EXPECT_EQ(covered, plan.points.size());
 }
 
 TEST(Campaign, ExhaustiveWhenSampleZero) {
@@ -47,13 +72,12 @@ TEST(Campaign, ExhaustiveWhenSampleZero) {
   cfg.run_cycles = 3;
   cfg.sample = 0;
   Campaign campaign(make_avr_factory(core(), fib()), cfg);
-  EXPECT_EQ(campaign.injection_points(core().netlist).size(),
-            core().netlist.num_flops() * 3);
+  EXPECT_EQ(campaign.plan().points.size(), core().netlist.num_flops() * 3);
 }
 
 TEST(Campaign, BaselineClassifiesOutcomes) {
   Campaign campaign(make_avr_factory(core(), fib()), small_config());
-  const CampaignResult r = campaign.run(nullptr);
+  const CampaignResult r = campaign.run();
   EXPECT_EQ(r.total, 60u);
   EXPECT_EQ(r.executed, 60u);
   EXPECT_EQ(r.pruned, 0u);
@@ -65,34 +89,27 @@ TEST(Campaign, BaselineClassifiesOutcomes) {
 }
 
 TEST(Campaign, MatePruningSavesExperimentsAndIsSound) {
-  const auto faulty = mate::all_flop_wires(core().netlist);
-  mate::SearchParams sp;
-  sp.threads = 2;
-  const mate::SearchResult search = find_mates(core().netlist, faulty, sp);
+  const mate::SearchResult& search = avr_search();
   ASSERT_GT(search.set.mates.size(), 0u);
 
   CampaignConfig cfg = small_config();
   cfg.sample = 600; // fib masks ~3 % of the space; 600 draws make a zero-
                     // prune campaign astronomically unlikely
-  cfg.validate_pruned = true;
-  Campaign campaign(make_avr_factory(core(), fib()), cfg);
-  const CampaignResult r = campaign.run(&search.set);
+  cfg.mode = CampaignMode::Validate;
+  Campaign campaign(make_avr_factory(core(), fib()), cfg, &search.set);
+  const CampaignResult r = campaign.run();
 
   EXPECT_GT(r.pruned, 0u) << "MATEs should prune some sampled injections";
   // THE soundness check: every pruned injection, when executed anyway,
-  // must be benign.
+  // must be benign (a violation would have thrown SoundnessError).
   EXPECT_EQ(r.pruned_confirmed, r.pruned);
 }
 
 TEST(Campaign, PrunedSkippedWithoutValidation) {
-  const auto faulty = mate::all_flop_wires(core().netlist);
-  mate::SearchParams sp;
-  sp.threads = 2;
-  const mate::SearchResult search = find_mates(core().netlist, faulty, sp);
-
   CampaignConfig cfg = small_config();
-  Campaign campaign(make_avr_factory(core(), fib()), cfg);
-  const CampaignResult r = campaign.run(&search.set);
+  cfg.mode = CampaignMode::Pruned;
+  Campaign campaign(make_avr_factory(core(), fib()), cfg, &avr_search().set);
+  const CampaignResult r = campaign.run();
   EXPECT_EQ(r.executed + r.pruned, r.total);
   if (r.pruned > 0) {
     EXPECT_LT(r.executed, r.total);
@@ -100,22 +117,50 @@ TEST(Campaign, PrunedSkippedWithoutValidation) {
 }
 
 TEST(Campaign, BaselineAndPrunedAgreeOnExecutedOutcomes) {
-  const auto faulty = mate::all_flop_wires(core().netlist);
-  mate::SearchParams sp;
-  sp.threads = 2;
-  const mate::SearchResult search = find_mates(core().netlist, faulty, sp);
+  const CampaignConfig cfg = small_config();
+  Campaign base_campaign(make_avr_factory(core(), fib()), cfg);
+  const CampaignResult base = base_campaign.run();
 
-  CampaignConfig cfg = small_config();
-  cfg.validate_pruned = true;
-  Campaign campaign(make_avr_factory(core(), fib()), cfg);
-  const CampaignResult base = campaign.run(nullptr);
-  const CampaignResult pruned = campaign.run(&search.set);
+  CampaignConfig vcfg = cfg;
+  vcfg.mode = CampaignMode::Validate;
+  Campaign pruned_campaign(make_avr_factory(core(), fib()), vcfg,
+                           &avr_search().set);
+  // Same config -> same plan, but make the like-for-like comparison explicit.
+  pruned_campaign.use_plan(base_campaign.plan());
+  const CampaignResult pruned = pruned_campaign.run();
+
   ASSERT_EQ(base.experiments.size(), pruned.experiments.size());
   for (std::size_t i = 0; i < base.experiments.size(); ++i) {
+    EXPECT_EQ(base.experiments[i].point, pruned.experiments[i].point);
     EXPECT_EQ(base.experiments[i].outcome, pruned.experiments[i].outcome);
   }
   EXPECT_EQ(base.sdc, pruned.sdc);
 }
+
+TEST(Campaign, ModeRequiresMateSet) {
+  CampaignConfig cfg = small_config();
+  cfg.mode = CampaignMode::Pruned;
+  EXPECT_THROW(Campaign(make_avr_factory(core(), fib()), cfg), Error);
+}
+
+// One release of coverage for the deprecated pre-CampaignMode entry point;
+// remove together with Campaign::run(const mate::MateSet*).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Campaign, DeprecatedRunShimMatchesNewApi) {
+  CampaignConfig cfg = small_config();
+  cfg.validate_pruned = true;
+  Campaign legacy(make_avr_factory(core(), fib()), cfg);
+  const CampaignResult via_shim_base = legacy.run(nullptr);
+  const CampaignResult via_shim_pruned = legacy.run(&avr_search().set);
+
+  Campaign base(make_avr_factory(core(), fib()), small_config());
+  const CampaignResult direct_base = base.run();
+  EXPECT_EQ(via_shim_base.experiments, direct_base.experiments);
+  EXPECT_EQ(via_shim_pruned.pruned_confirmed, via_shim_pruned.pruned);
+  EXPECT_EQ(via_shim_pruned.sdc, direct_base.sdc);
+}
+#pragma GCC diagnostic pop
 
 TEST(AvrDutAdapter, ObservableAndStateChange) {
   AvrDut dut(core(), fib());
