@@ -99,7 +99,12 @@ int main(int argc, char** argv) {
   cfg.run_cycles = 600;
   cfg.sample = 400;
   cfg.seed = 11;
-  cfg = copts.apply(cfg);
+  try {
+    cfg = copts.apply(cfg);
+  } catch (const Error& e) { // bad flag value, e.g. --dut-engine=typo
+    std::fprintf(stderr, "combined_pruning: %s\nsee --help\n", e.what());
+    return 2;
+  }
   cfg.mode = hafi::CampaignMode::Validate;
 
   const cores::avr::AvrCore core = cores::avr::build_avr_core(true);
@@ -107,6 +112,7 @@ int main(int argc, char** argv) {
 
   pipeline::CampaignPipeline::CampaignSpec spec;
   spec.factory = hafi::make_avr_factory(core, program);
+  spec.batch_factory = hafi::make_avr_batch_factory(core, program);
   spec.config = cfg;
   spec.mates = &search.set;
   spec.netlist_fingerprint = avr.fingerprint;

@@ -1,0 +1,185 @@
+// Microbenchmark: scalar vs 64-lane bit-parallel DUT engine throughput.
+//
+// Runs the same baseline fault-injection campaign (identical plan, seed and
+// thread count) once per engine on each core and reports wall time, retired
+// injections/sec, DUT passes, lane utilization and the bitpar speedup. One
+// bitpar pass evaluates the netlist word-wide, retiring up to 63 experiments
+// plus the golden lane per gate-level sweep.
+//
+// Doubles as the engines' end-to-end cross-check: the serialized
+// CampaignResults are compared byte-for-byte and any mismatch fails the run.
+// With --check the binary exits non-zero if the bit-parallel engine is
+// slower than scalar — the dut_bench_smoke ctest target runs
+// `--smoke --check` on a trimmed setup.
+#include "bench/common.hpp"
+
+#include <cstdio>
+
+#include "cores/avr/programs.hpp"
+#include "cores/msp430/programs.hpp"
+#include "hafi/avr_dut.hpp"
+#include "hafi/campaign.hpp"
+#include "hafi/msp430_dut.hpp"
+#include "pipeline/artifact.hpp"
+#include "util/serialize.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace ripple;
+using namespace ripple::bench;
+
+struct EngineRun {
+  double seconds = 0.0;
+  std::size_t executed = 0;
+  std::size_t dut_passes = 0;
+  std::size_t lane_slots = 0;
+  std::size_t lanes_retired_early = 0;
+  std::vector<std::uint8_t> bytes;
+
+  [[nodiscard]] double inj_per_sec() const {
+    return static_cast<double>(executed) / std::max(seconds, 1e-9);
+  }
+  [[nodiscard]] double utilization() const {
+    return lane_slots > 0 ? static_cast<double>(executed) /
+                                static_cast<double>(lane_slots)
+                          : 1.0;
+  }
+};
+
+EngineRun run_engine(const hafi::DutFactory& factory,
+                     const hafi::BatchDutFactory& batch_factory,
+                     hafi::CampaignConfig cfg, hafi::DutEngine engine,
+                     std::size_t reps) {
+  cfg.dut_engine = engine;
+  EngineRun r;
+  Stopwatch watch;
+  for (std::size_t i = 0; i < reps; ++i) {
+    hafi::Campaign campaign(factory, cfg);
+    campaign.set_batch_factory(batch_factory);
+    hafi::Campaign::ShardHooks hooks;
+    const bool record = i == 0; // stats are identical across reps
+    hooks.progress = [&](const hafi::Campaign::ShardProgress& p) {
+      if (!record) return;
+      r.dut_passes += p.dut_passes;
+      r.lane_slots += p.lane_slots;
+      r.lanes_retired_early += p.lanes_retired_early;
+    };
+    const hafi::CampaignResult result = campaign.run(hooks);
+    if (record) {
+      r.executed = result.executed;
+      ByteWriter w;
+      pipeline::write_campaign_result(w, result);
+      r.bytes = w.take();
+    }
+  }
+  r.seconds = watch.seconds() / static_cast<double>(reps);
+  return r;
+}
+
+std::string fmt_rate(double per_sec) {
+  if (per_sec >= 1e6) return strprintf("%.2f M/s", per_sec / 1e6);
+  if (per_sec >= 1e3) return strprintf("%.2f k/s", per_sec / 1e3);
+  return strprintf("%.1f /s", per_sec);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string core = "both";
+  std::size_t reps = 1;
+  bool check = false;
+  bool smoke = false;
+  Harness h(argc, argv, "dut_throughput",
+            "scalar vs 64-lane bit-parallel DUT engine throughput",
+            [&](OptionParser& parser) {
+              parser.add_value("core",
+                               "core to benchmark: avr, msp430 or both",
+                               &core);
+              parser.add_value("reps", "repetitions per engine", &reps);
+              parser.add_flag(
+                  "check",
+                  "exit non-zero if bitpar is slower than scalar", &check);
+              parser.add_flag(
+                  "smoke",
+                  "trimmed setup for CI (small sample, short runs)", &smoke);
+            });
+  if (core != "avr" && core != "msp430" && core != "both") {
+    std::fprintf(stderr, "dut_throughput: unknown --core '%s'\n",
+                 core.c_str());
+    return 2;
+  }
+  if (reps == 0) reps = 1;
+
+  hafi::CampaignConfig cfg;
+  cfg.run_cycles = smoke ? 250 : 800;
+  cfg.sample = smoke ? 48 : 504; // 504 = 8 full 63-lane passes
+  cfg.seed = 23;
+  cfg.threads = h.options().threads;
+  cfg.shard_size = 63; // one full batch pass per shard
+
+  TablePrinter t({"dut_throughput", "scalar", "bitpar", "speedup",
+                  "passes (scalar/bitpar)", "lane util", "retired early"});
+  double worst_speedup = 1e30;
+
+  for (const CoreKind kind : {CoreKind::Avr, CoreKind::Msp430}) {
+    if (core == "avr" && kind != CoreKind::Avr) continue;
+    if (core == "msp430" && kind != CoreKind::Msp430) continue;
+
+    hafi::DutFactory factory;
+    hafi::BatchDutFactory batch_factory;
+    const char* name = "";
+    if (kind == CoreKind::Avr) {
+      static const cores::avr::AvrCore avr = cores::avr::build_avr_core(true);
+      static const cores::avr::Program program = cores::avr::fib_program();
+      factory = hafi::make_avr_factory(avr, program);
+      batch_factory = hafi::make_avr_batch_factory(avr, program);
+      name = "AVR fib";
+    } else {
+      static const cores::msp430::Msp430Core msp =
+          cores::msp430::build_msp430_core(true);
+      static const cores::msp430::Image image = cores::msp430::fib_image();
+      factory = hafi::make_msp430_factory(msp, image);
+      batch_factory = hafi::make_msp430_batch_factory(msp, image);
+      name = "MSP430 fib";
+    }
+
+    h.progress("dut_throughput: %s, %zu injections x %zu cycles, "
+               "%zu reps/engine...",
+               name, cfg.sample, cfg.run_cycles, reps);
+    const EngineRun scalar = run_engine(factory, batch_factory, cfg,
+                                        hafi::DutEngine::Scalar, reps);
+    const EngineRun bitpar = run_engine(factory, batch_factory, cfg,
+                                        hafi::DutEngine::BitParallel, reps);
+    if (scalar.bytes != bitpar.bytes) {
+      std::fprintf(stderr,
+                   "dut_throughput: ENGINE MISMATCH on %s — bit-parallel "
+                   "campaign differs from the scalar oracle\n",
+                   name);
+      return 1;
+    }
+
+    const double speedup = scalar.seconds / std::max(bitpar.seconds, 1e-9);
+    worst_speedup = std::min(worst_speedup, speedup);
+    t.add_row({name,
+               strprintf("%.3f s (%s)", scalar.seconds,
+                         fmt_rate(scalar.inj_per_sec()).c_str()),
+               strprintf("%.3f s (%s)", bitpar.seconds,
+                         fmt_rate(bitpar.inj_per_sec()).c_str()),
+               strprintf("%.1fx", speedup),
+               strprintf("%zu / %zu", scalar.dut_passes, bitpar.dut_passes),
+               strprintf("%.1f %%", 100.0 * bitpar.utilization()),
+               fmt_count(bitpar.lanes_retired_early)});
+  }
+  h.emit(t);
+
+  if (check && worst_speedup < 1.0) {
+    std::fprintf(stderr,
+                 "dut_throughput: --check FAILED — bit-parallel engine "
+                 "slower than scalar (%.2fx)\n",
+                 worst_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -37,6 +37,7 @@ struct CampaignTarget {
   std::optional<cores::msp430::Image> msp430_image;
 
   hafi::DutFactory factory;
+  hafi::BatchDutFactory batch_factory;
   const netlist::Netlist* netlist = nullptr;
   std::uint64_t fingerprint = 0;
   sim::Trace trace;
@@ -49,6 +50,7 @@ CampaignTarget make_target(CoreKind kind, std::size_t trace_cycles) {
     t.avr_program.emplace(cores::avr::fib_program());
     t.netlist = &t.avr->netlist;
     t.factory = hafi::make_avr_factory(*t.avr, *t.avr_program);
+    t.batch_factory = hafi::make_avr_batch_factory(*t.avr, *t.avr_program);
     cores::avr::AvrSystem tracer(*t.avr, *t.avr_program);
     t.trace = tracer.run_trace(trace_cycles);
   } else {
@@ -56,6 +58,8 @@ CampaignTarget make_target(CoreKind kind, std::size_t trace_cycles) {
     t.msp430_image.emplace(cores::msp430::fib_image());
     t.netlist = &t.msp430->netlist;
     t.factory = hafi::make_msp430_factory(*t.msp430, *t.msp430_image);
+    t.batch_factory =
+        hafi::make_msp430_batch_factory(*t.msp430, *t.msp430_image);
     cores::msp430::Msp430System tracer(*t.msp430, *t.msp430_image);
     t.trace = tracer.run_trace(trace_cycles);
   }
@@ -86,7 +90,12 @@ int main(int argc, char** argv) {
   cfg.run_cycles = 1500;
   cfg.sample = 3000;
   cfg.seed = 42;
-  cfg = copts.apply(cfg);
+  try {
+    cfg = copts.apply(cfg);
+  } catch (const Error& e) { // bad flag value, e.g. --dut-engine=typo
+    std::fprintf(stderr, "hafi_campaign: %s\nsee --help\n", e.what());
+    return 2;
+  }
 
   h.progress("hafi_campaign: building %s core...",
              kind == CoreKind::Avr ? "AVR" : "MSP430");
@@ -104,8 +113,11 @@ int main(int argc, char** argv) {
   // inject the exact same (flop, cycle) points.
   hafi::Campaign planner(target.factory, cfg);
   const hafi::CampaignPlan plan = planner.plan();
-  h.progress("hafi_campaign: %zu injection points in %zu shards of %zu",
-             plan.points.size(), plan.num_shards(), plan.shard_size);
+  h.progress("hafi_campaign: %zu injection points in %zu shards of %zu "
+             "(--dut-engine=%.*s)",
+             plan.points.size(), plan.num_shards(), plan.shard_size,
+             static_cast<int>(hafi::dut_engine_name(cfg.dut_engine).size()),
+             hafi::dut_engine_name(cfg.dut_engine).data());
 
   TablePrinter t({"campaign", "experiments", "executed", "pruned", "benign",
                   "latent", "SDC", "pruned&confirmed", "time [s]"});
@@ -121,6 +133,7 @@ int main(int argc, char** argv) {
                             const mate::MateSet* mates) {
     pipeline::CampaignPipeline::CampaignSpec spec;
     spec.factory = target.factory;
+    spec.batch_factory = target.batch_factory;
     spec.config = cfg;
     spec.config.mode = mode;
     spec.mates = mates;

@@ -71,7 +71,12 @@ int main(int argc, char** argv) {
   cfg.run_cycles = 600;
   cfg.sample = 400;
   cfg.seed = 17;
-  cfg = copts.apply(cfg);
+  try {
+    cfg = copts.apply(cfg);
+  } catch (const Error& e) { // bad flag value, e.g. --dut-engine=typo
+    std::fprintf(stderr, "lutcost_hafi: %s\nsee --help\n", e.what());
+    return 2;
+  }
   cfg.mode = copts.pruned_mode();
 
   const cores::avr::AvrCore core = cores::avr::build_avr_core(true);
@@ -79,6 +84,7 @@ int main(int argc, char** argv) {
 
   pipeline::CampaignPipeline::CampaignSpec spec;
   spec.factory = hafi::make_avr_factory(core, program);
+  spec.batch_factory = hafi::make_avr_batch_factory(core, program);
   spec.config = cfg;
   spec.mates = &avr_top50;
   spec.netlist_fingerprint = avr_fingerprint;

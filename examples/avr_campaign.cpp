@@ -80,7 +80,12 @@ sum:
   cfg.run_cycles = 1000;
   cfg.sample = sample;
   cfg.seed = 7;
-  cfg = copts.apply(cfg);
+  try {
+    cfg = copts.apply(cfg);
+  } catch (const Error& e) { // bad flag value, e.g. --dut-engine=typo
+    std::cerr << "avr_campaign: " << e.what() << "\nsee --help\n";
+    return 2;
+  }
 
   const auto report = [](const char* name, const hafi::CampaignResult& r) {
     std::cout << name << ": " << r.total << " injections, executed "
@@ -99,6 +104,7 @@ sum:
                             const mate::MateSet* mates) {
     pipeline::CampaignPipeline::CampaignSpec spec;
     spec.factory = hafi::make_avr_factory(core, program);
+    spec.batch_factory = hafi::make_avr_batch_factory(core, program);
     spec.config = cfg;
     spec.config.mode = mode;
     spec.mates = mates;

@@ -24,13 +24,20 @@ std::string_view outcome_name(Outcome o) {
 /// Default shard size: aim for enough shards that the fan-out load-balances
 /// well past 8 workers, but keep shards large enough that the per-shard
 /// bookkeeping (hook calls, checkpoint artifacts) stays negligible. The size
-/// depends only on the point count — never on the thread count — so shard
-/// boundaries (and therefore checkpoint artifacts) are stable across
-/// --threads values.
+/// depends only on the point count — never on the thread count or the DUT
+/// engine — so shard boundaries (and therefore checkpoint artifacts) are
+/// stable across --threads values and interchangeable between engines.
+/// Generous shards are aligned up to the 63-lane batch width so the default
+/// plan of a large campaign packs full bit-parallel passes; small campaigns
+/// keep fine-grained shards for thread-level parallelism (a half-empty pass
+/// still beats 63 scalar boots there).
 std::size_t auto_shard_size(std::size_t num_points) {
   constexpr std::size_t kTargetShards = 64;
-  constexpr std::size_t kMaxShardSize = 512;
-  const std::size_t size = (num_points + kTargetShards - 1) / kTargetShards;
+  constexpr std::size_t kMaxShardSize = 504; // 8 full 63-lane passes
+  std::size_t size = (num_points + kTargetShards - 1) / kTargetShards;
+  if (size >= kExperimentLanes / 2) {
+    size = (size + kExperimentLanes - 1) / kExperimentLanes * kExperimentLanes;
+  }
   return std::clamp<std::size_t>(size, 1, kMaxShardSize);
 }
 
@@ -51,6 +58,14 @@ std::string_view mode_name(CampaignMode mode) {
     case CampaignMode::Baseline: return "baseline";
     case CampaignMode::Pruned: return "pruned";
     case CampaignMode::Validate: return "validate";
+  }
+  return "?";
+}
+
+std::string_view dut_engine_name(DutEngine engine) {
+  switch (engine) {
+    case DutEngine::Scalar: return "scalar";
+    case DutEngine::BitParallel: return "bitpar";
   }
   return "?";
 }
@@ -102,22 +117,12 @@ void Campaign::use_plan(CampaignPlan plan) {
   plan_ = std::move(plan);
 }
 
-CampaignResult Campaign::run(const ShardHooks& hooks) {
-  return run_impl(hooks);
+void Campaign::set_batch_factory(BatchDutFactory factory) {
+  batch_factory_ = std::move(factory);
 }
 
-CampaignResult Campaign::run(const mate::MateSet* mates) {
-  const CampaignConfig saved_config = config_;
-  const mate::MateSet* saved_mates = mates_;
-  mates_ = mates;
-  config_.mode = mates == nullptr
-                     ? CampaignMode::Baseline
-                     : (config_.validate_pruned ? CampaignMode::Validate
-                                                : CampaignMode::Pruned);
-  CampaignResult result = run_impl({});
-  config_ = saved_config;
-  mates_ = saved_mates;
-  return result;
+CampaignResult Campaign::run(const ShardHooks& hooks) {
+  return run_impl(hooks);
 }
 
 CampaignResult Campaign::run_impl(const ShardHooks& hooks) {
@@ -155,6 +160,19 @@ CampaignResult Campaign::run_impl(const ShardHooks& hooks) {
   std::vector<bool> resumed(num_shards, false);
   std::vector<double> shard_seconds(num_shards, 0.0);
 
+  // Per-shard engine utilization, reported through ShardProgress. Indexed by
+  // shard, so workers write without synchronization.
+  struct ShardLaneStats {
+    std::size_t dut_passes = 0;
+    std::size_t lane_slots = 0;
+    std::size_t lanes_retired_early = 0;
+    std::uint64_t lane_cycles_saved = 0;
+  };
+  std::vector<ShardLaneStats> lane_stats(num_shards);
+
+  const bool use_batch = config_.dut_engine == DutEngine::BitParallel &&
+                         batch_factory_ != nullptr;
+
   // Resume pass: collect previously persisted shards before spinning up
   // workers. A stale artifact (points that no longer match the plan) is
   // discarded, not trusted.
@@ -181,38 +199,32 @@ CampaignResult Campaign::run_impl(const ShardHooks& hooks) {
     pending.push_back(s);
   }
 
-  const auto run_one = [&](const InjectionPoint& point) {
-    Experiment exp;
-    exp.point = point;
+  const auto is_pruned = [&](const InjectionPoint& point) {
+    if (!pruning) return false;
+    const auto it = golden.fault_index.find(point.flop);
+    return it != golden.fault_index.end() &&
+           golden.benign[it->second][point.cycle];
+  };
 
-    if (pruning) {
-      const auto it = golden.fault_index.find(point.flop);
-      if (it != golden.fault_index.end() &&
-          golden.benign[it->second][point.cycle]) {
-        exp.pruned = true;
-      }
+  const auto execute_scalar = [&](Experiment& exp) {
+    auto dut = factory_();
+    const InjectionPoint& point = exp.point;
+    for (std::size_t c = 0; c < point.cycle; ++c) dut->step();
+    // Flip the flop's state at the start of the injection cycle, i.e. the
+    // SEU corrupts the value the flop carries *into* this cycle.
+    dut->simulator().flip_flop(point.flop);
+    for (std::size_t c = point.cycle; c < config_.run_cycles; ++c) {
+      dut->step();
     }
+    exp.executed = true;
 
-    if (!exp.pruned || config_.mode == CampaignMode::Validate) {
-      auto dut = factory_();
-      for (std::size_t c = 0; c < point.cycle; ++c) dut->step();
-      // Flip the flop's state at the start of the injection cycle, i.e. the
-      // SEU corrupts the value the flop carries *into* this cycle.
-      dut->simulator().flip_flop(point.flop);
-      for (std::size_t c = point.cycle; c < config_.run_cycles; ++c) {
-        dut->step();
-      }
-      exp.executed = true;
-
-      if (dut->observable() != golden.observable) {
-        exp.outcome = Outcome::Sdc;
-      } else if (dut->architectural_state() != golden.state) {
-        exp.outcome = Outcome::Latent;
-      } else {
-        exp.outcome = Outcome::Benign;
-      }
+    if (dut->observable() != golden.observable) {
+      exp.outcome = Outcome::Sdc;
+    } else if (dut->architectural_state() != golden.state) {
+      exp.outcome = Outcome::Latent;
+    } else {
+      exp.outcome = Outcome::Benign;
     }
-    return exp;
   };
 
   std::mutex hook_mutex; // serializes store/progress hook invocations
@@ -231,6 +243,10 @@ CampaignResult Campaign::run_impl(const ShardHooks& hooks) {
     }
     p.seconds = shard_seconds[s];
     p.resumed = resumed[s];
+    p.dut_passes = lane_stats[s].dut_passes;
+    p.lane_slots = lane_stats[s].lane_slots;
+    p.lanes_retired_early = lane_stats[s].lanes_retired_early;
+    p.lane_cycles_saved = lane_stats[s].lane_cycles_saved;
     hooks.progress(p);
   };
 
@@ -247,9 +263,52 @@ CampaignResult Campaign::run_impl(const ShardHooks& hooks) {
     ShardResult& result = shards[s];
     result.shard = static_cast<std::uint32_t>(s);
     const std::span<const InjectionPoint> points = plan.shard(s);
+
+    // Pruning decisions first; then the executed subset, packed 63 at a
+    // time into batch passes (or run one by one on the scalar oracle).
     result.experiments.reserve(points.size());
+    std::vector<std::size_t> exec;
+    exec.reserve(points.size());
     for (const InjectionPoint& point : points) {
-      result.experiments.push_back(run_one(point));
+      Experiment exp;
+      exp.point = point;
+      exp.pruned = is_pruned(point);
+      if (!exp.pruned || config_.mode == CampaignMode::Validate) {
+        exec.push_back(result.experiments.size());
+      }
+      result.experiments.push_back(exp);
+    }
+
+    ShardLaneStats& stats = lane_stats[s];
+    if (use_batch && !exec.empty()) {
+      const auto batch_dut = batch_factory_();
+      std::vector<InjectionPoint> group;
+      group.reserve(kExperimentLanes);
+      for (std::size_t g = 0; g < exec.size(); g += kExperimentLanes) {
+        const std::size_t end = std::min(exec.size(), g + kExperimentLanes);
+        group.clear();
+        for (std::size_t i = g; i < end; ++i) {
+          group.push_back(result.experiments[exec[i]].point);
+        }
+        BatchRunStats pass;
+        const std::vector<Outcome> outcomes =
+            batch_dut->run(group, config_.run_cycles, &pass);
+        for (std::size_t i = g; i < end; ++i) {
+          Experiment& exp = result.experiments[exec[i]];
+          exp.executed = true;
+          exp.outcome = outcomes[i - g];
+        }
+        ++stats.dut_passes;
+        stats.lane_slots += kExperimentLanes;
+        stats.lanes_retired_early += pass.lanes_retired_early;
+        stats.lane_cycles_saved += pass.lane_cycles_saved;
+      }
+    } else {
+      for (const std::size_t i : exec) {
+        execute_scalar(result.experiments[i]);
+      }
+      stats.dut_passes = exec.size();
+      stats.lane_slots = exec.size();
     }
     shard_seconds[s] = watch.seconds();
 

@@ -9,9 +9,13 @@
 //
 // Every injection is independent, so the engine partitions the injection-
 // point list into fixed shards and fans them out across a ThreadPool; each
-// worker boots its own DUT instances through the DutFactory. Shards are
+// worker boots its own DUT instances through the DutFactory. With the
+// default BitParallel engine a shard's executed points are additionally
+// packed 63 at a time into 64-lane BatchDut passes (lane 0 carries the
+// golden run), so one gate-level pass retires a whole batch. Shards are
 // merged in shard-index order, so the CampaignResult — including the
-// per-experiment outcome list — is byte-identical for any thread count.
+// per-experiment outcome list — is byte-identical for any thread count,
+// either engine, and any resume pattern.
 // Shard hooks let callers persist finished shards (the pipeline layer stores
 // them as versioned artifacts) and skip them on resume after an interrupt.
 #pragma once
@@ -24,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "hafi/batch_dut.hpp"
 #include "hafi/dut.hpp"
 #include "mate/mate.hpp"
 #include "util/assert.hpp"
@@ -31,22 +36,7 @@
 
 namespace ripple::hafi {
 
-struct InjectionPoint {
-  FlopId flop;
-  std::uint64_t cycle;
-
-  bool operator==(const InjectionPoint&) const = default;
-};
-
-enum class Outcome {
-  Benign,     // observable and architectural state match the golden run
-  Latent,     // observable matches, architectural state differs at the end
-  Sdc,        // observable diverged: silent data corruption / wrong output
-};
-
-/// What the campaign does with the MATE set (replaces the old nullable
-/// `const mate::MateSet*` parameter of Campaign::run plus the
-/// `validate_pruned` flag).
+/// What the campaign does with the MATE set.
 enum class CampaignMode {
   Baseline, // no pruning: execute every sampled injection
   Pruned,   // skip injections a triggered MATE proves benign
@@ -54,6 +44,17 @@ enum class CampaignMode {
 };
 
 [[nodiscard]] std::string_view mode_name(CampaignMode mode);
+
+/// How injections are executed. Never affects results: the batch engine's
+/// incremental classification is equivalent to the scalar string compares,
+/// so CampaignResult is byte-identical either way (campaign_batch_test pins
+/// this down).
+enum class DutEngine {
+  Scalar,      // one DUT boot per experiment; the reference oracle
+  BitParallel, // 64-lane batch passes retire up to 63 experiments each
+};
+
+[[nodiscard]] std::string_view dut_engine_name(DutEngine engine);
 
 struct Experiment {
   InjectionPoint point;
@@ -79,9 +80,10 @@ struct CampaignConfig {
   /// Injection points per shard; 0 picks a size from the plan (deterministic
   /// in the point count, independent of the thread count).
   std::size_t shard_size = 0;
-  /// Deprecated (pre-CampaignMode): read only by the run(const MateSet*)
-  /// shim, which maps it to CampaignMode::Validate.
-  bool validate_pruned = false;
+  /// Execution engine. BitParallel needs a batch factory (set_batch_factory)
+  /// and silently falls back to Scalar without one, so Dut-only callers keep
+  /// working unchanged.
+  DutEngine dut_engine = DutEngine::BitParallel;
 };
 
 /// The campaign's work list: the sampled (or exhaustive) injection points
@@ -166,6 +168,12 @@ public:
   Campaign(DutFactory factory, CampaignConfig config,
            const mate::MateSet* mates = nullptr);
 
+  /// Install the 64-lane batch DUT used when config.dut_engine is
+  /// BitParallel. The factory must boot the same target system as the scalar
+  /// DutFactory (same netlist, program and environment) — campaign outcomes
+  /// are classified against the scalar golden run's semantics.
+  void set_batch_factory(BatchDutFactory factory);
+
   /// The injection points and shard partition (built on first use; boots one
   /// DUT to size the fault space). Stable across runs for a fixed config, so
   /// baseline and pruned campaigns compare like for like.
@@ -185,6 +193,11 @@ public:
     std::size_t executed = 0;   // experiments simulated in this shard
     double seconds = 0.0;       // this shard's execution wall time
     bool resumed = false;       // served by ShardHooks::load, not executed
+    // Engine utilization (zero for resumed shards — nothing ran):
+    std::size_t dut_passes = 0; // gate-level passes (scalar: DUT boots)
+    std::size_t lane_slots = 0; // experiment capacity those passes offered
+    std::size_t lanes_retired_early = 0; // classified before the run ended
+    std::uint64_t lane_cycles_saved = 0; // cycles skipped by early retirement
   };
 
   /// Checkpoint/instrumentation hooks. All hooks are invoked with external
@@ -204,17 +217,11 @@ public:
   /// mode if any pruned injection executes to a non-benign outcome.
   [[nodiscard]] CampaignResult run(const ShardHooks& hooks = {});
 
-  /// Deprecated pre-CampaignMode entry point: null = Baseline, non-null =
-  /// Pruned (or Validate when config.validate_pruned is set). Overrides the
-  /// MATE set passed to the constructor. Migrate to run().
-  [[deprecated("set CampaignMode in CampaignConfig, pass the MATE set to the "
-               "Campaign constructor and call run()")]] [[nodiscard]]
-  CampaignResult run(const mate::MateSet* mates);
-
 private:
   [[nodiscard]] CampaignResult run_impl(const ShardHooks& hooks);
 
   DutFactory factory_;
+  BatchDutFactory batch_factory_;
   CampaignConfig config_;
   const mate::MateSet* mates_ = nullptr;
   std::optional<CampaignPlan> plan_;

@@ -5,6 +5,7 @@
 // golden run plus one per injection experiment — through a DutFactory.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -14,6 +15,22 @@
 #include "sim/trace.hpp"
 
 namespace ripple::hafi {
+
+/// One point of the fault space: flip `flop`'s state at the start of `cycle`
+/// (the SEU corrupts the value the flop carries *into* that cycle).
+struct InjectionPoint {
+  FlopId flop;
+  std::uint64_t cycle;
+
+  bool operator==(const InjectionPoint&) const = default;
+};
+
+/// Classification of one executed injection against the golden run.
+enum class Outcome {
+  Benign,     // observable and architectural state match the golden run
+  Latent,     // observable matches, architectural state differs at the end
+  Sdc,        // observable diverged: silent data corruption / wrong output
+};
 
 class Dut {
 public:

@@ -2,7 +2,11 @@
 // the AVR adapter so campaigns run on both paper cores.
 #pragma once
 
+#include <array>
+#include <vector>
+
 #include "cores/msp430/system.hpp"
+#include "hafi/batch_dut.hpp"
 #include "hafi/dut.hpp"
 
 namespace ripple::hafi {
@@ -32,6 +36,39 @@ private:
 /// Factory capturing core and image by reference (both must outlive the
 /// campaign).
 [[nodiscard]] DutFactory make_msp430_factory(
+    const cores::msp430::Msp430Core& core, const cores::msp430::Image& image);
+
+/// 64-lane batch counterpart of Msp430Dut. The unified word memory is
+/// vectorized per lane (each used lane re-seeded from the program image per
+/// pass); memory-mapped stores at kIoBase and up become the per-cycle
+/// observable compare against the golden lane.
+class BatchMsp430Dut final : public BatchDut {
+public:
+  BatchMsp430Dut(const cores::msp430::Msp430Core& core,
+                 const cores::msp430::Image& image);
+
+  [[nodiscard]] const netlist::Netlist& netlist() const override {
+    return core_->netlist;
+  }
+  [[nodiscard]] std::vector<Outcome> run(std::span<const InjectionPoint> points,
+                                         std::size_t run_cycles,
+                                         BatchRunStats* stats) override;
+
+private:
+  static constexpr std::size_t kMemWords = 1u << 15;
+
+  const cores::msp430::Msp430Core* core_;
+  std::vector<std::uint16_t> image_;  // memory seed (image + zero fill)
+  std::vector<std::uint16_t> memory_; // lane-major: [lane * kMemWords + word]
+  sim::BatchSimulator sim_;
+  BatchLaneState lanes_;
+  std::array<std::uint64_t, sim::kBatchLanes> rdata_{};
+  std::array<std::uint64_t, sim::kBatchLanes> addr_{};
+};
+
+/// Batch factory capturing core and image by reference (both must outlive
+/// the campaign).
+[[nodiscard]] BatchDutFactory make_msp430_batch_factory(
     const cores::msp430::Msp430Core& core, const cores::msp430::Image& image);
 
 } // namespace ripple::hafi

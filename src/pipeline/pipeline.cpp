@@ -430,6 +430,9 @@ hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
   Stopwatch watch;
 
   hafi::Campaign campaign(std::move(spec.factory), spec.config, spec.mates);
+  if (spec.batch_factory) {
+    campaign.set_batch_factory(std::move(spec.batch_factory));
+  }
   if (spec.plan.has_value()) campaign.use_plan(std::move(*spec.plan));
 
   const bool checkpoint =
@@ -461,6 +464,10 @@ hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
   std::size_t executed_injections = 0;
   std::size_t shards_resumed = 0;
   double busy_seconds = 0.0;
+  std::size_t dut_passes = 0;
+  std::size_t lane_slots = 0;
+  std::size_t lanes_retired_early = 0;
+  std::uint64_t lane_cycles_saved = 0;
 
   hafi::Campaign::ShardHooks hooks;
   if (checkpoint) {
@@ -486,6 +493,10 @@ hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
       busy_seconds += p.seconds;
     }
     executed_injections += p.executed;
+    dut_passes += p.dut_passes;
+    lane_slots += p.lane_slots;
+    lanes_retired_early += p.lanes_retired_early;
+    lane_cycles_saved += p.lane_cycles_saved;
     const std::size_t remaining = p.num_shards - p.shards_done;
     if (p.resumed) {
       progress("[campaign] shard %zu/%zu resumed from checkpoint",
@@ -526,7 +537,19 @@ hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
            ? static_cast<double>(result.pruned) /
                  static_cast<double>(result.total)
            : 0.0},
+      {"dut_passes", static_cast<double>(dut_passes)},
+      {"lanes_retired_early", static_cast<double>(lanes_retired_early)},
+      {"lane_cycles_saved", static_cast<double>(lane_cycles_saved)},
+      // Executed experiments / experiment capacity of the gate-level passes:
+      // 1.0 when every lane of every pass carried an injection (the scalar
+      // engine is 1.0 by definition, one experiment per boot).
+      {"lane_utilization",
+       lane_slots > 0 ? static_cast<double>(executed_injections) /
+                            static_cast<double>(lane_slots)
+                      : 0.0},
   };
+  // Retired experiments per second — counts injections, not gate-level
+  // passes, so the number is comparable across engines.
   if (eta.total_seconds() > 0.0) {
     stats.counters.emplace_back(
         "injections_per_sec",
@@ -534,21 +557,6 @@ hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
   }
   notify_end(stats);
   return result;
-}
-
-hafi::CampaignResult CampaignPipeline::campaign(
-    hafi::DutFactory factory, const hafi::CampaignConfig& config,
-    const mate::MateSet* mates, std::string detail) {
-  CampaignSpec spec;
-  spec.factory = std::move(factory);
-  spec.config = config;
-  spec.config.mode = mates == nullptr
-                         ? hafi::CampaignMode::Baseline
-                         : (config.validate_pruned
-                                ? hafi::CampaignMode::Validate
-                                : hafi::CampaignMode::Pruned);
-  spec.mates = mates;
-  return campaign(std::move(spec), std::move(detail));
 }
 
 } // namespace ripple::pipeline

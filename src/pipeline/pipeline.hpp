@@ -139,6 +139,11 @@ public:
   /// killed campaign picks up from its last finished shard.
   struct CampaignSpec {
     hafi::DutFactory factory;
+    /// 64-lane batch DUT for CampaignConfig::dut_engine == BitParallel; the
+    /// campaign falls back to the scalar factory when absent. Deliberately
+    /// absent from the shard-checkpoint keys: both engines produce
+    /// byte-identical results, so checkpoints are interchangeable.
+    hafi::BatchDutFactory batch_factory;
     hafi::CampaignConfig config;
     /// Required for Pruned/Validate mode; ignored for Baseline.
     const mate::MateSet* mates = nullptr;
@@ -161,13 +166,6 @@ public:
   /// (with its per-shard violation report) in Validate mode.
   [[nodiscard]] hafi::CampaignResult campaign(CampaignSpec spec,
                                               std::string detail = {});
-
-  /// Deprecated pre-CampaignMode entry point: null = baseline, non-null =
-  /// pruned (validate when config.validate_pruned). No checkpointing.
-  /// Migrate to the CampaignSpec overload.
-  [[nodiscard]] hafi::CampaignResult campaign(
-      hafi::DutFactory factory, const hafi::CampaignConfig& config,
-      const mate::MateSet* mates, std::string detail = {});
 
   /// Free-form narration routed to the observers (bench progress lines;
   /// keeps stdout clean for tables/CSV/JSON).

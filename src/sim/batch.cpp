@@ -1,0 +1,139 @@
+#include "sim/batch.hpp"
+
+#include "cell/library.hpp"
+
+namespace ripple::sim {
+
+using netlist::DriverKind;
+using netlist::Netlist;
+
+namespace {
+
+/// Word-wide evaluation of one combinational cell: every expression below is
+/// the cell's library truth function lifted to bitwise ops, so all 64 lanes
+/// evaluate in one pass. Pin order matches cell::Info::pins (Mux2 is S,A,B).
+/// batch_sim_test cross-checks every kind against the truth tables.
+std::uint64_t eval_word(cell::Kind kind, const std::uint64_t* in) {
+  using cell::Kind;
+  switch (kind) {
+    case Kind::Tie0: return 0;
+    case Kind::Tie1: return ~std::uint64_t{0};
+    case Kind::Buf: return in[0];
+    case Kind::Inv: return ~in[0];
+    case Kind::And2: return in[0] & in[1];
+    case Kind::And3: return in[0] & in[1] & in[2];
+    case Kind::And4: return in[0] & in[1] & in[2] & in[3];
+    case Kind::Nand2: return ~(in[0] & in[1]);
+    case Kind::Nand3: return ~(in[0] & in[1] & in[2]);
+    case Kind::Nand4: return ~(in[0] & in[1] & in[2] & in[3]);
+    case Kind::Or2: return in[0] | in[1];
+    case Kind::Or3: return in[0] | in[1] | in[2];
+    case Kind::Or4: return in[0] | in[1] | in[2] | in[3];
+    case Kind::Nor2: return ~(in[0] | in[1]);
+    case Kind::Nor3: return ~(in[0] | in[1] | in[2]);
+    case Kind::Nor4: return ~(in[0] | in[1] | in[2] | in[3]);
+    case Kind::Xor2: return in[0] ^ in[1];
+    case Kind::Xnor2: return ~(in[0] ^ in[1]);
+    case Kind::Mux2: return (in[0] & in[2]) | (~in[0] & in[1]);
+    case Kind::Aoi21: return ~((in[0] & in[1]) | in[2]);
+    case Kind::Aoi22: return ~((in[0] & in[1]) | (in[2] & in[3]));
+    case Kind::Oai21: return ~((in[0] | in[1]) & in[2]);
+    case Kind::Oai22: return ~((in[0] | in[1]) & (in[2] | in[3]));
+    case Kind::Dff: break;
+  }
+  RIPPLE_UNREACHABLE("non-combinational cell in gate table");
+}
+
+} // namespace
+
+BatchSimulator::BatchSimulator(const Netlist& n)
+    : netlist_(&n), level_(levelize(n)), values_(n.num_wires(), 0) {
+  state_.resize(n.num_flops(), 0);
+  reset();
+}
+
+void BatchSimulator::reset() {
+  for (FlopId f : netlist_->all_flops()) {
+    state_[f.index()] = netlist_->flop(f).init ? ~std::uint64_t{0} : 0;
+  }
+  cycle_ = 0;
+  eval();
+}
+
+void BatchSimulator::set_input(WireId w, std::uint64_t lanes) {
+  RIPPLE_ASSERT(netlist_->wire(w).driver_kind == DriverKind::PrimaryInput,
+                "set_input on non-input wire '", netlist_->wire(w).name, "'");
+  values_[w.index()] = lanes;
+}
+
+void BatchSimulator::eval() {
+  // Flop state drives Q wires.
+  for (FlopId f : netlist_->all_flops()) {
+    values_[netlist_->flop(f).q.index()] = state_[f.index()];
+  }
+  // Levelized single pass settles all combinational wires, 64 lanes at once.
+  std::uint64_t in[cell::kMaxInputs];
+  for (GateId g : level_.order) {
+    const netlist::Gate& gate = netlist_->gate(g);
+    const std::size_t n = gate.inputs.size();
+    for (std::size_t p = 0; p < n; ++p) {
+      in[p] = values_[gate.inputs[p].index()];
+    }
+    values_[gate.output.index()] = eval_word(gate.kind, in);
+  }
+}
+
+void BatchSimulator::latch() {
+  for (FlopId f : netlist_->all_flops()) {
+    state_[f.index()] = values_[netlist_->flop(f).d.index()];
+  }
+  ++cycle_;
+}
+
+std::uint64_t BatchSimulator::read_bus(const Bus& bus, unsigned lane) const {
+  RIPPLE_ASSERT(bus.size() <= 64 && lane < kBatchLanes);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    v |= ((values_[bus[i].index()] >> lane) & 1u) << i;
+  }
+  return v;
+}
+
+void BatchSimulator::drive_bus(const Bus& bus,
+                               std::span<const std::uint64_t> lane_values) {
+  RIPPLE_ASSERT(bus.size() <= 64 && lane_values.size() == kBatchLanes);
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    std::uint64_t word = 0;
+    for (std::size_t lane = 0; lane < kBatchLanes; ++lane) {
+      word |= ((lane_values[lane] >> i) & 1u) << lane;
+    }
+    set_input(bus[i], word);
+  }
+}
+
+void BatchSimulator::drive_bus_broadcast(const Bus& bus, std::uint64_t v) {
+  RIPPLE_ASSERT(bus.size() <= 64);
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    set_input(bus[i], ((v >> i) & 1u) ? ~std::uint64_t{0} : 0);
+  }
+}
+
+void BatchSimulator::flip_flop(FlopId f, LaneMask lanes) {
+  RIPPLE_ASSERT(f.index() < state_.size());
+  state_[f.index()] ^= lanes;
+}
+
+LaneMask BatchSimulator::state_divergence(unsigned golden_lane) const {
+  RIPPLE_ASSERT(golden_lane < kBatchLanes);
+  LaneMask diverged = 0;
+  for (const std::uint64_t s : state_) {
+    // Broadcast the golden lane's bit to all 64 lanes, then XOR: a set bit
+    // marks a lane disagreeing with golden on this flop.
+    const std::uint64_t golden =
+        static_cast<std::uint64_t>(0) - ((s >> golden_lane) & 1u);
+    diverged |= s ^ golden;
+  }
+  return diverged;
+}
+
+} // namespace ripple::sim

@@ -1,0 +1,98 @@
+// 64-lane bit-parallel gate-level simulator (classic parallel-fault
+// simulation).
+//
+// Where Simulator keeps one bool per wire, BatchSimulator keeps one uint64_t
+// per wire: bit i of every word belongs to *lane* i, an independent
+// experiment sharing the same netlist. One levelized pass through the
+// combinational logic therefore evaluates 64 concurrent runs — the campaign
+// engine packs one golden run plus up to 63 fault experiments into a word,
+// so a single gate-level pass retires a whole batch of injection points.
+//
+// The per-cycle protocol mirrors Simulator exactly (eval is idempotent,
+// latch is the rising clock edge); fault injection generalizes flip_flop to
+// a lane mask, and state_divergence() reports — via one XOR-vs-golden-lane
+// sweep over the flop words — which lanes have drifted from the golden lane.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/levelize.hpp"
+#include "sim/simulator.hpp"
+
+namespace ripple::sim {
+
+/// Experiments evaluated per word; lane i = bit i of every wire word.
+inline constexpr std::size_t kBatchLanes = 64;
+
+/// Bit i = lane i.
+using LaneMask = std::uint64_t;
+
+class BatchSimulator {
+public:
+  explicit BatchSimulator(const netlist::Netlist& n);
+
+  [[nodiscard]] const netlist::Netlist& netlist() const { return *netlist_; }
+
+  // --- per-cycle protocol --------------------------------------------------
+
+  /// Drive a primary input with per-lane values (bit i = lane i's value).
+  void set_input(WireId w, std::uint64_t lanes);
+
+  void eval();
+  void latch();
+
+  void step() {
+    eval();
+    latch();
+  }
+
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+  /// Reset all flops of every lane to their init values and clear the cycle
+  /// counter. Inputs keep their last driven values.
+  void reset();
+
+  // --- observation ---------------------------------------------------------
+
+  /// The wire's word: bit i = lane i's value (valid after eval()).
+  [[nodiscard]] std::uint64_t value(WireId w) const {
+    RIPPLE_ASSERT(w.index() < values_.size());
+    return values_[w.index()];
+  }
+
+  /// Read a bus as seen by one lane (little-endian, like Simulator).
+  [[nodiscard]] std::uint64_t read_bus(const Bus& bus, unsigned lane) const;
+
+  /// Drive a bus with per-lane values: lane_values[i] is lane i's bus value.
+  /// Transposes the 64 values into one word per bus wire.
+  void drive_bus(const Bus& bus,
+                 std::span<const std::uint64_t> lane_values);
+
+  /// Drive every lane of a bus with the same value.
+  void drive_bus_broadcast(const Bus& bus, std::uint64_t v);
+
+  // --- fault injection -----------------------------------------------------
+
+  /// Flip the state bit of one flop in every lane of `lanes` (per-lane SEU
+  /// injection mask). Takes effect at the next eval().
+  void flip_flop(FlopId f, LaneMask lanes);
+
+  // --- divergence detection ------------------------------------------------
+
+  /// Lanes whose flop state differs from `golden_lane`'s in at least one
+  /// flop: one XOR against the broadcast golden bit per flop word, OR-folded
+  /// into a lane mask. Bit `golden_lane` of the result is always 0.
+  [[nodiscard]] LaneMask state_divergence(unsigned golden_lane) const;
+
+private:
+  const netlist::Netlist* netlist_;
+  Levelization level_;
+  std::vector<std::uint64_t> values_; // one word per wire
+  std::vector<std::uint64_t> state_;  // one word per flop
+  std::uint64_t cycle_ = 0;
+};
+
+} // namespace ripple::sim

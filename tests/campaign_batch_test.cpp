@@ -1,0 +1,233 @@
+// Scalar-vs-bitpar campaign equivalence: the 64-lane batch engine must
+// produce a byte-identical CampaignResult to the scalar oracle — across both
+// cores, all three CampaignModes, any thread count, and through the
+// kill/resume checkpoint path (checkpoints written by one engine replay
+// under the other). Also pins down the lane-utilization accounting that
+// feeds the --report=json counters.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cores/avr/programs.hpp"
+#include "cores/msp430/programs.hpp"
+#include "hafi/avr_dut.hpp"
+#include "hafi/campaign.hpp"
+#include "hafi/msp430_dut.hpp"
+#include "mate/search.hpp"
+#include "pipeline/artifact.hpp"
+#include "util/serialize.hpp"
+
+namespace ripple::hafi {
+namespace {
+
+struct Target {
+  DutFactory factory;
+  BatchDutFactory batch_factory;
+  const mate::MateSet* mates = nullptr;
+};
+
+const Target& avr_target() {
+  static const Target t = [] {
+    static const cores::avr::AvrCore core = cores::avr::build_avr_core(true);
+    static const cores::avr::Program program = cores::avr::fib_program();
+    static const mate::SearchResult search = [] {
+      mate::SearchParams sp;
+      sp.threads = 2;
+      return mate::find_mates(core.netlist,
+                              mate::all_flop_wires(core.netlist), sp);
+    }();
+    return Target{make_avr_factory(core, program),
+                  make_avr_batch_factory(core, program), &search.set};
+  }();
+  return t;
+}
+
+const Target& msp430_target() {
+  static const Target t = [] {
+    static const cores::msp430::Msp430Core core =
+        cores::msp430::build_msp430_core(true);
+    static const cores::msp430::Image image = cores::msp430::fib_image();
+    static const mate::SearchResult search = [] {
+      // A slice of the fault space keeps the MATE search test-sized; the
+      // campaign only consults the MATEs of the sliced flops.
+      std::vector<WireId> faulty = mate::all_flop_wires(core.netlist);
+      faulty.resize(std::min<std::size_t>(faulty.size(), 24));
+      mate::SearchParams sp;
+      sp.threads = 2;
+      return mate::find_mates(core.netlist, faulty, sp);
+    }();
+    return Target{make_msp430_factory(core, image),
+                  make_msp430_batch_factory(core, image), &search.set};
+  }();
+  return t;
+}
+
+CampaignConfig small_config(std::size_t sample, std::size_t run_cycles) {
+  CampaignConfig cfg;
+  cfg.run_cycles = run_cycles;
+  cfg.sample = sample;
+  cfg.seed = 3;
+  cfg.threads = 2;
+  cfg.shard_size = 8;
+  return cfg;
+}
+
+std::vector<std::uint8_t> result_bytes(const CampaignResult& r) {
+  ByteWriter w;
+  pipeline::write_campaign_result(w, r);
+  return w.take();
+}
+
+std::vector<std::uint8_t> run_bytes(const Target& t, CampaignConfig cfg,
+                                    const Campaign::ShardHooks& hooks = {}) {
+  const mate::MateSet* mates =
+      cfg.mode != CampaignMode::Baseline ? t.mates : nullptr;
+  Campaign campaign(t.factory, cfg, mates);
+  campaign.set_batch_factory(t.batch_factory);
+  return result_bytes(campaign.run(hooks));
+}
+
+void expect_engine_equivalence(const Target& t, const CampaignConfig& base) {
+  for (const CampaignMode mode :
+       {CampaignMode::Baseline, CampaignMode::Pruned,
+        CampaignMode::Validate}) {
+    CampaignConfig scalar_cfg = base;
+    scalar_cfg.mode = mode;
+    scalar_cfg.dut_engine = DutEngine::Scalar;
+    const std::vector<std::uint8_t> reference = run_bytes(t, scalar_cfg);
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      CampaignConfig cfg = base;
+      cfg.mode = mode;
+      cfg.dut_engine = DutEngine::BitParallel;
+      cfg.threads = threads;
+      EXPECT_EQ(run_bytes(t, cfg), reference)
+          << "engine divergence: mode=" << mode_name(mode)
+          << " threads=" << threads;
+    }
+  }
+}
+
+TEST(CampaignBatch, AvrEnginesByteIdenticalAcrossModesAndThreads) {
+  expect_engine_equivalence(avr_target(), small_config(48, 300));
+}
+
+TEST(CampaignBatch, Msp430EnginesByteIdenticalAcrossModesAndThreads) {
+  expect_engine_equivalence(msp430_target(), small_config(32, 250));
+}
+
+TEST(CampaignBatch, ScalarCheckpointsReplayUnderBitparAfterKill) {
+  // Simulated kill -9 while checkpointing under the *scalar* engine, then a
+  // resumed *bitpar* campaign: the merged result must be byte-identical to
+  // an uninterrupted scalar run — engines and checkpoints are
+  // interchangeable in any combination.
+  const Target& t = avr_target();
+  CampaignConfig cfg = small_config(48, 300);
+  cfg.threads = 1; // deterministic shard order for the kill
+
+  CampaignConfig scalar_cfg = cfg;
+  scalar_cfg.dut_engine = DutEngine::Scalar;
+  const std::vector<std::uint8_t> expected = run_bytes(t, scalar_cfg);
+
+  std::map<std::size_t, ShardResult> persisted;
+  struct Killed {};
+  {
+    Campaign campaign(t.factory, scalar_cfg);
+    Campaign::ShardHooks hooks;
+    hooks.store = [&](const ShardResult& shard) {
+      persisted.emplace(shard.shard, shard);
+      if (persisted.size() >= 3) throw Killed{};
+    };
+    EXPECT_THROW((void)campaign.run(hooks), Killed);
+  }
+  ASSERT_GE(persisted.size(), 3u);
+
+  Campaign campaign(t.factory, cfg); // bitpar (default engine)
+  campaign.set_batch_factory(t.batch_factory);
+  ASSERT_LT(persisted.size(), campaign.plan().num_shards());
+  std::size_t resumed = 0;
+  std::size_t executed_shards = 0;
+  Campaign::ShardHooks hooks;
+  hooks.load = [&](std::size_t index) -> std::optional<ShardResult> {
+    const auto it = persisted.find(index);
+    if (it == persisted.end()) return std::nullopt;
+    return it->second;
+  };
+  hooks.progress = [&](const Campaign::ShardProgress& p) {
+    (p.resumed ? resumed : executed_shards) += 1;
+    if (p.resumed) {
+      // Nothing ran for a resumed shard, so it reports no engine work.
+      EXPECT_EQ(p.dut_passes, 0u);
+      EXPECT_EQ(p.lane_slots, 0u);
+    }
+  };
+  const CampaignResult result = campaign.run(hooks);
+  EXPECT_EQ(resumed, persisted.size());
+  EXPECT_EQ(executed_shards, campaign.plan().num_shards() - persisted.size());
+  EXPECT_EQ(result_bytes(result), expected);
+}
+
+TEST(CampaignBatch, LaneUtilizationAccounting) {
+  // Bitpar: a shard of E executed points runs ceil(E/63) passes of 63 lane
+  // slots each. Scalar: one pass (= DUT boot) per executed experiment.
+  const Target& t = avr_target();
+  CampaignConfig cfg = small_config(48, 300);
+
+  for (const DutEngine engine : {DutEngine::BitParallel, DutEngine::Scalar}) {
+    cfg.dut_engine = engine;
+    std::size_t executed = 0;
+    std::size_t dut_passes = 0;
+    std::size_t lane_slots = 0;
+    std::size_t retired = 0;
+    Campaign::ShardHooks hooks;
+    hooks.progress = [&](const Campaign::ShardProgress& p) {
+      executed += p.executed;
+      dut_passes += p.dut_passes;
+      lane_slots += p.lane_slots;
+      retired += p.lanes_retired_early;
+      if (engine == DutEngine::BitParallel) {
+        EXPECT_EQ(p.lane_slots, p.dut_passes * kExperimentLanes);
+      } else {
+        EXPECT_EQ(p.dut_passes, p.executed);
+        EXPECT_EQ(p.lane_slots, p.executed);
+        EXPECT_EQ(p.lanes_retired_early, 0u);
+        EXPECT_EQ(p.lane_cycles_saved, 0u);
+      }
+    };
+    Campaign campaign(t.factory, cfg);
+    campaign.set_batch_factory(t.batch_factory);
+    const CampaignResult r = campaign.run(hooks);
+    EXPECT_EQ(executed, r.executed);
+    EXPECT_GE(lane_slots, executed);
+    EXPECT_LE(retired, executed);
+    if (engine == DutEngine::BitParallel) {
+      // 8-point shards fit one pass each, so far fewer passes than
+      // experiments.
+      EXPECT_LT(dut_passes, r.executed);
+    }
+  }
+}
+
+TEST(CampaignBatch, BitparWithoutBatchFactoryFallsBackToScalar) {
+  const Target& t = avr_target();
+  CampaignConfig cfg = small_config(24, 200);
+
+  CampaignConfig scalar_cfg = cfg;
+  scalar_cfg.dut_engine = DutEngine::Scalar;
+  Campaign scalar(t.factory, scalar_cfg);
+  const std::vector<std::uint8_t> reference = result_bytes(scalar.run());
+
+  Campaign fallback(t.factory, cfg); // BitParallel, but no batch factory
+  std::size_t lane_slots = 0;
+  std::size_t executed = 0;
+  Campaign::ShardHooks hooks;
+  hooks.progress = [&](const Campaign::ShardProgress& p) {
+    lane_slots += p.lane_slots;
+    executed += p.executed;
+  };
+  EXPECT_EQ(result_bytes(fallback.run(hooks)), reference);
+  EXPECT_EQ(lane_slots, executed); // scalar accounting: one slot per boot
+}
+
+} // namespace
+} // namespace ripple::hafi

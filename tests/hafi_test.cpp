@@ -143,25 +143,6 @@ TEST(Campaign, ModeRequiresMateSet) {
   EXPECT_THROW(Campaign(make_avr_factory(core(), fib()), cfg), Error);
 }
 
-// One release of coverage for the deprecated pre-CampaignMode entry point;
-// remove together with Campaign::run(const mate::MateSet*).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Campaign, DeprecatedRunShimMatchesNewApi) {
-  CampaignConfig cfg = small_config();
-  cfg.validate_pruned = true;
-  Campaign legacy(make_avr_factory(core(), fib()), cfg);
-  const CampaignResult via_shim_base = legacy.run(nullptr);
-  const CampaignResult via_shim_pruned = legacy.run(&avr_search().set);
-
-  Campaign base(make_avr_factory(core(), fib()), small_config());
-  const CampaignResult direct_base = base.run();
-  EXPECT_EQ(via_shim_base.experiments, direct_base.experiments);
-  EXPECT_EQ(via_shim_pruned.pruned_confirmed, via_shim_pruned.pruned);
-  EXPECT_EQ(via_shim_pruned.sdc, direct_base.sdc);
-}
-#pragma GCC diagnostic pop
-
 TEST(AvrDutAdapter, ObservableAndStateChange) {
   AvrDut dut(core(), fib());
   EXPECT_TRUE(dut.observable().empty());
