@@ -1,10 +1,14 @@
-// Microbenchmark: scalar vs bit-parallel MATE evaluation throughput.
+// Microbenchmark: scalar vs bit-parallel vs streaming MATE evaluation
+// throughput.
 //
 // Finds the core's FF MATE set, then times evaluate_mates and rank_mates
-// with both engines against the fib trace and reports wall time, replayed
-// cycles/sec, MATE-cycle evaluations/sec, and the bit-parallel speedup.
-// The transpose cost is reported as its own row (it is paid once per trace
-// and amortized across every evaluate/select of a campaign).
+// with all three engines against the fib trace and reports wall time per
+// run, each engine's speedup over scalar, and the streaming engine's
+// replayed cycles/sec. The transpose cost is reported as its own row (it
+// is paid once per trace and amortized across every evaluate/select of a
+// campaign). The streaming engine additionally reports its overlap
+// efficiency — the fraction of the streaming wall time the consumer worker
+// spent scoring chunks while the producer side delivered the next one.
 //
 // Doubles as the engines' end-to-end cross-check: results are compared for
 // equality and any mismatch fails the run. With --check the binary exits
@@ -16,6 +20,8 @@
 
 #include "mate/eval.hpp"
 #include "mate/select.hpp"
+#include "mate/stream.hpp"
+#include "sim/stream.hpp"
 #include "sim/transposed.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -28,9 +34,13 @@ using namespace ripple::bench;
 struct Timing {
   double scalar_s = 0.0;
   double bitpar_s = 0.0;
+  double stream_s = 0.0;
 
-  [[nodiscard]] double speedup() const {
+  [[nodiscard]] double bitpar_speedup() const {
     return scalar_s / std::max(bitpar_s, 1e-9);
+  }
+  [[nodiscard]] double stream_speedup() const {
+    return scalar_s / std::max(stream_s, 1e-9);
   }
 };
 
@@ -49,6 +59,14 @@ std::string fmt_rate(double per_sec) {
   return strprintf("%.0f /s", per_sec);
 }
 
+/// Adapter so the overlap-instrumented run can sit behind an AsyncTraceSink.
+struct AccumulatorSink final : sim::TraceSink {
+  mate::EvalAccumulator* acc = nullptr;
+  void on_chunk(sim::TraceChunk chunk) override {
+    acc->consume(chunk.slice, chunk.base_cycle);
+  }
+};
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -57,7 +75,7 @@ int main(int argc, char** argv) {
   bool check = false;
   bool smoke = false;
   Harness h(argc, argv, "eval_throughput",
-            "scalar vs bit-parallel MATE evaluation throughput",
+            "scalar vs bit-parallel vs streaming MATE evaluation throughput",
             [&](OptionParser& parser) {
               parser.add_value("core", "core to benchmark: avr or msp430",
                                &core);
@@ -94,6 +112,7 @@ int main(int argc, char** argv) {
   const mate::MateSet& set = search.set;
   const sim::Trace& trace = setup.fib_trace;
   const std::size_t threads = h.options().threads;
+  const std::size_t chunk_cycles = pipe.config().trace_chunk_cycles;
 
   h.progress("eval_throughput: %zu mates, %zu cycles, %zu reps/engine...",
              set.mates.size(), trace.num_cycles(), reps);
@@ -101,16 +120,22 @@ int main(int argc, char** argv) {
   Stopwatch transpose_watch;
   const sim::TransposedTrace tt(trace);
   const double transpose_s = transpose_watch.seconds();
+  sim::TransposedTraceSource source(tt, chunk_cycles);
 
-  // Results double as the equivalence cross-check.
+  // Results double as the three-way equivalence cross-check.
   const mate::EvalResult eval_scalar = mate::evaluate_mates_scalar(set, trace);
   const mate::EvalResult eval_bitpar = mate::evaluate_mates_bitpar(set, tt);
+  const mate::EvalResult eval_stream =
+      mate::evaluate_mates_stream(set, source, threads);
   const mate::SelectionResult sel_scalar = mate::rank_mates_scalar(set, trace);
   const mate::SelectionResult sel_bitpar = mate::rank_mates_bitpar(set, tt);
-  if (!(eval_scalar == eval_bitpar) || !(sel_scalar == sel_bitpar)) {
+  const mate::SelectionResult sel_stream =
+      mate::rank_mates_stream(set, source, threads);
+  if (!(eval_scalar == eval_bitpar) || !(sel_scalar == sel_bitpar) ||
+      !(eval_scalar == eval_stream) || !(sel_scalar == sel_stream)) {
     std::fprintf(stderr,
-                 "eval_throughput: ENGINE MISMATCH — bit-parallel results "
-                 "differ from the scalar oracle\n");
+                 "eval_throughput: ENGINE MISMATCH — bit-parallel or "
+                 "streaming results differ from the scalar oracle\n");
     return 1;
   }
 
@@ -121,6 +146,9 @@ int main(int argc, char** argv) {
   eval_t.bitpar_s = time_reps(reps, [&] {
     (void)mate::evaluate_mates_bitpar(set, tt, false, threads);
   });
+  eval_t.stream_s = time_reps(reps, [&] {
+    (void)mate::evaluate_mates_stream(set, source, threads);
+  });
 
   Timing select_t;
   select_t.scalar_s = time_reps(reps, [&] {
@@ -129,32 +157,66 @@ int main(int argc, char** argv) {
   select_t.bitpar_s = time_reps(reps, [&] {
     (void)mate::rank_mates_bitpar(set, tt, threads);
   });
+  select_t.stream_s = time_reps(reps, [&] {
+    (void)mate::rank_mates_stream(set, source, threads);
+  });
+
+  // Overlap efficiency: one instrumented streaming pass, consumer on the
+  // async worker, producer delivering chunks. busy/wall = the fraction of
+  // the streaming wall time spent scoring concurrently with production.
+  double overlap_busy = 0.0;
+  double overlap_wall = 0.0;
+  {
+    mate::EvalAccumulator acc(set, threads);
+    AccumulatorSink consumer;
+    consumer.acc = &acc;
+    Stopwatch watch;
+    {
+      sim::AsyncTraceSink async(consumer);
+      source.stream(async);
+      async.drain();
+      overlap_busy = async.busy_seconds();
+    }
+    overlap_wall = watch.seconds();
+    if (!(acc.finish() == eval_scalar)) {
+      std::fprintf(stderr,
+                   "eval_throughput: ENGINE MISMATCH — overlapped streaming "
+                   "pass differs from the scalar oracle\n");
+      return 1;
+    }
+  }
+  const double overlap_eff = overlap_busy / std::max(overlap_wall, 1e-9);
 
   const double total_reps = static_cast<double>(reps);
   const double cycles = static_cast<double>(trace.num_cycles());
-  const double mate_cycles = cycles * static_cast<double>(set.mates.size());
 
   TablePrinter t({"eval_throughput " + setup.name, "scalar", "bitpar",
-                  "speedup", "bitpar cycles/s", "bitpar mate-evals/s"});
+                  "stream", "bitpar x", "stream x", "stream cycles/s"});
   const auto add = [&](const char* stage, const Timing& timing) {
-    const double per_run = timing.bitpar_s / total_reps;
+    const double stream_per_run = timing.stream_s / total_reps;
     t.add_row({stage, strprintf("%.4f s", timing.scalar_s / total_reps),
-               strprintf("%.4f s", per_run),
-               strprintf("%.1fx", timing.speedup()),
-               fmt_rate(cycles / std::max(per_run, 1e-9)),
-               fmt_rate(mate_cycles / std::max(per_run, 1e-9))});
+               strprintf("%.4f s", timing.bitpar_s / total_reps),
+               strprintf("%.4f s", stream_per_run),
+               strprintf("%.1fx", timing.bitpar_speedup()),
+               strprintf("%.1fx", timing.stream_speedup()),
+               fmt_rate(cycles / std::max(stream_per_run, 1e-9))});
   };
   add("evaluate", eval_t);
   add("select", select_t);
   t.add_row({"transpose (once/trace)", "-", strprintf("%.4f s", transpose_s),
-             "-", fmt_rate(cycles / std::max(transpose_s, 1e-9)), "-"});
+             "-", "-", "-", fmt_rate(cycles / std::max(transpose_s, 1e-9))});
   h.emit(t);
 
-  if (check && (eval_t.speedup() < 1.0 || select_t.speedup() < 1.0)) {
+  h.progress("stream overlap: %zu-cycle chunks, consumer busy %.3f s of "
+             "%.3f s wall (%.0f %% overlap efficiency)",
+             chunk_cycles, overlap_busy, overlap_wall, 100.0 * overlap_eff);
+
+  if (check && (eval_t.bitpar_speedup() < 1.0 ||
+                select_t.bitpar_speedup() < 1.0)) {
     std::fprintf(stderr,
                  "eval_throughput: --check FAILED — bit-parallel slower than "
                  "scalar (evaluate %.2fx, select %.2fx)\n",
-                 eval_t.speedup(), select_t.speedup());
+                 eval_t.bitpar_speedup(), select_t.bitpar_speedup());
     return 1;
   }
   return 0;

@@ -1,11 +1,15 @@
 #include "cores/avr/system.hpp"
 
+#include "sim/stream.hpp"
+
 namespace ripple::cores::avr {
 
 AvrSystem::AvrSystem(const AvrCore& core, const Program& program)
     : core_(&core), imem_(program.words), sim_(core.netlist) {}
 
-void AvrSystem::step(sim::Trace* trace) {
+void AvrSystem::step(sim::Trace* trace) { step_into(trace, nullptr); }
+
+void AvrSystem::step_into(sim::Trace* trace, sim::RowSink* sink) {
   const AvrPorts& p = core_->ports;
 
   // Settle register-driven outputs (fetch and data addresses depend only on
@@ -18,6 +22,7 @@ void AvrSystem::step(sim::Trace* trace) {
   sim_.eval();
 
   if (trace != nullptr) trace->append(sim_.values());
+  if (sink != nullptr) sink->append_row(sim_.values());
 
   if (sim_.value(p.dmem_we)) {
     dmem_[daddr] = static_cast<std::uint8_t>(sim_.read_bus(p.dmem_wdata));
@@ -34,6 +39,10 @@ sim::Trace AvrSystem::run_trace(std::size_t cycles) {
   sim::Trace trace(core_->netlist);
   for (std::size_t c = 0; c < cycles; ++c) step(&trace);
   return trace;
+}
+
+void AvrSystem::run_stream(std::size_t cycles, sim::RowSink& sink) {
+  for (std::size_t c = 0; c < cycles; ++c) step_into(nullptr, &sink);
 }
 
 void AvrSystem::run(std::size_t cycles) {

@@ -12,6 +12,10 @@
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
+namespace ripple::sim {
+class RowSink;
+} // namespace ripple::sim
+
 namespace ripple::cores::avr {
 
 struct IoEvent {
@@ -34,6 +38,11 @@ public:
   /// Run for `cycles` cycles and record the wire-level trace.
   [[nodiscard]] sim::Trace run_trace(std::size_t cycles);
 
+  /// Run for `cycles` cycles, pushing each cycle's settled wire values into
+  /// `sink` (the streaming trace path: a ChunkedTraceRecorder keeps only one
+  /// chunk resident instead of the whole trace).
+  void run_stream(std::size_t cycles, sim::RowSink& sink);
+
   /// Run without tracing (faster; used by fault-injection campaigns).
   void run(std::size_t cycles);
 
@@ -52,6 +61,8 @@ public:
   [[nodiscard]] std::uint16_t pc();
 
 private:
+  void step_into(sim::Trace* trace, sim::RowSink* sink);
+
   const AvrCore* core_;
   std::vector<std::uint16_t> imem_;
   std::array<std::uint8_t, 256> dmem_{};

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/stream.hpp"
+
 namespace ripple::cores::msp430 {
 
 Msp430System::Msp430System(const Msp430Core& core, const Image& image)
@@ -11,7 +13,9 @@ Msp430System::Msp430System(const Msp430Core& core, const Image& image)
   std::copy(image.words.begin(), image.words.end(), memory_.begin());
 }
 
-void Msp430System::step(sim::Trace* trace) {
+void Msp430System::step(sim::Trace* trace) { step_into(trace, nullptr); }
+
+void Msp430System::step_into(sim::Trace* trace, sim::RowSink* sink) {
   const Msp430Ports& p = core_->ports;
 
   // Addresses depend only on flop state; settle, serve the word, resettle.
@@ -22,6 +26,7 @@ void Msp430System::step(sim::Trace* trace) {
   sim_.eval();
 
   if (trace != nullptr) trace->append(sim_.values());
+  if (sink != nullptr) sink->append_row(sim_.values());
 
   if (sim_.value(p.mem_we)) {
     const std::uint16_t wdata =
@@ -39,6 +44,10 @@ sim::Trace Msp430System::run_trace(std::size_t cycles) {
   sim::Trace trace(core_->netlist);
   for (std::size_t c = 0; c < cycles; ++c) step(&trace);
   return trace;
+}
+
+void Msp430System::run_stream(std::size_t cycles, sim::RowSink& sink) {
+  for (std::size_t c = 0; c < cycles; ++c) step_into(nullptr, &sink);
 }
 
 void Msp430System::run(std::size_t cycles) {

@@ -10,6 +10,10 @@
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
+namespace ripple::sim {
+class RowSink;
+} // namespace ripple::sim
+
 namespace ripple::cores::msp430 {
 
 struct IoEvent {
@@ -29,6 +33,11 @@ public:
   void step(sim::Trace* trace = nullptr);
 
   [[nodiscard]] sim::Trace run_trace(std::size_t cycles);
+
+  /// Run for `cycles` cycles, pushing each cycle's settled wire values into
+  /// `sink` (the streaming trace path).
+  void run_stream(std::size_t cycles, sim::RowSink& sink);
+
   void run(std::size_t cycles);
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
@@ -45,6 +54,8 @@ public:
   [[nodiscard]] std::uint16_t mem_addr();
 
 private:
+  void step_into(sim::Trace* trace, sim::RowSink* sink);
+
   const Msp430Core* core_;
   std::vector<std::uint16_t> memory_; // 32k words = 64 KiB
   std::vector<IoEvent> io_log_;

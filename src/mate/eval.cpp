@@ -1,5 +1,7 @@
 #include "mate/eval.hpp"
 
+#include "mate/stream.hpp"
+
 #include <algorithm>
 #include <array>
 #include <cmath>
@@ -22,8 +24,10 @@ std::unordered_map<WireId, std::size_t> build_fault_index(const MateSet& set) {
   return fault_index;
 }
 
-/// Derived tail shared by both engines (identical arithmetic on identical
-/// inputs keeps the engines byte-for-byte equivalent, doubles included).
+} // namespace
+
+namespace detail {
+
 void finalize_eval(const MateSet& set, EvalResult& result) {
   std::vector<double> input_counts;
   for (std::size_t m = 0; m < set.mates.size(); ++m) {
@@ -37,10 +41,17 @@ void finalize_eval(const MateSet& set, EvalResult& result) {
   result.sd_inputs = stddev(input_counts);
 }
 
-} // namespace
+} // namespace detail
+
+using detail::finalize_eval;
 
 const char* eval_engine_name(EvalEngine engine) {
-  return engine == EvalEngine::Scalar ? "scalar" : "bitpar";
+  switch (engine) {
+    case EvalEngine::Scalar: return "scalar";
+    case EvalEngine::BitParallel: return "bitpar";
+    case EvalEngine::Streaming: return "stream";
+  }
+  return "?";
 }
 
 EvalResult evaluate_mates_scalar(const MateSet& set, const sim::Trace& trace,
@@ -228,8 +239,15 @@ EvalResult evaluate_mates(const MateSet& set, const sim::Trace& trace,
   if (engine == EvalEngine::Scalar) {
     return evaluate_mates_scalar(set, trace, keep_trigger_lists);
   }
-  return evaluate_mates_bitpar(set, sim::TransposedTrace(trace),
-                               keep_trigger_lists, threads);
+  const sim::TransposedTrace tt(trace);
+  if (engine == EvalEngine::Streaming && !keep_trigger_lists) {
+    // Chunked replay of the in-memory trace through the accumulator; the
+    // streaming engine never materializes whole-trace trigger lists, so
+    // keep_trigger_lists falls through to the whole-trace engine below.
+    sim::TransposedTraceSource source(tt);
+    return evaluate_mates_stream(set, source, threads, /*overlap=*/false);
+  }
+  return evaluate_mates_bitpar(set, tt, keep_trigger_lists, threads);
 }
 
 } // namespace ripple::mate

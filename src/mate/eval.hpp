@@ -25,13 +25,19 @@
 
 namespace ripple::mate {
 
-/// Which evaluate/rank implementation to run. Both return identical results
-/// (enforced by eval_bitpar_test and the eval_bench_smoke ctest target);
-/// Scalar survives as the reference oracle and as the fallback for
-/// debugging word-level issues.
-enum class EvalEngine { Scalar, BitParallel };
+/// Which evaluate/rank implementation to run. All three return identical
+/// results (enforced by eval_bitpar_test, eval_stream_test and the
+/// eval_bench_smoke ctest target):
+///   * Scalar      -- the reference oracle (per cycle, per MATE, per literal);
+///   * BitParallel -- whole-trace word-parallel engine over a
+///                    sim::TransposedTrace;
+///   * Streaming   -- the bit-parallel kernel applied chunk-by-chunk through
+///                    an EvalAccumulator (mate/stream.hpp), so only
+///                    O(chunk x wires) trace bits are resident and evaluation
+///                    overlaps simulation. The pipeline default.
+enum class EvalEngine { Scalar, BitParallel, Streaming };
 
-/// "scalar" / "bitpar" (the --eval-engine spelling).
+/// "scalar" / "bitpar" / "stream" (the --eval-engine spelling).
 [[nodiscard]] const char* eval_engine_name(EvalEngine engine);
 
 struct MateTraceStats {
@@ -98,5 +104,12 @@ struct EvalResult {
 [[nodiscard]] EvalResult evaluate_mates_bitpar(
     const MateSet& set, const sim::TransposedTrace& trace,
     bool keep_trigger_lists = false, std::size_t threads = 0);
+
+namespace detail {
+/// Derived tail (effective_mates, avg/sd inputs) shared by every engine:
+/// identical arithmetic on identical integer counters keeps the engines
+/// byte-for-byte equivalent, doubles included.
+void finalize_eval(const MateSet& set, EvalResult& result);
+} // namespace detail
 
 } // namespace ripple::mate

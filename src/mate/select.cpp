@@ -1,5 +1,7 @@
 #include "mate/select.hpp"
 
+#include "mate/stream.hpp"
+
 #include <algorithm>
 #include <thread>
 #include <unordered_map>
@@ -8,7 +10,7 @@
 #include "util/thread_pool.hpp"
 
 namespace ripple::mate {
-namespace {
+namespace detail {
 
 /// Global visit order: most-masking MATE first (the paper's "beginning from
 /// the MATE that masks the most faults"). Returns rank_of[mate] = position.
@@ -64,7 +66,11 @@ std::vector<std::size_t> ranking_from_hits(
   return ranking;
 }
 
-} // namespace
+} // namespace detail
+
+using detail::mate_masks;
+using detail::ranking_from_hits;
+using detail::visit_rank;
 
 SelectionResult rank_mates_scalar(const MateSet& set,
                                   const sim::Trace& trace) {
@@ -178,7 +184,12 @@ SelectionResult rank_mates_bitpar(const MateSet& set,
 SelectionResult rank_mates(const MateSet& set, const sim::Trace& trace,
                            EvalEngine engine, std::size_t threads) {
   if (engine == EvalEngine::Scalar) return rank_mates_scalar(set, trace);
-  return rank_mates_bitpar(set, sim::TransposedTrace(trace), threads);
+  const sim::TransposedTrace tt(trace);
+  if (engine == EvalEngine::Streaming) {
+    sim::TransposedTraceSource source(tt);
+    return rank_mates_stream(set, source, threads, /*overlap=*/false);
+  }
+  return rank_mates_bitpar(set, tt, threads);
 }
 
 MateSet top_n(const MateSet& set, const SelectionResult& sel, std::size_t n) {

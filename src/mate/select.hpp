@@ -52,4 +52,22 @@ struct SelectionResult {
 [[nodiscard]] MateSet top_n(const MateSet& set, const SelectionResult& sel,
                             std::size_t n);
 
+namespace detail {
+// Shared between the whole-trace engines and the streaming RankAccumulator
+// (mate/stream.hpp); identical inputs must produce identical orderings for
+// the engines to stay byte-equivalent.
+
+/// Global visit order: most-masking MATE first, MATE index as tie-break.
+/// Returns rank_of[mate] = position.
+[[nodiscard]] std::vector<std::size_t> visit_rank(const MateSet& set,
+                                                  const EvalResult& eval);
+
+/// Dense masked-wire bitsets, one per MATE, over the faulty-wire universe.
+[[nodiscard]] std::vector<BitVec> mate_masks(const MateSet& set);
+
+/// Ranking sorted by hits desc, MATE index asc.
+[[nodiscard]] std::vector<std::size_t> ranking_from_hits(
+    const std::vector<std::size_t>& hits);
+} // namespace detail
+
 } // namespace ripple::mate

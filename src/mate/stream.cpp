@@ -1,0 +1,319 @@
+#include "mate/stream.hpp"
+
+#include <algorithm>
+#include <array>
+#include <thread>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ripple::mate {
+namespace {
+
+/// Worker count for a block range, mirroring the whole-trace engine's
+/// heuristic so scheduling (not results — those are merge-order independent
+/// integers) matches its behavior.
+constexpr std::size_t kMinBlocksPerWorker = 8;
+
+std::size_t block_workers(std::size_t threads, std::size_t blocks) {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return std::min({threads == 0 ? hw : threads,
+                   (blocks + kMinBlocksPerWorker - 1) / kMinBlocksPerWorker,
+                   blocks});
+}
+
+} // namespace
+
+/// Literal streams as (wire index, invert mask) — indices, not pointers,
+/// because the backing words change with every chunk.
+struct EvalAccumulator::Plan {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> literals;
+  BitVec mask;
+};
+
+EvalAccumulator::EvalAccumulator(const MateSet& set, std::size_t threads)
+    : set_(&set), threads_(threads) {
+  std::unordered_map<WireId, std::size_t> fault_index;
+  fault_index.reserve(set.faulty_wires.size());
+  for (std::size_t i = 0; i < set.faulty_wires.size(); ++i) {
+    fault_index.emplace(set.faulty_wires[i], i);
+  }
+  plans_.resize(set.mates.size());
+  for (std::size_t m = 0; m < set.mates.size(); ++m) {
+    Plan& plan = plans_[m];
+    plan.mask = BitVec(set.faulty_wires.size());
+    for (WireId w : set.mates[m].masked_wires) {
+      const auto it = fault_index.find(w);
+      RIPPLE_ASSERT(it != fault_index.end(),
+                    "MATE masks a wire outside the faulty set");
+      plan.mask.set(it->second, true);
+    }
+    plan.literals.reserve(set.mates[m].cube.size());
+    for (const Literal& l : set.mates[m].cube.literals()) {
+      plan.literals.emplace_back(
+          static_cast<std::uint32_t>(l.wire.index()),
+          l.value ? 0 : ~std::uint64_t{0});
+    }
+  }
+  triggers_.assign(set.mates.size(), 0);
+}
+
+EvalAccumulator::~EvalAccumulator() = default;
+
+void EvalAccumulator::consume(const sim::TransposedSlice& slice,
+                              std::size_t base_cycle) {
+  RIPPLE_CHECK(base_cycle == cycles_,
+               "streamed chunks must arrive in cycle order without gaps");
+  RIPPLE_CHECK(cycles_ % 64 == 0,
+               "only the final chunk may end off a 64-cycle block");
+  RIPPLE_CHECK(slice.num_cycles > 0, "empty trace chunk");
+
+  const std::size_t blocks = slice.num_blocks;
+
+  struct Partial {
+    std::vector<std::size_t> triggers;
+    std::size_t masked_faults = 0;
+  };
+
+  // Same kernel as evaluate_mates_bitpar::run_blocks, reading literal
+  // streams through the slice instead of whole-trace pointers.
+  const auto run_blocks = [&](std::size_t begin, std::size_t end,
+                              Partial& out) {
+    out.triggers.assign(plans_.size(), 0);
+    std::array<BitVec, 64> acc; // per-cycle masked union, reused per block
+    for (std::size_t b = begin; b < end; ++b) {
+      const std::uint64_t valid = slice.block_mask(b);
+      std::uint64_t used = 0; // cycles of this block with >= 1 trigger
+      for (std::size_t m = 0; m < plans_.size(); ++m) {
+        const Plan& plan = plans_[m];
+        std::uint64_t trig = valid;
+        for (const auto& [wire, invert] : plan.literals) {
+          trig &= slice.wire_words(wire)[b] ^ invert;
+          if (trig == 0) break;
+        }
+        if (trig == 0) continue;
+        out.triggers[m] +=
+            static_cast<std::size_t>(__builtin_popcountll(trig));
+        for (std::uint64_t w = trig; w != 0; w &= w - 1) {
+          const unsigned c = static_cast<unsigned>(__builtin_ctzll(w));
+          if ((used >> c) & 1u) {
+            acc[c] |= plan.mask;
+          } else {
+            acc[c] = plan.mask; // copy-assign reuses capacity
+            used |= std::uint64_t{1} << c;
+          }
+        }
+      }
+      for (std::uint64_t w = used; w != 0; w &= w - 1) {
+        const unsigned c = static_cast<unsigned>(__builtin_ctzll(w));
+        out.masked_faults += acc[c].popcount();
+      }
+    }
+  };
+
+  const std::size_t workers = block_workers(threads_, blocks);
+  std::vector<Partial> partials(std::max<std::size_t>(workers, 1));
+  if (workers <= 1) {
+    run_blocks(0, blocks, partials[0]);
+  } else {
+    ThreadPool pool(workers);
+    pool.parallel_for_index(
+        workers,
+        [&](std::size_t chunk) {
+          const std::size_t begin = chunk * blocks / workers;
+          const std::size_t end = (chunk + 1) * blocks / workers;
+          run_blocks(begin, end, partials[chunk]);
+        },
+        /*grain=*/1);
+  }
+
+  for (const Partial& p : partials) {
+    if (p.triggers.empty()) continue;
+    masked_faults_ += p.masked_faults;
+    for (std::size_t m = 0; m < triggers_.size(); ++m) {
+      triggers_[m] += p.triggers[m];
+    }
+  }
+  cycles_ += slice.num_cycles;
+}
+
+EvalResult EvalAccumulator::finish() {
+  EvalResult result;
+  result.num_cycles = cycles_;
+  result.num_faulty_wires = set_->faulty_wires.size();
+  result.masked_faults = masked_faults_;
+  result.per_mate.resize(set_->mates.size());
+  for (std::size_t m = 0; m < set_->mates.size(); ++m) {
+    result.per_mate[m].triggers = triggers_[m];
+    result.per_mate[m].masked_total =
+        triggers_[m] * set_->mates[m].masked_wires.size();
+  }
+  detail::finalize_eval(*set_, result);
+  return result;
+}
+
+RankAccumulator::RankAccumulator(const MateSet& set, std::size_t threads)
+    : volumes_(set, threads) {}
+
+RankAccumulator::~RankAccumulator() = default;
+
+void RankAccumulator::consume_volumes(const sim::TransposedSlice& slice,
+                                      std::size_t base_cycle) {
+  RIPPLE_CHECK(!gains_begun_, "consume_volumes after begin_gains");
+  volumes_.consume(slice, base_cycle);
+}
+
+void RankAccumulator::begin_gains() {
+  RIPPLE_CHECK(!gains_begun_, "begin_gains called twice");
+  gains_begun_ = true;
+  eval_ = volumes_.finish();
+  rank_of_ = detail::visit_rank(*volumes_.set_, eval_);
+  masks_ = detail::mate_masks(*volumes_.set_);
+  hits_.assign(volumes_.set_->mates.size(), 0);
+}
+
+void RankAccumulator::consume_gains(const sim::TransposedSlice& slice,
+                                    std::size_t base_cycle) {
+  RIPPLE_CHECK(gains_begun_, "consume_gains before begin_gains");
+  RIPPLE_CHECK(base_cycle == gain_cycles_,
+               "streamed chunks must arrive in cycle order without gaps");
+  RIPPLE_CHECK(gain_cycles_ % 64 == 0,
+               "only the final chunk may end off a 64-cycle block");
+
+  const std::vector<EvalAccumulator::Plan>& plans = volumes_.plans_;
+  const std::size_t blocks = slice.num_blocks;
+
+  // Per block: re-derive the trigger words (same AND-tree as pass 1), build
+  // the 64 per-cycle trigger lists locally, then credit marginal gains in
+  // global visit order. MATE loop outermost keeps each list ascending by
+  // MATE index before the rank_of sort, exactly like the whole-trace
+  // engines (rank_of is a strict total order, so the sorted order — and
+  // therefore every credit — is identical).
+  const auto run_blocks = [&](std::size_t begin, std::size_t end,
+                              std::vector<std::size_t>& hits) {
+    hits.assign(plans.size(), 0);
+    std::array<std::vector<std::uint32_t>, 64> triggered;
+    BitVec masked(masks_.empty() ? 0 : masks_[0].size());
+    for (std::size_t b = begin; b < end; ++b) {
+      const std::uint64_t valid = slice.block_mask(b);
+      std::uint64_t used = 0;
+      for (std::size_t m = 0; m < plans.size(); ++m) {
+        std::uint64_t trig = valid;
+        for (const auto& [wire, invert] : plans[m].literals) {
+          trig &= slice.wire_words(wire)[b] ^ invert;
+          if (trig == 0) break;
+        }
+        for (std::uint64_t w = trig; w != 0; w &= w - 1) {
+          const unsigned c = static_cast<unsigned>(__builtin_ctzll(w));
+          triggered[c].push_back(static_cast<std::uint32_t>(m));
+          used |= std::uint64_t{1} << c;
+        }
+      }
+      for (std::uint64_t w = used; w != 0; w &= w - 1) {
+        const unsigned c = static_cast<unsigned>(__builtin_ctzll(w));
+        std::vector<std::uint32_t>& list = triggered[c];
+        std::sort(list.begin(), list.end(),
+                  [&](std::uint32_t a, std::uint32_t bb) {
+                    return rank_of_[a] < rank_of_[bb];
+                  });
+        masked.clear_all();
+        for (std::uint32_t m : list) {
+          hits[m] += masked.or_count(masks_[m]);
+        }
+        list.clear();
+      }
+    }
+  };
+
+  const std::size_t workers = block_workers(volumes_.threads_, blocks);
+  std::vector<std::vector<std::size_t>> partials(
+      std::max<std::size_t>(workers, 1));
+  if (workers <= 1) {
+    run_blocks(0, blocks, partials[0]);
+  } else {
+    ThreadPool pool(workers);
+    pool.parallel_for_index(
+        workers,
+        [&](std::size_t chunk) {
+          const std::size_t begin = chunk * blocks / workers;
+          const std::size_t end = (chunk + 1) * blocks / workers;
+          run_blocks(begin, end, partials[chunk]);
+        },
+        /*grain=*/1);
+  }
+  for (const std::vector<std::size_t>& p : partials) {
+    for (std::size_t m = 0; m < p.size(); ++m) hits_[m] += p[m];
+  }
+  gain_cycles_ += slice.num_cycles;
+}
+
+SelectionResult RankAccumulator::finish() {
+  RIPPLE_CHECK(gains_begun_, "finish before begin_gains");
+  RIPPLE_CHECK(gain_cycles_ == eval_.num_cycles,
+               "gain pass covered a different cycle count than volume pass");
+  SelectionResult out;
+  out.hits = hits_;
+  out.ranking = detail::ranking_from_hits(hits_);
+  return out;
+}
+
+namespace {
+
+/// TraceSink feeding an EvalAccumulator (or one of the RankAccumulator
+/// passes, via the function pointer-ish Fn).
+template <typename Fn>
+class FnSink final : public sim::TraceSink {
+public:
+  explicit FnSink(Fn fn) : fn_(std::move(fn)) {}
+  void on_chunk(sim::TraceChunk chunk) override {
+    fn_(chunk.slice, chunk.base_cycle);
+  }
+
+private:
+  Fn fn_;
+};
+
+template <typename Fn>
+void stream_through(sim::TraceSource& source, bool overlap, Fn fn) {
+  FnSink<Fn> sink(std::move(fn));
+  if (overlap) {
+    sim::AsyncTraceSink async(sink);
+    source.stream(async);
+    async.drain();
+  } else {
+    source.stream(sink);
+  }
+}
+
+} // namespace
+
+EvalResult evaluate_mates_stream(const MateSet& set, sim::TraceSource& source,
+                                 std::size_t threads, bool overlap) {
+  EvalAccumulator acc(set, threads);
+  stream_through(source, overlap,
+                 [&](const sim::TransposedSlice& slice, std::size_t base) {
+                   acc.consume(slice, base);
+                 });
+  RIPPLE_CHECK(acc.cycles_consumed() == source.num_cycles(),
+               "trace source delivered a different cycle count than declared");
+  return acc.finish();
+}
+
+SelectionResult rank_mates_stream(const MateSet& set, sim::TraceSource& source,
+                                  std::size_t threads, bool overlap) {
+  RankAccumulator acc(set, threads);
+  stream_through(source, overlap,
+                 [&](const sim::TransposedSlice& slice, std::size_t base) {
+                   acc.consume_volumes(slice, base);
+                 });
+  acc.begin_gains();
+  stream_through(source, overlap,
+                 [&](const sim::TransposedSlice& slice, std::size_t base) {
+                   acc.consume_gains(slice, base);
+                 });
+  return acc.finish();
+}
+
+} // namespace ripple::mate

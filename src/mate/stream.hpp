@@ -1,0 +1,133 @@
+// Streaming MATE evaluation over chunked transposed traces (the bounded-
+// memory engine behind EvalEngine::Streaming).
+//
+// The whole-trace bit-parallel engines (mate/eval.cpp, mate/select.cpp) need
+// the full sim::TransposedTrace resident — O(cycles x wires) bits — which
+// caps the workloads they can score. The streaming engine consumes the same
+// word-parallel kernel chunk-by-chunk from a sim::TraceSource: only one
+// chunk of trace bits is resident at a time, and with a sim::AsyncTraceSink
+// in front the simulator produces chunk k+1 while the accumulator scores
+// chunk k.
+//
+// Equivalence contract: chunk boundaries are 64-cycle aligned (enforced by
+// the recorder), so each chunk's block masks and per-block words are exactly
+// the corresponding span of the whole-trace transpose. All merged state is
+// integer counters (commutative, exact), and the derived doubles go through
+// the same detail::finalize_eval tail — the streaming results are therefore
+// byte-for-byte identical to evaluate_mates_bitpar / rank_mates_bitpar and
+// to the scalar oracle (eval_stream_test asserts this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mate/eval.hpp"
+#include "mate/mate.hpp"
+#include "mate/select.hpp"
+#include "sim/stream.hpp"
+
+namespace ripple::mate {
+
+/// Incremental evaluate_mates over in-order 64-aligned trace chunks.
+///
+///   EvalAccumulator acc(set);
+///   for each chunk: acc.consume(chunk.slice, chunk.base_cycle);
+///   EvalResult r = acc.finish();
+///
+/// Chunks must arrive in cycle order with no gaps; every chunk except the
+/// last must cover a multiple of 64 cycles. Trigger lists are never kept
+/// (they are whole-trace state — use evaluate_mates_bitpar for those).
+class EvalAccumulator {
+ public:
+  explicit EvalAccumulator(const MateSet& set, std::size_t threads = 0);
+  ~EvalAccumulator();
+
+  EvalAccumulator(const EvalAccumulator&) = delete;
+  EvalAccumulator& operator=(const EvalAccumulator&) = delete;
+
+  /// Score one chunk. `base_cycle` must equal cycles_consumed() (in-order,
+  /// gap-free streaming).
+  void consume(const sim::TransposedSlice& slice, std::size_t base_cycle);
+
+  [[nodiscard]] std::size_t cycles_consumed() const { return cycles_; }
+
+  /// Finalize counters into an EvalResult. The accumulator is spent after
+  /// this call.
+  [[nodiscard]] EvalResult finish();
+
+ private:
+  struct Plan; // literal (wire, invert) pairs + dense masked bitset
+
+  const MateSet* set_;
+  std::size_t threads_;
+  std::vector<Plan> plans_;
+  std::vector<std::size_t> triggers_; // per MATE
+  std::size_t masked_faults_ = 0;
+  std::size_t cycles_ = 0;
+
+  friend class RankAccumulator;
+};
+
+/// Incremental rank_mates over a replayable trace stream. Ranking needs two
+/// passes over the trace (whole-trace masking volumes first, then per-cycle
+/// marginal gains in global visit order), so the trace is streamed twice:
+///
+///   RankAccumulator acc(set);
+///   for each chunk: acc.consume_volumes(slice, base);   // pass 1
+///   acc.begin_gains();
+///   for each chunk: acc.consume_gains(slice, base);     // pass 2
+///   SelectionResult r = acc.finish();
+///
+/// Unlike rank_mates_bitpar, no whole-trace trigger lists are materialized:
+/// pass 2 re-derives each block's trigger words from the chunk (cheap — the
+/// same AND-tree as pass 1) and builds only 64 cycles of trigger lists at a
+/// time, keeping memory O(chunk x wires).
+class RankAccumulator {
+ public:
+  explicit RankAccumulator(const MateSet& set, std::size_t threads = 0);
+  ~RankAccumulator();
+
+  RankAccumulator(const RankAccumulator&) = delete;
+  RankAccumulator& operator=(const RankAccumulator&) = delete;
+
+  void consume_volumes(const sim::TransposedSlice& slice,
+                       std::size_t base_cycle);
+
+  /// Freeze pass-1 volumes into the global visit order. Must be called once,
+  /// between the last consume_volumes and the first consume_gains.
+  void begin_gains();
+
+  void consume_gains(const sim::TransposedSlice& slice,
+                     std::size_t base_cycle);
+
+  [[nodiscard]] SelectionResult finish();
+
+ private:
+  EvalAccumulator volumes_;
+  EvalResult eval_;                  // valid after begin_gains()
+  std::vector<std::size_t> rank_of_; // valid after begin_gains()
+  std::vector<BitVec> masks_;        // valid after begin_gains()
+  std::vector<std::size_t> hits_;    // per MATE marginal-gain credit
+  std::size_t gain_cycles_ = 0;
+  bool gains_begun_ = false;
+};
+
+/// Stream `source` once through an EvalAccumulator. With `overlap`, chunks
+/// are scored on a sim::AsyncTraceSink worker thread while the source
+/// produces the next one; without it, scoring runs inline on the caller.
+/// Identical results either way.
+[[nodiscard]] EvalResult evaluate_mates_stream(const MateSet& set,
+                                               sim::TraceSource& source,
+                                               std::size_t threads = 0,
+                                               bool overlap = true);
+
+/// Stream `source` twice (volumes, then gains) through a RankAccumulator.
+/// Requires source.replayable().
+[[nodiscard]] SelectionResult rank_mates_stream(const MateSet& set,
+                                                sim::TraceSource& source,
+                                                std::size_t threads = 0,
+                                                bool overlap = true);
+
+} // namespace ripple::mate

@@ -3,6 +3,10 @@
 #include <cmath>
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "mate/report.hpp" // json_escape
 #include "util/strings.hpp"
 
@@ -62,9 +66,24 @@ void JsonReportObserver::stage_end(const StageStats& stats) {
   stages_.push_back(stats);
 }
 
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss); // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024; // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
 void JsonReportObserver::write(std::ostream& os, std::string_view binary,
                                const ArtifactCache& cache) const {
   os << "{\n  \"binary\": \"" << mate::json_escape(binary) << "\",\n";
+  os << "  \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n";
   os << "  \"stages\": [\n";
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const StageStats& s = stages_[i];

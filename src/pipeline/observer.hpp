@@ -71,13 +71,20 @@ public:
     return stages_;
   }
 
-  /// Emit the report: binary name, per-stage wall time / threads /
-  /// utilization / counters / cache outcome, and cache-wide totals.
+  /// Emit the report: binary name, process peak RSS, per-stage wall time /
+  /// threads / utilization / counters / cache outcome, and cache-wide
+  /// totals.
   void write(std::ostream& os, std::string_view binary,
              const ArtifactCache& cache) const;
 
 private:
   std::vector<StageStats> stages_;
 };
+
+/// Process-wide peak resident set size in bytes (getrusage), 0 when
+/// unavailable. Reported in `--report=json` and asserted against by
+/// stream_smoke: the streaming pipeline's RSS must not scale with trace
+/// length.
+[[nodiscard]] std::size_t peak_rss_bytes();
 
 } // namespace ripple::pipeline

@@ -17,15 +17,22 @@ PipelineConfig PipelineOptions::config() const {
   config.use_cache = !no_cache;
   config.threads = threads;
   config.eval_engine = engine();
+  if (trace_chunk_cycles != 0) {
+    RIPPLE_CHECK(trace_chunk_cycles % 64 == 0,
+                 "--trace-chunk-cycles must be a multiple of 64, got ",
+                 trace_chunk_cycles);
+    config.trace_chunk_cycles = trace_chunk_cycles;
+  }
   return config;
 }
 
 mate::EvalEngine PipelineOptions::engine() const {
-  if (eval_engine.empty() || eval_engine == "bitpar") {
-    return mate::EvalEngine::BitParallel;
+  if (eval_engine.empty() || eval_engine == "stream") {
+    return mate::EvalEngine::Streaming;
   }
+  if (eval_engine == "bitpar") return mate::EvalEngine::BitParallel;
   RIPPLE_CHECK(eval_engine == "scalar", "unknown --eval-engine '",
-               eval_engine, "' (expected 'bitpar' or 'scalar')");
+               eval_engine, "' (expected 'stream', 'bitpar' or 'scalar')");
   return mate::EvalEngine::Scalar;
 }
 
@@ -99,8 +106,13 @@ void register_pipeline_options(OptionParser& parser, PipelineOptions& opts) {
                    &opts.depth);
   parser.add_value("cycles", "override the trace length", &opts.cycles);
   parser.add_value("eval-engine",
-                   "MATE evaluation engine: bitpar (default) or scalar",
+                   "MATE evaluation engine: stream (default), bitpar or "
+                   "scalar",
                    &opts.eval_engine);
+  parser.add_value("trace-chunk-cycles",
+                   "streaming trace chunk length in cycles (multiple of 64; "
+                   "0 = default 65536)",
+                   &opts.trace_chunk_cycles);
   parser.add_value("report", "stage/cache report format: json[:FILE]",
                    &opts.report);
 }

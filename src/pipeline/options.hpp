@@ -8,7 +8,9 @@
 //   --threads=N        MATE-search worker threads (0 = hardware concurrency)
 //   --depth=N          override SearchParams::path_depth
 //   --cycles=N         override the trace length
-//   --eval-engine=E    MATE evaluation engine: bitpar (default) or scalar
+//   --eval-engine=E    MATE evaluation engine: stream (default), bitpar or
+//                      scalar
+//   --trace-chunk-cycles=N  streaming trace chunk length (multiple of 64)
 //   --report=json[:F]  emit the stage/cache report as JSON (stderr, or file F)
 #pragma once
 
@@ -29,14 +31,15 @@ struct PipelineOptions {
   std::size_t threads = 0;
   std::size_t depth = 0;  // 0 = keep SearchParams default
   std::size_t cycles = 0; // 0 = keep the binary's default
-  std::string eval_engine; // "", "bitpar" or "scalar"
+  std::string eval_engine; // "", "stream", "bitpar" or "scalar"
   std::string report;     // "", "json" or "json:FILE"
+  std::size_t trace_chunk_cycles = 0; // 0 = kDefaultChunkCycles
 
   /// PipelineConfig derived from the flags (env fallback applied). Throws
   /// ripple::Error on an unknown --eval-engine value.
   [[nodiscard]] PipelineConfig config() const;
 
-  /// --eval-engine parsed ("" defaults to bitpar).
+  /// --eval-engine parsed ("" defaults to stream).
   [[nodiscard]] mate::EvalEngine engine() const;
 
   /// Default SearchParams with --depth/--threads applied.

@@ -11,6 +11,7 @@
 #include "cores/msp430/core.hpp"
 #include "cores/msp430/programs.hpp"
 #include "cores/msp430/system.hpp"
+#include "mate/stream.hpp"
 #include "pipeline/artifact.hpp"
 #include "util/hash.hpp"
 #include "util/stopwatch.hpp"
@@ -28,6 +29,23 @@ std::uint64_t trace_key(std::uint64_t netlist_fp, std::string_view workload,
   h.update_value(netlist_fp);
   h.update_string(workload);
   h.update_value(static_cast<std::uint64_t>(cycles));
+  return h.digest();
+}
+
+/// Per-chunk cache key of the streaming trace path. The total cycle count
+/// is deliberately absent so a longer run reuses a shorter run's full
+/// prefix chunks; `cycles_in_chunk` is included so a shorter run's partial
+/// tail chunk can never satisfy a full chunk of a longer run.
+std::uint64_t chunk_key(std::uint64_t netlist_fp, std::string_view workload,
+                        std::size_t chunk_cycles, std::size_t chunk_index,
+                        std::size_t cycles_in_chunk) {
+  Hasher h;
+  h.update_value(kArtifactVersion);
+  h.update_value(netlist_fp);
+  h.update_string(workload);
+  h.update_value(static_cast<std::uint64_t>(chunk_cycles));
+  h.update_value(static_cast<std::uint64_t>(chunk_index));
+  h.update_value(static_cast<std::uint64_t>(cycles_in_chunk));
   return h.digest();
 }
 
@@ -118,10 +136,20 @@ void CampaignPipeline::add_observer(StageObserver* observer) {
 
 void CampaignPipeline::notify_begin(std::string_view stage,
                                     std::string_view detail) {
+  sim::trace_memory::reset_peak();
   for (StageObserver* o : observers_) o->stage_begin(stage, detail);
 }
 
-void CampaignPipeline::notify_end(const StageStats& stats) {
+void CampaignPipeline::notify_end(StageStats stats) {
+  // Every stage reports the high-water mark of resident streaming-trace
+  // bytes it caused (satellite of the bounded-memory contract: stream_smoke
+  // asserts this stays under two chunks). Zero — no streaming traffic — is
+  // omitted to keep whole-trace stage reports unchanged.
+  const std::size_t peak = sim::trace_memory::peak();
+  if (peak > 0) {
+    stats.counters.emplace_back("trace_bytes_peak",
+                                static_cast<double>(peak));
+  }
   for (StageObserver* o : observers_) o->stage_end(stats);
 }
 
@@ -352,12 +380,21 @@ mate::EvalResult CampaignPipeline::evaluate(const mate::MateSet& set,
   }
 
   mate::EvalResult result;
-  if (config_.eval_engine == mate::EvalEngine::BitParallel) {
+  if (config_.eval_engine == mate::EvalEngine::Scalar) {
+    result = mate::evaluate_mates_scalar(set, trace, keep_trigger_lists);
+  } else if (config_.eval_engine == mate::EvalEngine::Streaming &&
+             !keep_trigger_lists) {
+    // Chunked replay of the memoized transposed trace (borrowed slices, no
+    // copies). Trigger lists are whole-trace state, so that variant stays
+    // on the whole-trace engine below.
+    sim::TransposedTraceSource source(transposed(trace, trace_fingerprint),
+                                      config_.trace_chunk_cycles);
+    result = mate::evaluate_mates_stream(set, source, config_.threads,
+                                         /*overlap=*/false);
+  } else {
     result = mate::evaluate_mates_bitpar(
         set, transposed(trace, trace_fingerprint), keep_trigger_lists,
         config_.threads);
-  } else {
-    result = mate::evaluate_mates_scalar(set, trace, keep_trigger_lists);
   }
   ByteWriter w;
   write_eval_result(w, result);
@@ -401,11 +438,16 @@ mate::SelectionResult CampaignPipeline::select(const mate::MateSet& set,
   }
 
   mate::SelectionResult result;
-  if (config_.eval_engine == mate::EvalEngine::BitParallel) {
+  if (config_.eval_engine == mate::EvalEngine::Scalar) {
+    result = mate::rank_mates_scalar(set, trace);
+  } else if (config_.eval_engine == mate::EvalEngine::Streaming) {
+    sim::TransposedTraceSource source(transposed(trace, trace_fingerprint),
+                                      config_.trace_chunk_cycles);
+    result = mate::rank_mates_stream(set, source, config_.threads,
+                                     /*overlap=*/false);
+  } else {
     result = mate::rank_mates_bitpar(
         set, transposed(trace, trace_fingerprint), config_.threads);
-  } else {
-    result = mate::rank_mates_scalar(set, trace);
   }
   ByteWriter w;
   write_selection(w, result);
@@ -413,6 +455,236 @@ mate::SelectionResult CampaignPipeline::select(const mate::MateSet& set,
   stats.seconds = watch.seconds();
   stats.counters = {{"ranked", static_cast<double>(result.ranking.size())}};
   fill_throughput_counters(stats, trace.num_cycles(), set.mates.size());
+  notify_end(stats);
+  return result;
+}
+
+namespace {
+
+/// WorkloadRunner over an AVR system; the core netlist is shared across
+/// boots of the same stream (replay passes re-boot, the build does not
+/// re-run).
+class AvrRunner final : public WorkloadRunner {
+public:
+  AvrRunner(std::shared_ptr<const cores::avr::AvrCore> core,
+            std::string_view workload)
+      : core_(std::move(core)),
+        system_(*core_, cores::avr::workload_program(workload)) {}
+
+  void run(std::size_t cycles) override { system_.run(cycles); }
+  void run_stream(std::size_t cycles, sim::RowSink& sink) override {
+    system_.run_stream(cycles, sink);
+  }
+
+private:
+  std::shared_ptr<const cores::avr::AvrCore> core_;
+  cores::avr::AvrSystem system_;
+};
+
+class Msp430Runner final : public WorkloadRunner {
+public:
+  Msp430Runner(std::shared_ptr<const cores::msp430::Msp430Core> core,
+               std::string_view workload)
+      : core_(std::move(core)),
+        system_(*core_, cores::msp430::workload_image(workload)) {}
+
+  void run(std::size_t cycles) override { system_.run(cycles); }
+  void run_stream(std::size_t cycles, sim::RowSink& sink) override {
+    system_.run_stream(cycles, sink);
+  }
+
+private:
+  std::shared_ptr<const cores::msp430::Msp430Core> core_;
+  cores::msp430::Msp430System system_;
+};
+
+} // namespace
+
+ChunkedTraceStream::ChunkedTraceStream(
+    CampaignPipeline& pipeline,
+    std::function<std::unique_ptr<WorkloadRunner>()> boot,
+    std::uint64_t netlist_fingerprint, std::string workload,
+    std::size_t num_wires, std::size_t cycles, std::size_t chunk_cycles)
+    : pipeline_(&pipeline),
+      boot_(std::move(boot)),
+      netlist_fingerprint_(netlist_fingerprint),
+      workload_(std::move(workload)),
+      num_wires_(num_wires),
+      cycles_(cycles),
+      chunk_cycles_(chunk_cycles),
+      fingerprint_(trace_key(netlist_fingerprint, workload_, cycles)) {
+  RIPPLE_CHECK(chunk_cycles_ > 0 && chunk_cycles_ % 64 == 0,
+               "--trace-chunk-cycles must be a positive multiple of 64, got ",
+               chunk_cycles_);
+  RIPPLE_CHECK(cycles_ > 0, "empty trace stream");
+}
+
+void ChunkedTraceStream::stream(sim::TraceSink& sink) {
+  ArtifactCache& cache = pipeline_->cache();
+  StageStats stats;
+  stats.stage = "record_trace";
+  stats.detail =
+      strprintf("%s, %zu cycles (streamed)", workload_.c_str(), cycles_);
+  stats.cacheable = cache.enabled();
+  pipeline_->notify_begin(stats.stage, stats.detail);
+  Stopwatch watch;
+
+  const std::size_t num_chunks = (cycles_ + chunk_cycles_ - 1) / chunk_cycles_;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::unique_ptr<WorkloadRunner> runner; // booted at the first cache miss
+  std::size_t sim_pos = 0;                // cycles the runner has advanced
+
+  for (std::size_t ci = 0; ci < num_chunks; ++ci) {
+    const std::size_t base = ci * chunk_cycles_;
+    const std::size_t len = std::min(chunk_cycles_, cycles_ - base);
+    const CacheKey key{
+        "trace_chunk",
+        chunk_key(netlist_fingerprint_, workload_, chunk_cycles_, ci, len)};
+
+    if (auto payload = cache.load(key)) {
+      ByteReader r(*payload);
+      sim::TransposedTrace t = read_transposed_trace(r);
+      r.expect_done();
+      RIPPLE_CHECK(t.num_wires() == num_wires_ && t.num_cycles() == len,
+                   "cached trace chunk has the wrong shape");
+      ++hits;
+      sink.on_chunk(sim::make_owned_chunk(ci, base, std::move(t)));
+      continue;
+    }
+
+    ++misses;
+    if (!runner) runner = boot_();
+    if (sim_pos < base) {
+      // Fast-forward (untraced) across the cached span to this miss.
+      runner->run(base - sim_pos);
+      sim_pos = base;
+    }
+    struct CollectSink final : sim::TraceSink {
+      sim::TraceChunk chunk;
+      void on_chunk(sim::TraceChunk c) override { chunk = std::move(c); }
+    } collect;
+    sim::ChunkedTraceRecorder recorder(num_wires_, base + len, chunk_cycles_,
+                                       collect, base);
+    runner->run_stream(len, recorder);
+    recorder.finish();
+    sim_pos += len;
+    RIPPLE_CHECK(collect.chunk.owned != nullptr,
+                 "chunk recorder emitted nothing");
+    if (cache.enabled()) {
+      ByteWriter w;
+      write_transposed_trace(w, *collect.chunk.owned);
+      cache.store(key, w.bytes());
+    }
+    sink.on_chunk(std::move(collect.chunk));
+  }
+
+  stats.cache_hit = cache.enabled() && misses == 0;
+  stats.seconds = watch.seconds();
+  stats.counters = {
+      {"cycles", static_cast<double>(cycles_)},
+      {"wires", static_cast<double>(num_wires_)},
+      {"chunks", static_cast<double>(num_chunks)},
+      {"chunk_hits", static_cast<double>(hits)},
+      {"chunk_misses", static_cast<double>(misses)},
+  };
+  pipeline_->notify_end(stats);
+}
+
+std::unique_ptr<ChunkedTraceStream> CampaignPipeline::trace_stream(
+    CoreKind kind, std::string_view workload, std::size_t cycles,
+    bool optimized) {
+  const std::string wl(workload);
+  if (kind == CoreKind::Avr) {
+    auto core = std::make_shared<const cores::avr::AvrCore>(
+        cores::avr::build_avr_core(optimized));
+    const std::uint64_t fp = fingerprint(core->netlist);
+    const std::size_t wires = core->netlist.num_wires();
+    return std::make_unique<ChunkedTraceStream>(
+        *this,
+        [core, wl] { return std::make_unique<AvrRunner>(core, wl); },
+        fp, wl, wires, cycles, config_.trace_chunk_cycles);
+  }
+  auto core = std::make_shared<const cores::msp430::Msp430Core>(
+      cores::msp430::build_msp430_core(optimized));
+  const std::uint64_t fp = fingerprint(core->netlist);
+  const std::size_t wires = core->netlist.num_wires();
+  return std::make_unique<ChunkedTraceStream>(
+      *this,
+      [core, wl] { return std::make_unique<Msp430Runner>(core, wl); },
+      fp, wl, wires, cycles, config_.trace_chunk_cycles);
+}
+
+mate::EvalResult CampaignPipeline::evaluate_stream(
+    const mate::MateSet& set, sim::TraceSource& source,
+    std::uint64_t stream_fingerprint, std::string detail) {
+  const CacheKey key{
+      "evaluate",
+      eval_key(fingerprint(set), stream_fingerprint,
+               /*keep_trigger_lists=*/false)};
+  StageStats stats;
+  stats.stage = "evaluate";
+  stats.detail = std::move(detail);
+  stats.cacheable = cache_.enabled();
+  notify_begin(stats.stage, stats.detail);
+  Stopwatch watch;
+
+  if (auto payload = cache_.load(key)) {
+    ByteReader r(*payload);
+    mate::EvalResult result = read_eval_result(r);
+    r.expect_done();
+    stats.cache_hit = true;
+    stats.seconds = watch.seconds();
+    fill_eval_counters(stats, result);
+    notify_end(stats);
+    return result;
+  }
+
+  mate::EvalResult result =
+      mate::evaluate_mates_stream(set, source, config_.threads,
+                                  /*overlap=*/true);
+  ByteWriter w;
+  write_eval_result(w, result);
+  cache_.store(key, w.bytes());
+
+  stats.seconds = watch.seconds();
+  fill_eval_counters(stats, result);
+  fill_throughput_counters(stats, result.num_cycles, set.mates.size());
+  notify_end(stats);
+  return result;
+}
+
+mate::SelectionResult CampaignPipeline::select_stream(
+    const mate::MateSet& set, sim::TraceSource& source,
+    std::uint64_t stream_fingerprint, std::string detail) {
+  const CacheKey key{"select",
+                     select_key(fingerprint(set), stream_fingerprint)};
+  StageStats stats;
+  stats.stage = "select";
+  stats.detail = std::move(detail);
+  stats.cacheable = cache_.enabled();
+  notify_begin(stats.stage, stats.detail);
+  Stopwatch watch;
+
+  if (auto payload = cache_.load(key)) {
+    ByteReader r(*payload);
+    mate::SelectionResult result = read_selection(r);
+    r.expect_done();
+    stats.cache_hit = true;
+    stats.seconds = watch.seconds();
+    stats.counters = {{"ranked", static_cast<double>(result.ranking.size())}};
+    notify_end(stats);
+    return result;
+  }
+
+  mate::SelectionResult result =
+      mate::rank_mates_stream(set, source, config_.threads, /*overlap=*/true);
+  ByteWriter w;
+  write_selection(w, result);
+  cache_.store(key, w.bytes());
+  stats.seconds = watch.seconds();
+  stats.counters = {{"ranked", static_cast<double>(result.ranking.size())}};
+  fill_throughput_counters(stats, source.num_cycles(), set.mates.size());
   notify_end(stats);
   return result;
 }
@@ -428,6 +700,19 @@ hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
   stats.detail = std::move(detail);
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
+
+  // A bitpar campaign without a batch DUT factory silently degrades to the
+  // scalar engine; surface that (once, on stderr) and report it so
+  // --report=json consumers can tell which engine actually ran.
+  const bool dut_engine_fallback =
+      spec.config.dut_engine == hafi::DutEngine::BitParallel &&
+      !spec.batch_factory;
+  if (dut_engine_fallback) {
+    std::fprintf(stderr,
+                 "warning: --dut-engine=bitpar requested but no 64-lane "
+                 "batch DUT factory is available; campaign falls back to "
+                 "the scalar engine\n");
+  }
 
   hafi::Campaign campaign(std::move(spec.factory), spec.config, spec.mates);
   if (spec.batch_factory) {
@@ -547,6 +832,9 @@ hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
        lane_slots > 0 ? static_cast<double>(executed_injections) /
                             static_cast<double>(lane_slots)
                       : 0.0},
+      // 1 when a bitpar request degraded to the scalar engine (no batch
+      // factory); always present so report consumers need not probe.
+      {"dut_engine_fallback", dut_engine_fallback ? 1.0 : 0.0},
   };
   // Retired experiments per second — counts injections, not gate-level
   // passes, so the number is comparable across engines.

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -31,6 +32,7 @@
 #include "netlist/netlist.hpp"
 #include "pipeline/cache.hpp"
 #include "pipeline/observer.hpp"
+#include "sim/stream.hpp"
 #include "sim/trace.hpp"
 #include "sim/transposed.hpp"
 
@@ -74,8 +76,63 @@ struct PipelineConfig {
   /// Worker threads for the MATE search; 0 = hardware concurrency.
   std::size_t threads = 0;
   /// Engine for the evaluate/select stages (`--eval-engine`). Deliberately
-  /// absent from the cache keys: both engines produce identical results.
-  mate::EvalEngine eval_engine = mate::EvalEngine::BitParallel;
+  /// absent from the cache keys: all engines produce identical results.
+  mate::EvalEngine eval_engine = mate::EvalEngine::Streaming;
+  /// Chunk length of the streaming trace path (`--trace-chunk-cycles`);
+  /// must be a positive multiple of 64.
+  std::size_t trace_chunk_cycles = sim::kDefaultChunkCycles;
+};
+
+/// Minimal interface over a booted core system for the streaming trace
+/// path: fast-forward without tracing, or run while pushing per-cycle rows.
+class WorkloadRunner {
+public:
+  virtual ~WorkloadRunner() = default;
+  virtual void run(std::size_t cycles) = 0;
+  virtual void run_stream(std::size_t cycles, sim::RowSink& sink) = 0;
+};
+
+class CampaignPipeline;
+
+/// A workload trace streamed in fixed-size transposed chunks, each cached
+/// individually by (netlist fingerprint, workload, chunk_cycles, chunk
+/// index, cycles in chunk) — the total cycle count is deliberately absent,
+/// so extending a run's tail replays the cached prefix chunks and only
+/// simulates the new trailing ones. Each stream() pass boots the workload
+/// lazily: cached chunks are emitted without simulation, and the simulator
+/// fast-forwards (untraced) across cached spans to reach the first miss.
+/// Replayable, so rank_mates_stream's two passes work; a second pass hits
+/// the chunks the first one stored (or re-simulates when caching is off).
+class ChunkedTraceStream final : public sim::TraceSource {
+public:
+  ChunkedTraceStream(CampaignPipeline& pipeline,
+                     std::function<std::unique_ptr<WorkloadRunner>()> boot,
+                     std::uint64_t netlist_fingerprint, std::string workload,
+                     std::size_t num_wires, std::size_t cycles,
+                     std::size_t chunk_cycles);
+
+  [[nodiscard]] std::size_t num_wires() const override { return num_wires_; }
+  [[nodiscard]] std::size_t num_cycles() const override { return cycles_; }
+  [[nodiscard]] std::size_t chunk_cycles() const override {
+    return chunk_cycles_;
+  }
+  void stream(sim::TraceSink& sink) override;
+
+  /// Identity fingerprint of the stream — (netlist fingerprint, workload,
+  /// cycles), like the whole-trace record_trace cache key. Downstream
+  /// evaluate/select stages use it as the trace fingerprint in their cache
+  /// keys.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
+private:
+  CampaignPipeline* pipeline_;
+  std::function<std::unique_ptr<WorkloadRunner>()> boot_;
+  std::uint64_t netlist_fingerprint_;
+  std::string workload_;
+  std::size_t num_wires_;
+  std::size_t cycles_;
+  std::size_t chunk_cycles_;
+  std::uint64_t fingerprint_;
 };
 
 class CampaignPipeline {
@@ -130,6 +187,30 @@ public:
                                              const sim::Trace& trace,
                                              std::uint64_t trace_fingerprint,
                                              std::string detail);
+
+  /// Streaming record_trace: a replayable chunk stream over `workload`
+  /// (any name from the cores' workload registries, e.g. "fib", "conv",
+  /// "sort", "crc", "irq") on the given core. Nothing is simulated until
+  /// the stream is consumed; chunks are cached individually (stage
+  /// "record_trace", kind "trace_chunk"), so only chunks missing from the
+  /// cache re-simulate. This is the bounded-memory path for million-cycle
+  /// traces — the whole trace is never resident.
+  [[nodiscard]] std::unique_ptr<ChunkedTraceStream> trace_stream(
+      CoreKind kind, std::string_view workload, std::size_t cycles,
+      bool optimized = true);
+
+  /// Streaming evaluate/select: consume a chunked trace source through the
+  /// streaming engine with simulation/evaluation overlap. Results are
+  /// byte-identical to the whole-trace stages and cached under the same
+  /// evaluate/select stage kinds, keyed by `stream_fingerprint`
+  /// (ChunkedTraceStream::fingerprint()).
+  [[nodiscard]] mate::EvalResult evaluate_stream(const mate::MateSet& set,
+                                                 sim::TraceSource& source,
+                                                 std::uint64_t stream_fingerprint,
+                                                 std::string detail = {});
+  [[nodiscard]] mate::SelectionResult select_stream(
+      const mate::MateSet& set, sim::TraceSource& source,
+      std::uint64_t stream_fingerprint, std::string detail = {});
 
   /// Fault-injection campaign stage input. The merged campaign result is
   /// never cached — the campaign *is* the experiment (and its DUT factory
@@ -188,8 +269,10 @@ public:
       const sim::Trace& trace, std::uint64_t trace_fingerprint);
 
 private:
+  friend class ChunkedTraceStream;
+
   void notify_begin(std::string_view stage, std::string_view detail);
-  void notify_end(const StageStats& stats);
+  void notify_end(StageStats stats);
 
   [[nodiscard]] sim::Trace record_trace(
       std::uint64_t netlist_fingerprint, std::string_view workload,

@@ -3,12 +3,8 @@
 #include <algorithm>
 
 namespace ripple::sim {
-namespace {
+namespace detail {
 
-/// In-place 64x64 bit-matrix transpose (Hacker's Delight 7-3, widened to 64
-/// bits): swaps progressively smaller off-diagonal blocks. With the rows
-/// loaded in reverse order, the result rows come out in reverse order too,
-/// which the caller undoes when scattering into the wire streams.
 void transpose64(std::uint64_t x[64]) {
   std::uint64_t m = 0x00000000FFFFFFFFull;
   for (std::size_t j = 32; j != 0; j >>= 1, m ^= m << j) {
@@ -20,7 +16,9 @@ void transpose64(std::uint64_t x[64]) {
   }
 }
 
-} // namespace
+} // namespace detail
+
+using detail::transpose64;
 
 TransposedTrace::TransposedTrace(const Trace& trace)
     : num_wires_(trace.num_wires()),

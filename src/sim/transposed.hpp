@@ -18,6 +18,15 @@
 
 namespace ripple::sim {
 
+namespace detail {
+/// In-place 64x64 bit-matrix transpose (Hacker's Delight 7-3, widened to 64
+/// bits). With the rows loaded in reverse order, the result rows come out in
+/// reverse order too, which the caller undoes when scattering into the wire
+/// streams. Shared between the whole-trace TransposedTrace constructor and
+/// the chunked recorder (sim/stream.hpp).
+void transpose64(std::uint64_t x[64]);
+} // namespace detail
+
 class TransposedTrace {
 public:
   TransposedTrace() = default;

@@ -11,6 +11,8 @@
 #include "pipeline/cache.hpp"
 #include "pipeline/options.hpp"
 #include "pipeline/pipeline.hpp"
+#include "sim/stream.hpp"
+#include "sim/transposed.hpp"
 #include "util/options.hpp"
 
 namespace ripple::pipeline {
@@ -162,6 +164,118 @@ TEST(Pipeline, ObserverSeesCacheHitFlag) {
   EXPECT_FALSE(rec.stages[0].cache_hit);
   EXPECT_TRUE(rec.stages[1].cache_hit);
   EXPECT_GE(rec.stages[0].seconds, 0.0);
+}
+
+// The per-chunk cache-key contract of the streaming record_trace stage:
+// chunk keys exclude the total cycle count, so extending a run's tail
+// replays the cached prefix chunks and only the new trailing chunks
+// simulate; a partial tail chunk is keyed by its own length.
+TEST(Pipeline, ChunkedStreamTailExtensionReusesPrefixChunks) {
+  struct Recorder : StageObserver {
+    std::vector<StageStats> stages;
+    void stage_end(const StageStats& stats) override {
+      stages.push_back(stats);
+    }
+  };
+  struct CountSink final : sim::TraceSink {
+    std::size_t chunks = 0;
+    void on_chunk(sim::TraceChunk) override { ++chunks; }
+  };
+  const auto counter = [](const StageStats& s, const char* name) {
+    for (const auto& [key, value] : s.counters) {
+      if (key == name) return value;
+    }
+    return -1.0;
+  };
+
+  TempDir tmp;
+  PipelineConfig config;
+  config.cache_dir = tmp.path;
+  config.trace_chunk_cycles = 128;
+  CampaignPipeline pipe(config);
+  Recorder rec;
+  pipe.add_observer(&rec);
+
+  // 256 cycles = 2 chunks, cold cache: both simulate and are stored.
+  const auto s1 = pipe.trace_stream(CoreKind::Avr, "fib", 256);
+  CountSink first;
+  s1->stream(first);
+  EXPECT_EQ(first.chunks, 2u);
+  ASSERT_EQ(rec.stages.size(), 1u);
+  EXPECT_EQ(rec.stages[0].stage, "record_trace");
+  EXPECT_EQ(counter(rec.stages[0], "chunk_misses"), 2.0);
+  EXPECT_EQ(counter(rec.stages[0], "chunk_hits"), 0.0);
+  EXPECT_FALSE(rec.stages[0].cache_hit);
+
+  // Replay (rank_mates_stream's second pass): both chunks hit.
+  CountSink replay;
+  s1->stream(replay);
+  ASSERT_EQ(rec.stages.size(), 2u);
+  EXPECT_EQ(counter(rec.stages[1], "chunk_hits"), 2.0);
+  EXPECT_EQ(counter(rec.stages[1], "chunk_misses"), 0.0);
+  EXPECT_TRUE(rec.stages[1].cache_hit);
+
+  // Tail extension to 384 cycles: prefix chunks hit, only the new tail
+  // chunk simulates. The stream identity still changes with the length.
+  const auto s2 = pipe.trace_stream(CoreKind::Avr, "fib", 384);
+  EXPECT_NE(s1->fingerprint(), s2->fingerprint());
+  CountSink extended;
+  s2->stream(extended);
+  EXPECT_EQ(extended.chunks, 3u);
+  ASSERT_EQ(rec.stages.size(), 3u);
+  EXPECT_EQ(counter(rec.stages[2], "chunk_hits"), 2.0);
+  EXPECT_EQ(counter(rec.stages[2], "chunk_misses"), 1.0);
+
+  // Shortening to 192 cycles cuts the second chunk to 64 cycles: the full
+  // first chunk hits, but the shorter tail is its own key (a cached
+  // 128-cycle chunk must never stand in for a 64-cycle one).
+  const auto s3 = pipe.trace_stream(CoreKind::Avr, "fib", 192);
+  CountSink shortened;
+  s3->stream(shortened);
+  EXPECT_EQ(shortened.chunks, 2u);
+  ASSERT_EQ(rec.stages.size(), 4u);
+  EXPECT_EQ(counter(rec.stages[3], "chunk_hits"), 1.0);
+  EXPECT_EQ(counter(rec.stages[3], "chunk_misses"), 1.0);
+}
+
+// The streamed chunks carry exactly the bits of the whole-trace recording:
+// every chunk equals the corresponding cycle range of the record_trace +
+// TransposedTrace path, word for word.
+TEST(Pipeline, ChunkedStreamMatchesWholeTraceRecording) {
+  TempDir tmp;
+  PipelineConfig config;
+  config.cache_dir = tmp.path;
+  config.trace_chunk_cycles = 128;
+  CampaignPipeline pipe(config);
+
+  CoreSetupSpec spec;
+  spec.kind = CoreKind::Avr;
+  spec.trace_cycles = 300; // 2 full chunks + a 44-cycle partial tail
+  const CoreSetup setup = pipe.setup(spec);
+  const sim::TransposedTrace tt(setup.fib_trace);
+
+  const auto stream = pipe.trace_stream(CoreKind::Avr, "fib", 300);
+  EXPECT_EQ(stream->num_wires(), setup.netlist.num_wires());
+  EXPECT_EQ(stream->num_cycles(), 300u);
+  struct Collect final : sim::TraceSink {
+    std::vector<sim::TraceChunk> chunks;
+    void on_chunk(sim::TraceChunk c) override {
+      chunks.push_back(std::move(c));
+    }
+  } collect;
+  stream->stream(collect);
+  ASSERT_EQ(collect.chunks.size(), 3u);
+  for (const sim::TraceChunk& c : collect.chunks) {
+    const sim::TransposedSlice ref =
+        sim::cycle_slice(tt, c.base_cycle / 64, c.slice.num_cycles);
+    ASSERT_EQ(c.slice.num_blocks, ref.num_blocks);
+    for (std::size_t w = 0; w < tt.num_wires(); ++w) {
+      for (std::size_t b = 0; b < ref.num_blocks; ++b) {
+        ASSERT_EQ(c.slice.wire_words(w)[b], ref.wire_words(w)[b])
+            << "chunk " << c.index << " wire " << w << " block " << b;
+      }
+    }
+  }
 }
 
 TEST(PipelineOptions, ParsesSharedFlags) {
