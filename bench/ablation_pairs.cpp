@@ -24,13 +24,14 @@ struct PairStats {
 
 PairStats measure(const CoreSetup& setup,
                   const std::vector<std::array<WireId, 2>>& pairs,
-                  const mate::SearchParams& params) {
+                  const mate::SearchParams& params,
+                  const std::vector<std::uint32_t>& topo) {
   PairStats stats;
   double input_sum = 0;
   for (const auto& pair : pairs) {
     ++stats.pairs;
     const mate::GroupOutcome out =
-        mate::find_group_mates(setup.netlist, pair, params);
+        mate::find_group_mates(setup.netlist, pair, params, topo);
     stats.space += setup.fib_trace.num_cycles();
     if (out.status != mate::WireStatus::Found) continue;
     ++stats.with_mate;
@@ -113,12 +114,15 @@ int main(int argc, char** argv) {
   TablePrinter t({"2-bit fault groups", "pairs", "with MATE",
                   "pair space masked", "avg #inputs"});
   for (const CoreSetup* s : {&avr, &msp}) {
+    // Levelize once per core; the pair sweep hands the positions to every
+    // find_group_mates call instead of re-levelizing 120 times.
+    const std::vector<std::uint32_t> topo = mate::topo_positions(s->netlist);
     for (const bool adjacent : {true, false}) {
       h.progress("ablation_pairs: %s %s...", s->name.c_str(),
                  adjacent ? "adjacent" : "random");
       const auto pairs = adjacent ? adjacent_pairs(*s, kPairs)
                                   : random_pairs(*s, kPairs, 99);
-      const PairStats st = measure(*s, pairs, h.params());
+      const PairStats st = measure(*s, pairs, h.params(), topo);
       t.add_row({s->name + (adjacent ? " adjacent bits" : " random pairs"),
                  fmt_count(st.pairs), fmt_count(st.with_mate),
                  fmt_percent(static_cast<double>(st.masked_points) /

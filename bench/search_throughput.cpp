@@ -1,0 +1,224 @@
+// Microbenchmark: per-wire oracle vs isomorphic-cone-dedup MATE search.
+//
+// Runs find_mates twice per fault population — --search-dedup=off (every
+// wire searched from scratch, the oracle) and on (one search per
+// cone-isomorphism class, cubes remapped onto the members) — over two
+// populations of the selected core: the full flop set and the register
+// file. The netlist is built directly (no workload traces: this stage is
+// pure structure). Wall times take the best of --reps runs per mode, so a
+// noisy scheduler cannot manufacture or hide a speedup.
+//
+// The two populations tell the two halves of the dedup story. The register
+// file is the structurally duplicated fault space (on the AVR: 256 flops in
+// 32 classes) where class dedup turns directly into wall clock; the full
+// flop set adds the structurally unique cones (instruction register, decode
+// state) whose searches still run one by one, so its wall gain is bounded
+// by how much of the budget the duplicated population carries.
+//
+// Doubles as the dedup end-to-end cross-check: the MATE set, the per-wire
+// outcomes (status, counts) and the Table 1 aggregates must be identical
+// between the two modes on both populations; any mismatch fails the run.
+// With --check the binary additionally exits non-zero if the regfile-
+// population speedup falls below --min-speedup-pct while the grouping found
+// real duplication (at least 2 wires per class on average). On cores whose
+// regfile cones are all structurally unique (the MSP430: every register has
+// a special role) the floor is skipped with a note — dedup is neutral
+// there, and the identity check still guards it. The search_bench_smoke
+// ctest target runs `--smoke --check` on trimmed search parameters.
+#include "bench/common.hpp"
+
+#include <cstdio>
+
+#include "cores/avr/core.hpp"
+#include "cores/msp430/core.hpp"
+#include "mate/search.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace ripple;
+using namespace ripple::bench;
+
+/// Everything that must be byte-identical between dedup on and off: the
+/// merged MATE set and the per-wire / aggregate bookkeeping, timing and the
+/// informational dedup_classes/threads_used fields excluded.
+bool results_identical(const mate::SearchResult& a,
+                       const mate::SearchResult& b) {
+  if (!(a.set == b.set)) return false;
+  if (a.outcomes.size() != b.outcomes.size()) return false;
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const mate::WireOutcome& x = a.outcomes[i];
+    const mate::WireOutcome& y = b.outcomes[i];
+    if (x.wire != y.wire || x.status != y.status ||
+        x.cone_gates != y.cone_gates || x.border_wires != y.border_wires ||
+        x.num_paths != y.num_paths ||
+        x.candidates_tried != y.candidates_tried ||
+        x.mates_found != y.mates_found) {
+      return false;
+    }
+  }
+  return a.total_candidates == b.total_candidates &&
+         a.total_mates == b.total_mates &&
+         a.unmaskable_wires == b.unmaskable_wires;
+}
+
+struct ModeTiming {
+  mate::SearchResult result;
+  double best_seconds = 0.0;
+};
+
+/// Runs find_mates `reps` times and keeps the best wall time (the runs are
+/// deterministic, so every repetition returns the same result).
+ModeTiming run_mode(const netlist::Netlist& n,
+                    const std::vector<WireId>& wires,
+                    const mate::SearchParams& params, std::size_t reps) {
+  ModeTiming t;
+  t.best_seconds = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    t.result = mate::find_mates(n, wires, params);
+    t.best_seconds = std::min(t.best_seconds, watch.seconds());
+  }
+  return t;
+}
+
+std::vector<WireId> regfile_wires(const netlist::Netlist& n,
+                                  std::string_view prefix) {
+  std::vector<WireId> out;
+  for (FlopId f : n.all_flops()) {
+    if (n.flop(f).name.starts_with(prefix)) out.push_back(n.flop(f).q);
+  }
+  return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string core = "avr";
+  std::size_t reps = 3;
+  bool check = false;
+  bool smoke = false;
+  std::size_t min_speedup_pct = 200; // --check floor: dedup >= 2x oracle
+  Harness h(argc, argv, "search_throughput",
+            "per-wire oracle vs isomorphic-cone-dedup MATE search",
+            [&](OptionParser& parser) {
+              parser.add_value("core", "core to benchmark: avr or msp430",
+                               &core);
+              parser.add_value("reps",
+                               "repetitions per mode (best wall time wins)",
+                               &reps);
+              parser.add_flag("check",
+                              "exit non-zero if the regfile dedup speedup "
+                              "is below --min-speedup-pct",
+                              &check);
+              parser.add_flag("smoke",
+                              "trimmed search parameters for CI", &smoke);
+              parser.add_value("min-speedup-pct",
+                               "--check speedup floor in percent (200 = 2x)",
+                               &min_speedup_pct);
+            });
+  if (core != "avr" && core != "msp430") {
+    std::fprintf(stderr, "search_throughput: unknown --core '%s'\n",
+                 core.c_str());
+    return 2;
+  }
+  if (reps == 0) reps = 1;
+
+  const netlist::Netlist n = core == "avr"
+                                 ? cores::avr::build_avr_core(true).netlist
+                                 : cores::msp430::build_msp430_core(true)
+                                       .netlist;
+  const std::string_view rf_prefix = core == "avr"
+                                         ? cores::avr::kRegfilePrefix
+                                         : cores::msp430::kRegfilePrefix;
+  const std::vector<WireId> all_flops = mate::all_flop_wires(n);
+  const std::vector<WireId> regfile = regfile_wires(n, rf_prefix);
+
+  mate::SearchParams params = h.params();
+  if (smoke) {
+    params.path_depth = 10;
+    params.max_candidates_per_wire = 5000;
+  }
+
+  h.progress("search_throughput: %s, %zu flop wires (%zu regfile), "
+             "%zu reps/mode...",
+             core.c_str(), all_flops.size(), regfile.size(), reps);
+
+  TablePrinter t({"search_throughput " + std::string(core), "wall",
+                  "wires/s", "classes", "speedup"});
+  bool identical = true;
+  double rf_speedup = 0.0;
+  std::size_t rf_classes = 0;
+
+  const struct {
+    const char* name;
+    const std::vector<WireId>* wires;
+  } populations[] = {{"full flops", &all_flops}, {"regfile", &regfile}};
+  for (const auto& pop : populations) {
+    mate::SearchParams p = params;
+    p.dedup = false;
+    const ModeTiming off = run_mode(n, *pop.wires, p, reps);
+    p.dedup = true;
+    const ModeTiming on = run_mode(n, *pop.wires, p, reps);
+
+    if (!results_identical(off.result, on.result)) {
+      std::fprintf(stderr,
+                   "search_throughput: MODE MISMATCH on %s — dedup result "
+                   "differs from the per-wire oracle\n",
+                   pop.name);
+      identical = false;
+    }
+
+    const double wires = static_cast<double>(pop.wires->size());
+    const double speedup = off.best_seconds / std::max(on.best_seconds, 1e-9);
+    t.add_row({std::string(pop.name) + ", dedup off",
+               strprintf("%.3f s", off.best_seconds),
+               strprintf("%.1f", wires / std::max(off.best_seconds, 1e-9)),
+               "-", "1.0x"});
+    t.add_row({std::string(pop.name) + ", dedup on",
+               strprintf("%.3f s", on.best_seconds),
+               strprintf("%.1f", wires / std::max(on.best_seconds, 1e-9)),
+               fmt_count(on.result.dedup_classes),
+               strprintf("%.1fx", speedup)});
+
+    const mate::SearchResult& r = on.result;
+    h.progress("search_throughput: %s %s: %zu wires -> %zu iso classes "
+               "(%.1fx), search utilization %.0f %%",
+               core.c_str(), pop.name, pop.wires->size(), r.dedup_classes,
+               wires / std::max(static_cast<double>(r.dedup_classes), 1.0),
+               100.0 * std::min(1.0, r.busy_seconds /
+                                         std::max(static_cast<double>(
+                                                      r.threads_used) *
+                                                      r.seconds,
+                                                  1e-9)));
+    if (std::string_view(pop.name) == "regfile") {
+      rf_speedup = speedup;
+      rf_classes = r.dedup_classes;
+    }
+  }
+  h.emit(t);
+
+  if (!identical) return 1;
+  if (check) {
+    // The floor asserts that structural duplication converts into wall
+    // clock. It only applies where duplication exists: on average at least
+    // two regfile wires per class.
+    const bool duplicated = rf_classes * 2 <= regfile.size();
+    const double floor = static_cast<double>(min_speedup_pct) / 100.0;
+    if (duplicated && rf_speedup < floor) {
+      std::fprintf(stderr,
+                   "search_throughput: --check FAILED — regfile dedup "
+                   "speedup %.2fx below the %.2fx floor\n",
+                   rf_speedup, floor);
+      return 1;
+    }
+    if (!duplicated) {
+      h.progress("search_throughput: %s regfile cones are structurally "
+                 "unique (%zu classes / %zu wires) — speedup floor not "
+                 "applicable, identity check passed",
+                 core.c_str(), rf_classes, regfile.size());
+    }
+  }
+  return 0;
+}

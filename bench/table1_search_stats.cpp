@@ -23,6 +23,7 @@ struct Column {
   std::size_t unmaskable = 0;
   std::size_t candidates = 0;
   std::size_t mates = 0;
+  std::size_t dedup_classes = 0;
 };
 
 Column run(Harness& h, const CoreSetup& setup,
@@ -39,6 +40,7 @@ Column run(Harness& h, const CoreSetup& setup,
   c.unmaskable = r.unmaskable_wires;
   c.candidates = r.total_candidates;
   c.mates = r.total_mates;
+  c.dedup_classes = r.dedup_classes;
   return c;
 }
 
@@ -76,6 +78,19 @@ int main(int argc, char** argv) {
   row("#MATE candid.", [](const Column& c) { return fmt_sci(
                            static_cast<double>(c.candidates)); });
   row("#MATE", [](const Column& c) { return fmt_count(c.mates); });
+  t.add_separator();
+  // Cone-isomorphism dedup (PR 8): searched classes and the wires-per-class
+  // ratio. "-" on cache replays of pre-dedup artifacts (classes == 0).
+  row("#Iso classes", [](const Column& c) {
+    return c.dedup_classes == 0 ? std::string("-")
+                                : fmt_count(c.dedup_classes);
+  });
+  row("Dedup ratio", [](const Column& c) {
+    return c.dedup_classes == 0
+               ? std::string("-")
+               : strprintf("%.1fx", static_cast<double>(c.faulty_wires) /
+                                        static_cast<double>(c.dedup_classes));
+  });
 
   h.emit(t);
   return 0;

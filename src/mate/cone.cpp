@@ -78,14 +78,18 @@ FaultCone compute_cone(const netlist::Netlist& n, WireId origin,
   return compute_cone(n, std::span<const WireId>(origins, 1), topo_positions);
 }
 
-FaultCone compute_cone(const netlist::Netlist& n,
-                       std::span<const WireId> origins) {
+std::vector<std::uint32_t> topo_positions(const netlist::Netlist& n) {
   const sim::Levelization level = sim::levelize(n);
   std::vector<std::uint32_t> pos(n.num_gates());
   for (std::size_t i = 0; i < level.order.size(); ++i) {
     pos[level.order[i].index()] = static_cast<std::uint32_t>(i);
   }
-  return compute_cone(n, origins, pos);
+  return pos;
+}
+
+FaultCone compute_cone(const netlist::Netlist& n,
+                       std::span<const WireId> origins) {
+  return compute_cone(n, origins, topo_positions(n));
 }
 
 FaultCone compute_cone(const netlist::Netlist& n, WireId origin) {

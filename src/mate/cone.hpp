@@ -39,6 +39,12 @@ struct FaultCone {
   [[nodiscard]] bool contains_gate(GateId g) const;
 };
 
+/// GateId -> position in a levelized order of the netlist (sim::levelize);
+/// the form every compute_cone / search entry point wants. Compute it once
+/// per netlist and pass it to the overloads below when sweeping many cones.
+[[nodiscard]] std::vector<std::uint32_t> topo_positions(
+    const netlist::Netlist& n);
+
 /// Compute the (union) cone of one or more fault origins. `topo_positions`
 /// must map GateId -> position in a levelized order of the netlist
 /// (sim::levelize), so cone gates come out topologically sorted.

@@ -2,7 +2,18 @@
 
 #include <algorithm>
 
+#include "util/hash.hpp"
+
 namespace ripple::mate {
+
+std::size_t Cube::hash() const {
+  Hasher h;
+  for (const Literal& l : lits_) {
+    h.update_value(l.wire.value());
+    h.update_value(static_cast<std::uint8_t>(l.value ? 1 : 0));
+  }
+  return static_cast<std::size_t>(h.digest());
+}
 
 Cube::Cube(std::vector<Literal> literals) : lits_(std::move(literals)) {
   std::sort(lits_.begin(), lits_.end());

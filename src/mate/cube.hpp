@@ -75,6 +75,10 @@ public:
   /// Human-readable form, e.g. "(!f & h)".
   [[nodiscard]] std::string to_string(const netlist::Netlist& n) const;
 
+  /// FNV-1a over the literal list; backs std::hash<Cube> for the hashed
+  /// term/merge indices of the MATE search.
+  [[nodiscard]] std::size_t hash() const;
+
   bool operator==(const Cube&) const = default;
   auto operator<=>(const Cube&) const = default;
 
@@ -83,3 +87,10 @@ private:
 };
 
 } // namespace ripple::mate
+
+template <>
+struct std::hash<ripple::mate::Cube> {
+  std::size_t operator()(const ripple::mate::Cube& c) const noexcept {
+    return c.hash();
+  }
+};

@@ -1,0 +1,273 @@
+#include "mate/iso.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/hash.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ripple::mate {
+namespace {
+
+/// Border rank of `w` in the sorted border-wire list.
+std::uint32_t border_rank(std::span<const WireId> borders, WireId w) {
+  const auto it = std::lower_bound(borders.begin(), borders.end(), w);
+  RIPPLE_ASSERT(it != borders.end() && *it == w, "wire not on the border");
+  return static_cast<std::uint32_t>(it - borders.begin());
+}
+
+/// Dense id -> canonical-number map over the whole netlist id space,
+/// invalidated in O(1) by bumping a generation stamp. Fingerprinting is
+/// lookup-bound, and hashed maps were the dominant cost of the grouping
+/// pre-pass; two flat arrays per id universe make each probe one indexed
+/// load.
+class IdNumberer {
+public:
+  void reset(std::size_t universe) {
+    if (num_.size() < universe) {
+      num_.resize(universe);
+      stamp_.resize(universe, 0);
+    }
+    ++gen_;
+  }
+
+  /// Assigns `number` to `id` unless already numbered this generation.
+  bool try_number(std::uint32_t id, std::uint32_t number) {
+    if (stamp_[id] == gen_) return false;
+    stamp_[id] = gen_;
+    num_[id] = number;
+    return true;
+  }
+
+  [[nodiscard]] bool has(std::uint32_t id) const { return stamp_[id] == gen_; }
+  [[nodiscard]] std::uint32_t at(std::uint32_t id) const {
+    RIPPLE_ASSERT(has(id), "id not numbered");
+    return num_[id];
+  }
+
+private:
+  std::vector<std::uint32_t> num_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t gen_ = 0;
+};
+
+/// Per-worker scratch for fingerprinting: the numbering arrays plus the
+/// discovery-order lists, all reused across cones.
+struct FingerprintScratch {
+  IdNumberer wire_num;
+  IdNumberer gate_num;
+  IdNumberer border_seen;
+  std::vector<WireId> wire_order;
+  std::vector<GateId> gate_order;
+};
+
+/// Canonical numbering: wires in breadth-first discovery order from the
+/// origins, gates at first encounter while walking each wire's gate_fanout
+/// in netlist order. Origins are never outputs of cone gates (the netlist
+/// is combinationally acyclic), so the traversal is well-defined and reaches
+/// every cone wire and gate — every fanout gate of a cone wire is a cone
+/// gate by definition.
+void canonical_walk(const netlist::Netlist& n, std::span<const WireId> origins,
+                    FingerprintScratch& scratch) {
+  IdNumberer& wire_num = scratch.wire_num;
+  IdNumberer& gate_num = scratch.gate_num;
+  wire_num.reset(n.num_wires());
+  gate_num.reset(n.num_gates());
+  std::vector<WireId>& wire_order = scratch.wire_order;
+  std::vector<GateId>& gate_order = scratch.gate_order;
+  wire_order.clear();
+  gate_order.clear();
+
+  for (WireId o : origins) {
+    if (wire_num.try_number(o.value(),
+                            static_cast<std::uint32_t>(wire_order.size()))) {
+      wire_order.push_back(o);
+    }
+  }
+  for (std::size_t head = 0; head < wire_order.size(); ++head) {
+    for (GateId g : n.wire(wire_order[head]).gate_fanout) {
+      if (!gate_num.try_number(
+              g.value(), static_cast<std::uint32_t>(gate_order.size()))) {
+        continue;
+      }
+      gate_order.push_back(g);
+      const WireId y = n.gate(g).output;
+      if (wire_num.try_number(
+              y.value(), static_cast<std::uint32_t>(wire_order.size()))) {
+        wire_order.push_back(y);
+      }
+    }
+  }
+}
+
+/// Encodes the walked cone against the (sorted) border-wire list.
+ConeSignature encode_walk(const netlist::Netlist& n,
+                          std::size_t num_origins,
+                          std::span<const WireId> borders,
+                          const FingerprintScratch& scratch) {
+  const IdNumberer& wire_num = scratch.wire_num;
+  const IdNumberer& gate_num = scratch.gate_num;
+  const std::vector<WireId>& wire_order = scratch.wire_order;
+  const std::vector<GateId>& gate_order = scratch.gate_order;
+
+  ConeSignature sig;
+  sig.cone_gates = gate_order.size();
+  auto& enc = sig.encoding;
+  enc.reserve(4 + wire_order.size() * 3 + gate_order.size() * 6);
+  enc.push_back(static_cast<std::uint32_t>(num_origins));
+  enc.push_back(static_cast<std::uint32_t>(wire_order.size()));
+  enc.push_back(static_cast<std::uint32_t>(gate_order.size()));
+  enc.push_back(static_cast<std::uint32_t>(borders.size()));
+
+  // Per cone wire: is it observed (primary output / flop D), and its fanout
+  // gate sequence — the exact order the path enumerator visits.
+  for (WireId w : wire_order) {
+    const netlist::Wire& wire = n.wire(w);
+    const bool observed = wire.is_primary_output || !wire.flop_fanout.empty();
+    enc.push_back(observed ? 1u : 0u);
+    enc.push_back(static_cast<std::uint32_t>(wire.gate_fanout.size()));
+    for (GateId g : wire.gate_fanout) enc.push_back(gate_num.at(g.value()));
+  }
+
+  // Per cone gate: cell kind and pin bindings. Cone pins carry the wire's
+  // canonical number (even tokens), border pins their sorted rank (odd
+  // tokens) — the two spaces can never alias.
+  for (GateId g : gate_order) {
+    const netlist::Gate& gate = n.gate(g);
+    enc.push_back(static_cast<std::uint32_t>(gate.kind));
+    enc.push_back(static_cast<std::uint32_t>(gate.inputs.size()));
+    for (WireId in : gate.inputs) {
+      if (wire_num.has(in.value())) {
+        enc.push_back(2u * wire_num.at(in.value()));
+      } else {
+        enc.push_back(2u * border_rank(borders, in) + 1u);
+      }
+    }
+    enc.push_back(wire_num.at(gate.output.value()));
+  }
+
+  Hasher h;
+  h.update(enc.data(), enc.size() * sizeof(std::uint32_t));
+  sig.digest = h.digest();
+  return sig;
+}
+
+/// One-pass fingerprint of a single-origin cone: walk, collect the sorted
+/// border-wire list, encode. Skips compute_cone entirely (no levelization,
+/// no topo-sorted gate list, no FaultCone allocation) — the grouping
+/// pre-pass is fingerprint-bound, so this is its hot path.
+ConeSignature fingerprint_origin(const netlist::Netlist& n, WireId origin,
+                                 FingerprintScratch& scratch,
+                                 std::vector<WireId>& borders) {
+  const WireId origins[1] = {origin};
+  canonical_walk(n, origins, scratch);
+
+  borders.clear();
+  scratch.border_seen.reset(n.num_wires());
+  for (GateId g : scratch.gate_order) {
+    for (WireId in : n.gate(g).inputs) {
+      if (!scratch.wire_num.has(in.value()) &&
+          scratch.border_seen.try_number(in.value(), 0)) {
+        borders.push_back(in);
+      }
+    }
+  }
+  std::sort(borders.begin(), borders.end());
+
+  return encode_walk(n, 1, borders, scratch);
+}
+
+/// Mutex-guarded free list of fingerprint scratches (the ThreadPool exposes
+/// no worker ids); the lock is taken twice per cone, negligible against the
+/// encoding walk.
+class ScratchPool {
+public:
+  std::unique_ptr<FingerprintScratch> acquire() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        std::unique_ptr<FingerprintScratch> s = std::move(idle_.back());
+        idle_.pop_back();
+        return s;
+      }
+    }
+    return std::make_unique<FingerprintScratch>();
+  }
+
+  void release(std::unique_ptr<FingerprintScratch> s) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(s));
+  }
+
+private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<FingerprintScratch>> idle_;
+};
+
+} // namespace
+
+ConeSignature fingerprint_cone(const netlist::Netlist& n,
+                               const FaultCone& cone) {
+  FingerprintScratch scratch;
+  canonical_walk(n, cone.origins, scratch);
+  RIPPLE_ASSERT(scratch.wire_order.size() == cone.wires.size() &&
+                    scratch.gate_order.size() == cone.gates.size(),
+                "cone traversal did not reach the whole cone");
+  return encode_walk(n, cone.origins.size(), cone.border_wires, scratch);
+}
+
+IsoGrouping group_isomorphic_cones(const netlist::Netlist& n,
+                                   std::span<const WireId> wires,
+                                   ThreadPool& pool) {
+  IsoGrouping g;
+  g.borders.resize(wires.size());
+  std::vector<ConeSignature> sigs(wires.size());
+  std::vector<double> seconds(wires.size(), 0.0);
+
+  ScratchPool scratches;
+  pool.parallel_for_index(wires.size(), [&](std::size_t i) {
+    Stopwatch watch;
+    std::unique_ptr<FingerprintScratch> scratch = scratches.acquire();
+    sigs[i] = fingerprint_origin(n, wires[i], *scratch, g.borders[i]);
+    scratches.release(std::move(scratch));
+    seconds[i] = watch.seconds();
+  });
+
+  // Group by digest bucket, confirm with full-encoding equality. Classes
+  // come out in first-discovery order, members ascending.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_digest;
+  by_digest.reserve(wires.size());
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    std::vector<std::size_t>& bucket = by_digest[sigs[i].digest];
+    std::size_t cls = static_cast<std::size_t>(-1);
+    for (std::size_t c : bucket) {
+      if (sigs[g.classes[c].members[0]] == sigs[i]) {
+        cls = c;
+        break;
+      }
+    }
+    if (cls == static_cast<std::size_t>(-1)) {
+      cls = g.classes.size();
+      g.classes.push_back(IsoClass{{}, sigs[i].cone_gates});
+      bucket.push_back(cls);
+    }
+    g.classes[cls].members.push_back(i);
+  }
+  for (double s : seconds) g.busy_seconds += s;
+  return g;
+}
+
+Cube remap_cube(const Cube& cube, std::span<const WireId> from,
+                std::span<const WireId> to) {
+  RIPPLE_ASSERT(from.size() == to.size(), "border lists differ in size");
+  std::vector<Literal> lits;
+  lits.reserve(cube.size());
+  for (const Literal& l : cube.literals()) {
+    lits.push_back(Literal{to[border_rank(from, l.wire)], l.value});
+  }
+  return Cube{std::move(lits)};
+}
+
+} // namespace ripple::mate

@@ -1,0 +1,84 @@
+// Cone-isomorphism fingerprints for the MATE search (dedup stage).
+//
+// Register files and pipeline registers yield hundreds of structurally
+// identical fault cones per core: the same gates in the same shape, just
+// instantiated over different wires. The search result for such a cone is a
+// pure function of its structure, so one representative search per class is
+// enough — every other member's MATE cubes follow by renaming border wires.
+//
+// The canonical encoding walks the cone in a deterministic breadth-first
+// order seeded by the fault origins (wire discovery order and, per wire, its
+// `gate_fanout` list in netlist order — exactly the order the path
+// enumerator walks), then records per-wire observability and fanout shape
+// and per-gate kind and pin bindings. A pin bound to a cone wire is encoded
+// by that wire's canonical number; a pin bound to a border wire by its rank
+// in the sorted border-wire list. Two cones with equal encodings therefore
+// run the identical search modulo the border-rank -> wire-id translation,
+// and because that correspondence is monotone in wire ids, every cube
+// comparison the search performs is preserved (see DESIGN.md §13 for the
+// full soundness argument).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mate/cone.hpp"
+#include "mate/cube.hpp"
+#include "netlist/netlist.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ripple::mate {
+
+/// Canonical structural encoding of a fault cone. Grouping compares the full
+/// encoding (exact — a digest collision can never merge distinct classes);
+/// the FNV-1a digest is only the hash-bucket key.
+struct ConeSignature {
+  std::vector<std::uint32_t> encoding;
+  std::uint64_t digest = 0;
+  std::size_t cone_gates = 0;
+
+  bool operator==(const ConeSignature& o) const {
+    return encoding == o.encoding;
+  }
+};
+
+[[nodiscard]] ConeSignature fingerprint_cone(const netlist::Netlist& n,
+                                             const FaultCone& cone);
+
+/// One isomorphism class over a faulty-wire list.
+struct IsoClass {
+  /// Indices into the faulty-wire list, ascending; members[0] is the
+  /// representative whose search result the others inherit.
+  std::vector<std::size_t> members;
+  /// Cone size of every member (scheduling weight: largest first).
+  std::size_t cone_gates = 0;
+};
+
+struct IsoGrouping {
+  std::vector<IsoClass> classes;
+  /// Per faulty-wire index: that wire's border wires, sorted ascending — the
+  /// rank correspondence remap_cube() translates cubes along.
+  std::vector<std::vector<WireId>> borders;
+  /// Sum of per-wire fingerprinting wall times (worker-busy seconds).
+  double busy_seconds = 0.0;
+};
+
+/// Fingerprint every wire's single-origin cone in parallel over `pool` and
+/// group equal encodings into isomorphism classes (first-discovery order).
+/// The canonical walk is origin-seeded, so no levelization is needed: the
+/// pre-pass runs in one traversal per wire, border collection fused in.
+[[nodiscard]] IsoGrouping group_isomorphic_cones(const netlist::Netlist& n,
+                                                 std::span<const WireId> wires,
+                                                 ThreadPool& pool);
+
+/// Translate a cube over the `from` border wires onto the corresponding
+/// `to` border wires: each literal's wire is replaced by the wire of equal
+/// rank. Both lists must be sorted ascending and equally long (guaranteed
+/// for cones with equal signatures). The rank map is monotone in wire ids,
+/// so cube ordering and equality are preserved across the translation.
+[[nodiscard]] Cube remap_cube(const Cube& cube, std::span<const WireId> from,
+                              std::span<const WireId> to);
+
+} // namespace ripple::mate

@@ -18,12 +18,16 @@ struct Mate {
   std::vector<WireId> masked_wires;
 
   [[nodiscard]] std::size_t num_inputs() const { return cube.size(); }
+
+  bool operator==(const Mate&) const = default;
 };
 
 /// A MATE set plus the faulty-wire universe it was computed against.
 struct MateSet {
   std::vector<Mate> mates;
   std::vector<WireId> faulty_wires;
+
+  bool operator==(const MateSet&) const = default;
 };
 
 } // namespace ripple::mate

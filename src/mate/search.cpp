@@ -1,10 +1,12 @@
 #include "mate/search.hpp"
 
 #include <algorithm>
-#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "mate/gate_masking.hpp"
-#include "sim/levelize.hpp"
+#include "mate/iso.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -12,7 +14,9 @@
 namespace ripple::mate {
 namespace {
 
-/// Search state for a single faulty wire.
+/// Search state for a single faulty wire. Reusable across wires: run_group
+/// resets the per-wire state but keeps the term/BitVec scratch capacity, so
+/// a pool worker constructs one of these, not one per wire.
 class WireSearch {
 public:
   WireSearch(const netlist::Netlist& n, const SearchParams& params,
@@ -54,6 +58,7 @@ public:
     }
     num_paths_ = pr.paths.size();
 
+    terms_.clear();
     if (!collect_terms(cone, pr)) {
       outcome.status = WireStatus::Unmaskable;
       return {};
@@ -84,8 +89,7 @@ public:
       return {};
     }
 
-    found_.clear();
-    found_sets_.clear();
+    recorder_.clear();
     candidates_ = 0;
     chosen_.clear();
     // Per-depth coverage scratch (depth = chosen_.size()): dfs copies the
@@ -95,9 +99,10 @@ public:
     dfs(0, Cube{});
 
     outcome.candidates_tried = candidates_;
-    outcome.mates_found = found_.size();
-    outcome.status = found_.empty() ? WireStatus::NoMate : WireStatus::Found;
-    return std::move(found_);
+    outcome.mates_found = recorder_.size();
+    outcome.status =
+        recorder_.size() == 0 ? WireStatus::NoMate : WireStatus::Found;
+    return recorder_.take_cubes();
   }
 
 private:
@@ -117,19 +122,23 @@ private:
   /// otherwise saturate gates ("all pins faulty") and lose all masking
   /// capability.
   ///
+  /// Term indices are assigned in first-encounter order, so the hashed maps
+  /// here yield the exact term list the old ordered-map version produced.
+  ///
   /// Returns false when a path has no maskable gate at all (early abort,
   /// paper Section 4: such a wire is unmaskable within the depth horizon).
   bool collect_terms(const FaultCone& cone, const PathEnumResult& pr) {
-    std::map<Cube, std::size_t> term_index;
-    std::map<std::pair<GateId, WireId>, std::vector<std::size_t>> terms_of;
+    term_index_.clear();
+    terms_of_.clear();
 
     const GateMaskingTable& gm = GateMaskingTable::instance();
     const auto collect = [&](GateId g, WireId entry)
         -> const std::vector<std::size_t>& {
-      const auto key = std::make_pair(g, entry);
-      const auto found = terms_of.find(key);
-      if (found != terms_of.end()) return found->second;
-      auto& slot = terms_of[key];
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(g.value()) << 32) | entry.value();
+      const auto found = terms_of_.find(key);
+      if (found != terms_of_.end()) return found->second;
+      auto& slot = terms_of_[key];
 
       const netlist::Gate& gate = n_.gate(g);
       std::uint8_t faulty_mask = 0;
@@ -156,7 +165,7 @@ private:
         if (!usable) continue;
         Cube cube{std::move(lits)};
         const auto [it, inserted] =
-            term_index.try_emplace(std::move(cube), terms_.size());
+            term_index_.try_emplace(std::move(cube), terms_.size());
         if (inserted) {
           terms_.push_back(Term{it->first, BitVec(num_paths_)});
         }
@@ -193,7 +202,7 @@ private:
     for (std::size_t i = from; i < order_.size(); ++i) {
       if (budget_exhausted()) return;
       if (chosen_.size() >= params_.max_terms) return;
-      if (found_.size() >= params_.max_mates_per_wire) return;
+      if (recorder_.size() >= params_.max_mates_per_wire) return;
 
       // Prune: remaining terms (including i) can no longer complete
       // coverage. full_ is all-ones over the paths, so coverage completion
@@ -228,17 +237,9 @@ private:
   }
 
   void record(const Cube& cube) {
-    // Skip supersets of an already-recorded term set (minimality): those add
-    // literals without masking more.
     std::vector<std::size_t> set = chosen_;
     std::sort(set.begin(), set.end());
-    for (const auto& prev : found_sets_) {
-      if (std::includes(set.begin(), set.end(), prev.begin(), prev.end())) {
-        return;
-      }
-    }
-    found_sets_.push_back(std::move(set));
-    found_.push_back(cube);
+    recorder_.add(std::move(set), cube);
   }
 
   const netlist::Netlist& n_;
@@ -247,18 +248,91 @@ private:
 
   std::size_t num_paths_ = 0;
   std::vector<Term> terms_;
+  // collect_terms scratch: cube -> index into terms_, and the term list per
+  // (gate << 32 | entry wire) pair. Node-based maps, so the references the
+  // collect lambda hands out stay valid across later insertions.
+  std::unordered_map<Cube, std::size_t> term_index_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> terms_of_;
   std::vector<std::size_t> order_;
   std::vector<BitVec> suffix_;
   BitVec full_;
   std::vector<BitVec> cov_stack_; // per-depth dfs coverage scratch
 
-  std::vector<Cube> found_;
-  std::vector<std::vector<std::size_t>> found_sets_;
+  MinimalCubeRecorder recorder_;
   std::vector<std::size_t> chosen_;
   std::size_t candidates_ = 0;
 };
 
+/// Hands out idle WireSearch instances so each pool worker keeps one warm
+/// (term/BitVec scratch) instead of constructing per wire. The pool has no
+/// worker ids, so this is a mutex-guarded free list; the lock is taken twice
+/// per wire, negligible against a search.
+class SearcherPool {
+public:
+  SearcherPool(const netlist::Netlist& n, const SearchParams& params,
+               const std::vector<std::uint32_t>& topo)
+      : n_(n), params_(params), topo_(topo) {}
+
+  std::unique_ptr<WireSearch> acquire() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        std::unique_ptr<WireSearch> s = std::move(idle_.back());
+        idle_.pop_back();
+        return s;
+      }
+    }
+    return std::make_unique<WireSearch>(n_, params_, topo_);
+  }
+
+  void release(std::unique_ptr<WireSearch> s) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(s));
+  }
+
+private:
+  const netlist::Netlist& n_;
+  const SearchParams& params_;
+  const std::vector<std::uint32_t>& topo_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<WireSearch>> idle_;
+};
+
 } // namespace
+
+bool MinimalCubeRecorder::add(std::vector<std::size_t> term_set,
+                              const Cube& cube) {
+  // Reject supersets (and duplicates) of anything already kept.
+  for (const std::vector<std::size_t>& prev : sets_) {
+    if (std::includes(term_set.begin(), term_set.end(), prev.begin(),
+                      prev.end())) {
+      return false;
+    }
+  }
+  // Evict kept sets that the new one subsumes.
+  std::size_t out = 0;
+  for (std::size_t k = 0; k < sets_.size(); ++k) {
+    if (std::includes(sets_[k].begin(), sets_[k].end(), term_set.begin(),
+                      term_set.end())) {
+      continue;
+    }
+    if (out != k) {
+      sets_[out] = std::move(sets_[k]);
+      cubes_[out] = std::move(cubes_[k]);
+    }
+    ++out;
+  }
+  sets_.resize(out);
+  cubes_.resize(out);
+  sets_.push_back(std::move(term_set));
+  cubes_.push_back(cube);
+  return true;
+}
+
+std::vector<Cube> MinimalCubeRecorder::take_cubes() {
+  sets_.clear();
+  return std::move(cubes_);
+}
 
 std::vector<std::size_t> SearchResult::cone_sizes() const {
   std::vector<std::size_t> v;
@@ -290,32 +364,149 @@ SearchResult find_mates(const netlist::Netlist& n,
   n.check();
 
   Stopwatch watch;
-  const sim::Levelization level = sim::levelize(n);
-  std::vector<std::uint32_t> topo(n.num_gates());
-  for (std::size_t i = 0; i < level.order.size(); ++i) {
-    topo[level.order[i].index()] = static_cast<std::uint32_t>(i);
-  }
+  const std::vector<std::uint32_t> topo = topo_positions(n);
 
   SearchResult result;
   result.outcomes.resize(faulty_wires.size());
   std::vector<std::vector<Cube>> cubes_per_wire(faulty_wires.size());
+  // Wire index -> isomorphism class (dedup mode only): lets the cross-wire
+  // merge below reuse one class member's resolved mate indices for the next.
+  // same_as_rep marks members whose remapped cube list is provably the
+  // representative's own (identity remap on every used border rank); their
+  // cubes are never materialized at all.
+  std::vector<std::size_t> class_of;
+  std::vector<std::uint8_t> same_as_rep;
 
   ThreadPool pool(params.threads);
-  pool.parallel_for_index(faulty_wires.size(), [&](std::size_t i) {
+  SearcherPool searchers(n, params, topo);
+  const auto search_wire = [&](std::size_t i) {
     Stopwatch wire_watch;
-    WireSearch search(n, params, topo);
-    cubes_per_wire[i] = search.run(faulty_wires[i], result.outcomes[i]);
+    std::unique_ptr<WireSearch> search = searchers.acquire();
+    cubes_per_wire[i] = search->run(faulty_wires[i], result.outcomes[i]);
+    searchers.release(std::move(search));
     result.outcomes[i].seconds = wire_watch.seconds();
-  });
+  };
+
+  if (params.dedup) {
+    const IsoGrouping grouping =
+        group_isomorphic_cones(n, faulty_wires, pool);
+    result.dedup_classes = grouping.classes.size();
+    result.busy_seconds += grouping.busy_seconds;
+    class_of.resize(faulty_wires.size());
+    for (std::size_t c = 0; c < grouping.classes.size(); ++c) {
+      for (std::size_t m : grouping.classes[c].members) class_of[m] = c;
+    }
+    same_as_rep.assign(faulty_wires.size(), 0);
+
+    // Largest cone first: a few big unique cones dominate wall time, so
+    // they must start before the swarm of small register-file classes, not
+    // after them (tail latency). grain=1 keeps the schedule order intact.
+    std::vector<std::size_t> schedule(grouping.classes.size());
+    for (std::size_t i = 0; i < schedule.size(); ++i) schedule[i] = i;
+    std::sort(schedule.begin(), schedule.end(),
+              [&](std::size_t a, std::size_t b) {
+                const std::size_t ga = grouping.classes[a].cone_gates;
+                const std::size_t gb = grouping.classes[b].cone_gates;
+                if (ga != gb) return ga > gb;
+                return a < b;
+              });
+
+    pool.parallel_for_index(
+        schedule.size(),
+        [&](std::size_t si) {
+          const IsoClass& cls = grouping.classes[schedule[si]];
+          const std::size_t rep = cls.members[0];
+          search_wire(rep);
+
+          // Border ranks the representative's literals actually touch: a
+          // member whose border wires agree with the rep's on every used
+          // rank gets the identity remap, so its cube list IS the rep's —
+          // no cube is materialized and the merge reuses the rep's mate
+          // indices verbatim.
+          const std::vector<WireId>& rep_borders = grouping.borders[rep];
+          std::vector<std::uint32_t> used_ranks;
+          for (const Cube& c : cubes_per_wire[rep]) {
+            for (const Literal& l : c.literals()) {
+              const auto it = std::lower_bound(rep_borders.begin(),
+                                               rep_borders.end(), l.wire);
+              used_ranks.push_back(
+                  static_cast<std::uint32_t>(it - rep_borders.begin()));
+            }
+          }
+          std::sort(used_ranks.begin(), used_ranks.end());
+          used_ranks.erase(
+              std::unique(used_ranks.begin(), used_ranks.end()),
+              used_ranks.end());
+
+          // Members inherit the representative's outcome (identical by
+          // isomorphism) and its cubes, translated over the rank-preserving
+          // border correspondence.
+          for (std::size_t k = 1; k < cls.members.size(); ++k) {
+            const std::size_t m = cls.members[k];
+            Stopwatch member_watch;
+            WireOutcome& o = result.outcomes[m];
+            o = result.outcomes[rep];
+            o.wire = faulty_wires[m];
+            const std::vector<WireId>& mem_borders = grouping.borders[m];
+            const bool identity = std::all_of(
+                used_ranks.begin(), used_ranks.end(), [&](std::uint32_t r) {
+                  return mem_borders[r] == rep_borders[r];
+                });
+            if (identity) {
+              same_as_rep[m] = 1;
+            } else {
+              cubes_per_wire[m].reserve(cubes_per_wire[rep].size());
+              for (const Cube& c : cubes_per_wire[rep]) {
+                cubes_per_wire[m].push_back(
+                    remap_cube(c, rep_borders, mem_borders));
+              }
+            }
+            o.seconds = member_watch.seconds();
+          }
+        },
+        /*grain=*/1);
+  } else {
+    pool.parallel_for_index(faulty_wires.size(), search_wire);
+  }
+
+  for (const WireOutcome& o : result.outcomes) {
+    result.busy_seconds += o.seconds;
+  }
 
   // Merge identical cubes across wires: one MATE can prove several faults
-  // benign (Section 4, step 3).
-  std::map<Cube, std::size_t> by_cube;
+  // benign (Section 4, step 3). Mate indices are assigned in first-seen
+  // order, so the hashed index produces the exact ordered-map output.
+  //
+  // Dedup fast path: isomorphic siblings usually carry literally identical
+  // cube lists (masking terms live on shared control wires — write enables,
+  // address decodes — not on the per-bit wires the remap renames), so the
+  // first-processed member's resolved mate indices are memoized per class
+  // and reused whenever a later member's list compares equal. The reused
+  // indices are exactly what the hash probes would return, so the output is
+  // unchanged.
+  struct ClassMergeMemo {
+    const std::vector<Cube>* cubes = nullptr;
+    std::vector<std::size_t> mate_ids;
+  };
+  std::vector<ClassMergeMemo> memo(result.dedup_classes);
+  std::unordered_map<Cube, std::size_t> by_cube;
+  by_cube.reserve(faulty_wires.size());
+  std::vector<std::size_t> ids_scratch;
   for (std::size_t i = 0; i < faulty_wires.size(); ++i) {
     const WireOutcome& o = result.outcomes[i];
     result.total_candidates += o.candidates_tried;
     result.total_mates += o.mates_found;
     if (o.status == WireStatus::Unmaskable) ++result.unmaskable_wires;
+
+    ClassMergeMemo* m = class_of.empty() ? nullptr : &memo[class_of[i]];
+    if (m != nullptr && m->cubes != nullptr &&
+        (same_as_rep[i] != 0 || *m->cubes == cubes_per_wire[i])) {
+      for (std::size_t id : m->mate_ids) {
+        result.set.mates[id].masked_wires.push_back(faulty_wires[i]);
+      }
+      continue;
+    }
+    ids_scratch.clear();
     for (const Cube& c : cubes_per_wire[i]) {
       const auto [it, inserted] =
           by_cube.try_emplace(c, result.set.mates.size());
@@ -323,6 +514,14 @@ SearchResult find_mates(const netlist::Netlist& n,
         result.set.mates.push_back(Mate{c, {}});
       }
       result.set.mates[it->second].masked_wires.push_back(faulty_wires[i]);
+      ids_scratch.push_back(it->second);
+    }
+    // Only the class's first-merged member (the representative: members are
+    // ascending and the rep is members[0]) seeds the memo, so the memo and
+    // the same_as_rep flags always refer to the same cube list.
+    if (m != nullptr && m->cubes == nullptr) {
+      m->cubes = &cubes_per_wire[i];
+      m->mate_ids = ids_scratch;
     }
   }
   result.set.faulty_wires = faulty_wires;
@@ -334,13 +533,15 @@ SearchResult find_mates(const netlist::Netlist& n,
 GroupOutcome find_group_mates(const netlist::Netlist& n,
                               std::span<const WireId> group,
                               const SearchParams& params) {
+  return find_group_mates(n, group, params, topo_positions(n));
+}
+
+GroupOutcome find_group_mates(const netlist::Netlist& n,
+                              std::span<const WireId> group,
+                              const SearchParams& params,
+                              const std::vector<std::uint32_t>& topo) {
   RIPPLE_CHECK(!group.empty(), "empty fault group");
   n.check();
-  const sim::Levelization level = sim::levelize(n);
-  std::vector<std::uint32_t> topo(n.num_gates());
-  for (std::size_t i = 0; i < level.order.size(); ++i) {
-    topo[level.order[i].index()] = static_cast<std::uint32_t>(i);
-  }
   WireSearch search(n, params, topo);
   WireOutcome outcome;
   GroupOutcome out;
@@ -354,4 +555,3 @@ GroupOutcome find_group_mates(const netlist::Netlist& n,
 }
 
 } // namespace ripple::mate
-

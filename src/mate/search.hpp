@@ -38,6 +38,13 @@ struct SearchParams {
   std::size_t max_mates_per_wire = 256;
   /// Worker threads; 0 = hardware concurrency.
   std::size_t threads = 0;
+  /// Exploit cone isomorphism (mate/iso.hpp): fingerprint every faulty
+  /// wire's cone, run the search once per structural class and remap the
+  /// representative's cubes onto the members over the border-wire
+  /// correspondence. Byte-identical to the per-wire oracle, which stays
+  /// reachable via `--search-dedup=off`; like `threads`, this flag is not
+  /// part of any cache key.
+  bool dedup = true;
 };
 
 enum class WireStatus {
@@ -55,8 +62,9 @@ struct WireOutcome {
   std::size_t num_paths = 0;
   std::size_t candidates_tried = 0;
   std::size_t mates_found = 0;
-  /// Wall time of this wire's search; the sum over wires is the busy time
-  /// behind SearchResult::seconds (pipeline thread-utilization stat).
+  /// Wall time spent on this wire: the full search for class
+  /// representatives (and every wire with dedup off), just the cube remap
+  /// for other class members.
   double seconds = 0.0;
 };
 
@@ -72,6 +80,13 @@ struct SearchResult {
   /// Worker threads the search ran with (pool size; informational only, not
   /// part of any cache key — thread count does not change the result).
   std::size_t threads_used = 0;
+  /// Isomorphism classes the dedup stage searched (0 when dedup was off).
+  /// Informational only, like threads_used: the MATE output is identical
+  /// either way.
+  std::size_t dedup_classes = 0;
+  /// Worker-busy seconds (cone fingerprinting + per-wire search + remap);
+  /// the numerator of the pipeline's search_utilization stat.
+  double busy_seconds = 0.0;
 
   [[nodiscard]] std::vector<std::size_t> cone_sizes() const;
 };
@@ -98,6 +113,35 @@ struct GroupOutcome {
 [[nodiscard]] GroupOutcome find_group_mates(const netlist::Netlist& n,
                                             std::span<const WireId> group,
                                             const SearchParams& params = {});
+/// Same, with precomputed topo positions (mate::topo_positions) so sweeps
+/// over many groups — the MBU ablations — don't re-levelize per call.
+[[nodiscard]] GroupOutcome find_group_mates(
+    const netlist::Netlist& n, std::span<const WireId> group,
+    const SearchParams& params,
+    const std::vector<std::uint32_t>& topo_positions);
+
+/// Bookkeeping behind the per-wire DFS's record(): keeps the found MATEs
+/// minimal in *both* directions. A new term set is rejected when it is a
+/// superset of a kept one, and kept sets that are supersets of the new one
+/// are dropped — so the max_mates_per_wire budget only ever holds minimal
+/// MATEs (the DFS can reach a superset combination before its subset).
+class MinimalCubeRecorder {
+public:
+  void clear() {
+    sets_.clear();
+    cubes_.clear();
+  }
+  /// `term_set` must be sorted ascending. Returns true when the cube was
+  /// kept (possibly evicting previously kept supersets).
+  bool add(std::vector<std::size_t> term_set, const Cube& cube);
+  [[nodiscard]] std::size_t size() const { return cubes_.size(); }
+  /// Surviving cubes in recording order; leaves the recorder empty.
+  [[nodiscard]] std::vector<Cube> take_cubes();
+
+private:
+  std::vector<std::vector<std::size_t>> sets_;
+  std::vector<Cube> cubes_;
+};
 
 /// Faulty-wire helpers for the evaluation's two fault sets.
 [[nodiscard]] std::vector<WireId> all_flop_wires(const netlist::Netlist& n);

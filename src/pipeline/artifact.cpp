@@ -235,6 +235,8 @@ void write_search_result(ByteWriter& w, const mate::SearchResult& result) {
   w.u64(result.unmaskable_wires);
   w.f64(result.seconds);
   w.u64(result.threads_used);
+  w.u64(result.dedup_classes);
+  w.f64(result.busy_seconds);
 }
 
 mate::SearchResult read_search_result(ByteReader& r) {
@@ -263,6 +265,8 @@ mate::SearchResult read_search_result(ByteReader& r) {
   result.unmaskable_wires = static_cast<std::size_t>(r.u64());
   result.seconds = r.f64();
   result.threads_used = static_cast<std::size_t>(r.u64());
+  result.dedup_classes = static_cast<std::size_t>(r.u64());
+  result.busy_seconds = r.f64();
   return result;
 }
 

@@ -34,7 +34,7 @@ namespace ripple::pipeline {
 
 /// Bump when any payload layout below changes; part of every cache key, so
 /// stale cache directories invalidate themselves.
-inline constexpr std::uint32_t kArtifactVersion = 1;
+inline constexpr std::uint32_t kArtifactVersion = 2;
 
 // --- payload serializers (symmetrical write/read pairs) -------------------
 

@@ -10,6 +10,8 @@
 //   --cycles=N         override the trace length
 //   --eval-engine=E    MATE evaluation engine: stream (default), bitpar or
 //                      scalar
+//   --search-dedup=M   cone-isomorphism dedup in the MATE search: on
+//                      (default) or off (per-wire oracle)
 //   --trace-chunk-cycles=N  streaming trace chunk length (multiple of 64)
 //   --report=json[:F]  emit the stage/cache report as JSON (stderr, or file F)
 #pragma once
@@ -32,6 +34,7 @@ struct PipelineOptions {
   std::size_t depth = 0;  // 0 = keep SearchParams default
   std::size_t cycles = 0; // 0 = keep the binary's default
   std::string eval_engine; // "", "stream", "bitpar" or "scalar"
+  std::string search_dedup; // "", "on" or "off"
   std::string report;     // "", "json" or "json:FILE"
   std::size_t trace_chunk_cycles = 0; // 0 = kDefaultChunkCycles
 
@@ -41,6 +44,10 @@ struct PipelineOptions {
 
   /// --eval-engine parsed ("" defaults to stream).
   [[nodiscard]] mate::EvalEngine engine() const;
+
+  /// --search-dedup parsed ("" defaults to on). Throws ripple::Error on an
+  /// unknown value.
+  [[nodiscard]] bool dedup_enabled() const;
 
   /// Default SearchParams with --depth/--threads applied.
   [[nodiscard]] mate::SearchParams search_params() const;

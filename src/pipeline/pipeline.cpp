@@ -57,8 +57,10 @@ std::uint64_t search_key(std::uint64_t netlist_fp,
   h.update_value(netlist_fp);
   h.update_value(static_cast<std::uint64_t>(faulty.size()));
   for (WireId wire : faulty) h.update_value(wire.value());
-  // Every result-affecting parameter; `threads` is deliberately absent (it
-  // changes wall time, never results).
+  // Every result-affecting parameter; `threads` and `dedup` are
+  // deliberately absent (they change wall time, never results — dedup on
+  // and off are byte-identical by construction, search_iso_test verifies
+  // it), so neither flag splits the cache.
   h.update_value(static_cast<std::uint32_t>(p.path_depth));
   h.update_value(static_cast<std::uint32_t>(p.max_terms));
   h.update_value(static_cast<std::uint64_t>(p.max_candidates_per_wire));
@@ -113,6 +115,7 @@ void fill_search_counters(StageStats& stats, const mate::SearchResult& r) {
       {"mates", static_cast<double>(r.set.mates.size())},
       {"candidates", static_cast<double>(r.total_candidates)},
       {"unmaskable_wires", static_cast<double>(r.unmaskable_wires)},
+      {"search_dedup_classes", static_cast<double>(r.dedup_classes)},
   };
 }
 
@@ -305,7 +308,8 @@ mate::SearchResult CampaignPipeline::find_mates(
     const netlist::Netlist& n, std::uint64_t netlist_fingerprint,
     std::span<const WireId> faulty, const mate::SearchParams& params,
     std::string detail) {
-  const mate::SearchParams run_params = apply_threads(params);
+  mate::SearchParams run_params = apply_threads(params);
+  run_params.dedup = config_.search_dedup;
   const CacheKey key{"find_mates",
                      search_key(netlist_fingerprint, faulty, run_params)};
   StageStats stats;
@@ -334,13 +338,13 @@ mate::SearchResult CampaignPipeline::find_mates(
 
   stats.seconds = watch.seconds();
   stats.threads = std::max<std::size_t>(result.threads_used, 1);
-  double busy = 0.0;
-  for (const mate::WireOutcome& o : result.outcomes) busy += o.seconds;
   if (stats.seconds > 0.0) {
-    stats.utilization = std::min(
-        1.0, busy / (static_cast<double>(stats.threads) * stats.seconds));
+    stats.utilization =
+        std::min(1.0, result.busy_seconds /
+                          (static_cast<double>(stats.threads) * stats.seconds));
   }
   fill_search_counters(stats, result);
+  stats.counters.emplace_back("search_utilization", stats.utilization);
   notify_end(stats);
   return result;
 }

@@ -78,6 +78,10 @@ struct PipelineConfig {
   /// Engine for the evaluate/select stages (`--eval-engine`). Deliberately
   /// absent from the cache keys: all engines produce identical results.
   mate::EvalEngine eval_engine = mate::EvalEngine::Streaming;
+  /// Cone-isomorphism dedup in the find_mates stage (`--search-dedup`).
+  /// Deliberately absent from the search cache key, like `threads`: on and
+  /// off produce byte-identical MATE results, only wall time changes.
+  bool search_dedup = true;
   /// Chunk length of the streaming trace path (`--trace-chunk-cycles`);
   /// must be a positive multiple of 64.
   std::size_t trace_chunk_cycles = sim::kDefaultChunkCycles;

@@ -153,17 +153,22 @@ TEST(Artifact, SearchResultRoundTrip) {
   result.unmaskable_wires = 1;
   result.seconds = 1.5;
   result.threads_used = 8;
+  result.dedup_classes = 3;
+  result.busy_seconds = 4.5;
   expect_roundtrip(result, write_search_result,
                    [](ByteReader& r) { return read_search_result(r); });
 
-  // seconds/threads_used are part of the payload: a cache hit replays the
-  // original run's timing so table output is byte-identical.
+  // seconds/threads_used (and the informational dedup/busy stats) are part
+  // of the payload: a cache hit replays the original run's timing so table
+  // output is byte-identical.
   ByteWriter w;
   write_search_result(w, result);
   ByteReader r(w.bytes());
   const mate::SearchResult back = read_search_result(r);
   EXPECT_DOUBLE_EQ(back.seconds, 1.5);
   EXPECT_EQ(back.threads_used, 8u);
+  EXPECT_EQ(back.dedup_classes, 3u);
+  EXPECT_DOUBLE_EQ(back.busy_seconds, 4.5);
   EXPECT_EQ(back.outcomes[0].status, mate::WireStatus::Found);
 }
 

@@ -1,0 +1,281 @@
+// Cone-isomorphism dedup (mate/iso.hpp): canonical fingerprints, cube
+// remapping, the both-direction minimality recorder, and the end-to-end
+// guarantee that find_mates with dedup on is byte-identical to the per-wire
+// oracle — on hand-built twins, random circuits and both cores' flop sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cores/avr/core.hpp"
+#include "cores/msp430/core.hpp"
+#include "mate/iso.hpp"
+#include "mate/search.hpp"
+#include "netlist/random.hpp"
+#include "util/rng.hpp"
+
+namespace ripple::mate {
+namespace {
+
+using netlist::Kind;
+using netlist::Netlist;
+
+/// Two structurally identical single-AND cones behind flops fa/fb, gated by
+/// distinct enable inputs, plus an OR-shaped third cone. Exercises match,
+/// kind mismatch and pin-binding mismatch.
+struct TwinCircuit {
+  Netlist n;
+  FlopId fa, fb, fc;
+  WireId ena, enb, enc;
+};
+
+TwinCircuit build_twins() {
+  TwinCircuit t;
+  t.ena = t.n.add_input("ena");
+  t.enb = t.n.add_input("enb");
+  t.enc = t.n.add_input("enc");
+  t.fa = t.n.add_flop("fa", false);
+  t.fb = t.n.add_flop("fb", false);
+  t.fc = t.n.add_flop("fc", false);
+  const FlopId ta = t.n.add_flop("ta", false);
+  const FlopId tb = t.n.add_flop("tb", false);
+  const FlopId tc = t.n.add_flop("tc", false);
+  t.n.connect_flop(
+      ta, t.n.add_gate_new(Kind::And2, {t.n.flop(t.fa).q, t.ena}, "ka"));
+  t.n.connect_flop(
+      tb, t.n.add_gate_new(Kind::And2, {t.n.flop(t.fb).q, t.enb}, "kb"));
+  t.n.connect_flop(
+      tc, t.n.add_gate_new(Kind::Or2, {t.n.flop(t.fc).q, t.enc}, "kc"));
+  t.n.connect_flop(t.fa, t.ena);
+  t.n.connect_flop(t.fb, t.enb);
+  t.n.connect_flop(t.fc, t.enc);
+  t.n.mark_output(t.n.flop(ta).q);
+  t.n.mark_output(t.n.flop(tb).q);
+  t.n.mark_output(t.n.flop(tc).q);
+  return t;
+}
+
+/// Everything that must be byte-identical between dedup on and off. Timing
+/// fields and the informational threads_used/dedup_classes are excluded,
+/// exactly like the cached-artifact replay path treats them.
+void expect_identical(const SearchResult& oracle, const SearchResult& dedup) {
+  EXPECT_EQ(oracle.set.mates.size(), dedup.set.mates.size());
+  EXPECT_TRUE(oracle.set == dedup.set);
+  ASSERT_EQ(oracle.outcomes.size(), dedup.outcomes.size());
+  for (std::size_t i = 0; i < oracle.outcomes.size(); ++i) {
+    const WireOutcome& x = oracle.outcomes[i];
+    const WireOutcome& y = dedup.outcomes[i];
+    EXPECT_EQ(x.wire, y.wire);
+    EXPECT_EQ(x.status, y.status) << "wire index " << i;
+    EXPECT_EQ(x.cone_gates, y.cone_gates);
+    EXPECT_EQ(x.border_wires, y.border_wires);
+    EXPECT_EQ(x.num_paths, y.num_paths);
+    EXPECT_EQ(x.candidates_tried, y.candidates_tried) << "wire index " << i;
+    EXPECT_EQ(x.mates_found, y.mates_found) << "wire index " << i;
+  }
+  EXPECT_EQ(oracle.total_candidates, dedup.total_candidates);
+  EXPECT_EQ(oracle.total_mates, dedup.total_mates);
+  EXPECT_EQ(oracle.unmaskable_wires, dedup.unmaskable_wires);
+}
+
+SearchResult run_mode(const Netlist& n, const std::vector<WireId>& wires,
+                      SearchParams params, bool dedup) {
+  params.dedup = dedup;
+  return find_mates(n, wires, params);
+}
+
+TEST(IsoFingerprint, TwinConesMatchDifferentShapesDont) {
+  const TwinCircuit t = build_twins();
+  const auto topo = topo_positions(t.n);
+  const FaultCone ca = compute_cone(t.n, t.n.flop(t.fa).q, topo);
+  const FaultCone cb = compute_cone(t.n, t.n.flop(t.fb).q, topo);
+  const FaultCone cc = compute_cone(t.n, t.n.flop(t.fc).q, topo);
+
+  const ConeSignature sa = fingerprint_cone(t.n, ca);
+  const ConeSignature sb = fingerprint_cone(t.n, cb);
+  const ConeSignature sc = fingerprint_cone(t.n, cc);
+
+  EXPECT_TRUE(sa == sb);
+  EXPECT_EQ(sa.digest, sb.digest);
+  EXPECT_EQ(sa.cone_gates, 1u);
+  // Same gate count and border size, different cell kind -> different class.
+  EXPECT_FALSE(sa == sc);
+
+  // The border correspondence is positional over the sorted border lists.
+  ASSERT_EQ(ca.border_wires.size(), cb.border_wires.size());
+  EXPECT_EQ(ca.border_wires[0], t.ena);
+  EXPECT_EQ(cb.border_wires[0], t.enb);
+}
+
+TEST(IsoFingerprint, PinBindingDistinguishesCones) {
+  // Two AND cones whose faulty flop enters at pin 0 vs pin 1: structurally
+  // different searches (the faulty_mask differs), so they must not class
+  // together even though gate kind, counts and border sizes all match.
+  Netlist n;
+  const WireId ena = n.add_input("ena");
+  const WireId enb = n.add_input("enb");
+  const FlopId fa = n.add_flop("fa", false);
+  const FlopId fb = n.add_flop("fb", false);
+  const FlopId ta = n.add_flop("ta", false);
+  const FlopId tb = n.add_flop("tb", false);
+  n.connect_flop(ta, n.add_gate_new(Kind::And2, {n.flop(fa).q, ena}, "ka"));
+  n.connect_flop(tb, n.add_gate_new(Kind::And2, {enb, n.flop(fb).q}, "kb"));
+  n.connect_flop(fa, ena);
+  n.connect_flop(fb, enb);
+  n.mark_output(n.flop(ta).q);
+  n.mark_output(n.flop(tb).q);
+
+  const auto topo = topo_positions(n);
+  const ConeSignature sa =
+      fingerprint_cone(n, compute_cone(n, n.flop(fa).q, topo));
+  const ConeSignature sb =
+      fingerprint_cone(n, compute_cone(n, n.flop(fb).q, topo));
+  EXPECT_FALSE(sa == sb);
+}
+
+TEST(IsoFingerprint, RemapCubeTranslatesByRank) {
+  const std::vector<WireId> from = {WireId{2}, WireId{5}, WireId{9}};
+  const std::vector<WireId> to = {WireId{11}, WireId{14}, WireId{30}};
+  const Cube cube({Literal{WireId{2}, false}, Literal{WireId{9}, true}});
+  const Cube mapped = remap_cube(cube, from, to);
+  EXPECT_EQ(mapped,
+            Cube({Literal{WireId{11}, false}, Literal{WireId{30}, true}}));
+  // Rank map is monotone: cube ordering is preserved across translation.
+  const Cube other({Literal{WireId{5}, true}});
+  EXPECT_EQ(cube < other, mapped < remap_cube(other, from, to));
+}
+
+TEST(IsoFingerprint, GroupingClassesTwinWires) {
+  const TwinCircuit t = build_twins();
+  const std::vector<WireId> wires = {t.n.flop(t.fa).q, t.n.flop(t.fb).q,
+                                     t.n.flop(t.fc).q};
+  ThreadPool pool(2);
+  const IsoGrouping g = group_isomorphic_cones(t.n, wires, pool);
+  ASSERT_EQ(g.classes.size(), 2u);
+  EXPECT_EQ(g.classes[0].members, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(g.classes[1].members, (std::vector<std::size_t>{2}));
+  ASSERT_EQ(g.borders.size(), 3u);
+  EXPECT_EQ(g.borders[0], (std::vector<WireId>{t.ena}));
+  EXPECT_EQ(g.borders[1], (std::vector<WireId>{t.enb}));
+}
+
+TEST(MinimalCubeRecorderTest, DropsSupersetsInBothDirections) {
+  MinimalCubeRecorder rec;
+  const Cube a({Literal{WireId{1}, true}});
+  const Cube b({Literal{WireId{2}, true}});
+  const Cube c({Literal{WireId{3}, true}});
+
+  // Supersets recorded first are evicted once the subset arrives.
+  EXPECT_TRUE(rec.add({0, 1, 2}, a));
+  EXPECT_TRUE(rec.add({3, 4}, b));
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_TRUE(rec.add({1, 2}, c)); // subsumes {0,1,2}
+  EXPECT_EQ(rec.size(), 2u);
+
+  // Supersets (and duplicates) of kept sets are rejected.
+  EXPECT_FALSE(rec.add({1, 2, 5}, a));
+  EXPECT_FALSE(rec.add({3, 4}, a));
+  EXPECT_EQ(rec.size(), 2u);
+
+  const std::vector<Cube> cubes = rec.take_cubes();
+  EXPECT_EQ(cubes, (std::vector<Cube>{b, c}));
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(SearchIso, DedupMatchesOracleOnTwins) {
+  const TwinCircuit t = build_twins();
+  const std::vector<WireId> wires = {t.n.flop(t.fa).q, t.n.flop(t.fb).q,
+                                     t.n.flop(t.fc).q};
+  SearchParams params;
+  params.threads = 2;
+  const SearchResult oracle = run_mode(t.n, wires, params, false);
+  const SearchResult dedup = run_mode(t.n, wires, params, true);
+  expect_identical(oracle, dedup);
+  EXPECT_EQ(oracle.dedup_classes, 0u);
+  EXPECT_EQ(dedup.dedup_classes, 2u);
+
+  // The remapped member MATE mentions *its* border wire, not the rep's.
+  bool fb_masked_by_enb = false;
+  for (const Mate& m : dedup.set.mates) {
+    if (m.cube == Cube({Literal{t.enb, false}})) {
+      fb_masked_by_enb =
+          std::find(m.masked_wires.begin(), m.masked_wires.end(),
+                    t.n.flop(t.fb).q) != m.masked_wires.end();
+    }
+  }
+  EXPECT_TRUE(fb_masked_by_enb);
+}
+
+TEST(SearchIso, RandomCircuitsByteIdentical) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(seed);
+    netlist::RandomCircuitSpec spec;
+    spec.num_inputs = 6;
+    spec.num_flops = 12;
+    spec.num_gates = 80;
+    spec.allow_xor = (seed % 3 == 0);
+    const Netlist n = random_circuit(spec, rng);
+
+    SearchParams params;
+    params.threads = 2;
+    const std::vector<WireId> wires = all_flop_wires(n);
+    const SearchResult oracle = run_mode(n, wires, params, false);
+    const SearchResult dedup = run_mode(n, wires, params, true);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_identical(oracle, dedup);
+    EXPECT_GE(dedup.dedup_classes, 1u);
+    EXPECT_LE(dedup.dedup_classes, wires.size());
+  }
+}
+
+TEST(SearchIso, GroupTopoOverloadMatchesConvenienceOverload) {
+  const TwinCircuit t = build_twins();
+  const WireId group[2] = {t.n.flop(t.fa).q, t.n.flop(t.fb).q};
+  SearchParams params;
+  const GroupOutcome a =
+      find_group_mates(t.n, std::span<const WireId>(group, 2), params);
+  const GroupOutcome b = find_group_mates(
+      t.n, std::span<const WireId>(group, 2), params, topo_positions(t.n));
+  EXPECT_EQ(a.wires, b.wires);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.cone_gates, b.cone_gates);
+  EXPECT_EQ(a.num_paths, b.num_paths);
+  EXPECT_EQ(a.candidates_tried, b.candidates_tried);
+  EXPECT_EQ(a.mates, b.mates);
+}
+
+/// Full-flop-set identity on the real cores, trimmed search parameters so
+/// the oracle side stays CI-sized. The dedup ratio must actually bite on
+/// both cores (register files guarantee repeated cone shapes).
+class SearchIsoCores : public ::testing::Test {
+protected:
+  static SearchParams core_params() {
+    SearchParams p;
+    p.path_depth = 8;
+    p.max_candidates_per_wire = 2000;
+    return p;
+  }
+};
+
+TEST_F(SearchIsoCores, AvrFlopSetByteIdentical) {
+  const Netlist n = cores::avr::build_avr_core(true).netlist;
+  const std::vector<WireId> wires = all_flop_wires(n);
+  const SearchResult oracle = run_mode(n, wires, core_params(), false);
+  const SearchResult dedup = run_mode(n, wires, core_params(), true);
+  expect_identical(oracle, dedup);
+  EXPECT_GT(dedup.dedup_classes, 0u);
+  EXPECT_LT(dedup.dedup_classes, wires.size() / 2)
+      << "AVR register file should collapse into few classes";
+}
+
+TEST_F(SearchIsoCores, Msp430FlopSetByteIdentical) {
+  const Netlist n = cores::msp430::build_msp430_core(true).netlist;
+  const std::vector<WireId> wires = all_flop_wires(n);
+  const SearchResult oracle = run_mode(n, wires, core_params(), false);
+  const SearchResult dedup = run_mode(n, wires, core_params(), true);
+  expect_identical(oracle, dedup);
+  EXPECT_GT(dedup.dedup_classes, 0u);
+  EXPECT_LT(dedup.dedup_classes, wires.size());
+}
+
+} // namespace
+} // namespace ripple::mate
