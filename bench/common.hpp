@@ -11,6 +11,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -59,10 +60,10 @@ public:
                    e.what());
       std::exit(2);
     }
-    pipe_->add_observer(&progress_observer_);
+    pipe_->add_observer(progress_observer_);
     if (opts_.report_json()) {
-      report_.emplace();
-      pipe_->add_observer(&*report_);
+      report_ = std::make_shared<pipeline::JsonReportObserver>();
+      pipe_->add_observer(report_);
     }
   }
 
@@ -134,8 +135,9 @@ private:
   std::string program_;
   OptionParser parser_;
   pipeline::PipelineOptions opts_;
-  pipeline::ProgressObserver progress_observer_;
-  std::optional<pipeline::JsonReportObserver> report_;
+  std::shared_ptr<pipeline::ProgressObserver> progress_observer_ =
+      std::make_shared<pipeline::ProgressObserver>();
+  std::shared_ptr<pipeline::JsonReportObserver> report_;
   std::optional<pipeline::CampaignPipeline> pipe_;
 };
 

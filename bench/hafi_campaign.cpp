@@ -131,7 +131,7 @@ int main(int argc, char** argv) {
 
   const auto spec_for = [&](hafi::CampaignMode mode,
                             const mate::MateSet* mates) {
-    pipeline::CampaignPipeline::CampaignSpec spec;
+    pipeline::CampaignSpec spec;
     spec.factory = target.factory;
     spec.batch_factory = target.batch_factory;
     spec.config = cfg;

@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   const cores::avr::AvrCore core = cores::avr::build_avr_core(true);
   const cores::avr::Program program = cores::avr::fib_program();
 
-  pipeline::CampaignPipeline::CampaignSpec spec;
+  pipeline::CampaignSpec spec;
   spec.factory = hafi::make_avr_factory(core, program);
   spec.batch_factory = hafi::make_avr_batch_factory(core, program);
   spec.config = cfg;

@@ -8,6 +8,7 @@
 //   $ ./avr_campaign [--cache-dir=DIR] [--threads=N] [--resume] [sample-size]
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "hafi/avr_dut.hpp"
 #include "hafi/campaign.hpp"
@@ -40,8 +41,8 @@ int main(int argc, char** argv) {
           : static_cast<std::size_t>(std::atoi(positional[0].c_str()));
 
   pipeline::CampaignPipeline pipe(opts.config());
-  pipeline::ProgressObserver progress;
-  pipe.add_observer(&progress);
+  const auto progress = std::make_shared<pipeline::ProgressObserver>();
+  pipe.add_observer(progress);
 
   // A small checksum workload: sums a memory block and reports the result.
   const cores::avr::Program program = cores::avr::assemble(R"(
@@ -102,7 +103,7 @@ sum:
 
   const auto spec_for = [&](hafi::CampaignMode mode,
                             const mate::MateSet* mates) {
-    pipeline::CampaignPipeline::CampaignSpec spec;
+    pipeline::CampaignSpec spec;
     spec.factory = hafi::make_avr_factory(core, program);
     spec.batch_factory = hafi::make_avr_batch_factory(core, program);
     spec.config = cfg;

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "mate/eval.hpp"
 #include "mate/report.hpp"
@@ -67,8 +68,8 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(dir);
 
   pipeline::CampaignPipeline pipe(opts.config());
-  pipeline::ProgressObserver progress;
-  pipe.add_observer(&progress);
+  const auto progress = std::make_shared<pipeline::ProgressObserver>();
+  pipe.add_observer(progress);
 
   {
     std::cout << "=== AVR core ===\n";

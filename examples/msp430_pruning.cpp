@@ -7,6 +7,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 
 #include "cores/msp430/core.hpp"
 #include "cores/msp430/programs.hpp"
@@ -36,8 +37,8 @@ int main(int argc, char** argv) {
   }
 
   pipeline::CampaignPipeline pipe(opts.config());
-  pipeline::ProgressObserver progress;
-  pipe.add_observer(&progress);
+  const auto progress = std::make_shared<pipeline::ProgressObserver>();
+  pipe.add_observer(progress);
 
   std::cout << "building MSP430 core..." << std::endl;
   const cores::msp430::Msp430Core core = cores::msp430::build_msp430_core();

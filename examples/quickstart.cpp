@@ -8,6 +8,7 @@
 // situation MATEs exploit: while `en` is low, an SEU in the shadow register
 // cannot reach the accumulator and is provably benign.
 #include <iostream>
+#include <memory>
 
 #include "mate/eval.hpp"
 #include "mate/search.hpp"
@@ -33,8 +34,8 @@ int main(int argc, char** argv) {
     case OptionParser::Result::Error: return 2;
   }
   pipeline::CampaignPipeline pipe(opts.config());
-  pipeline::ProgressObserver progress;
-  pipe.add_observer(&progress);
+  const auto progress = std::make_shared<pipeline::ProgressObserver>();
+  pipe.add_observer(progress);
 
   // --- 1. Describe a circuit with the RTL DSL -----------------------------
   rtl::Module m("accumulator");

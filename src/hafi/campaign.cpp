@@ -318,10 +318,16 @@ CampaignResult Campaign::run_impl(const ShardHooks& hooks) {
   };
 
   if (!pending.empty()) {
-    // One shard per scheduling step (grain 1): shard sizes already amortize
-    // the claim cost, and shard wall times can be skewed by pruning.
-    ThreadPool pool(config_.threads);
-    pool.parallel_for_index(pending.size(), execute_shard, 1);
+    if (hooks.execute) {
+      // Host-provided executor (e.g. the serve layer's fair scheduler).
+      hooks.execute(pending.size(), execute_shard);
+    } else {
+      // One shard per scheduling step (grain 1): shard sizes already
+      // amortize the claim cost, and shard wall times can be skewed by
+      // pruning.
+      ThreadPool pool(config_.threads);
+      pool.parallel_for_index(pending.size(), execute_shard, 1);
+    }
   }
 
   // --- deterministic merge --------------------------------------------------

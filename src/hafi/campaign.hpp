@@ -84,7 +84,17 @@ struct CampaignConfig {
   /// and silently falls back to Scalar without one, so Dut-only callers keep
   /// working unchanged.
   DutEngine dut_engine = DutEngine::BitParallel;
+
+  bool operator==(const CampaignConfig&) const = default;
 };
+
+/// External shard fan-out: run `task(i)` for every i in [0, n) on whatever
+/// workers the host provides and return once all of them finished. Installed
+/// via ShardHooks::execute; without one the campaign spins up a private
+/// ThreadPool per run. The serve layer injects a fair shared scheduler here
+/// so many concurrent campaigns multiplex one pool.
+using ShardExecutor = std::function<void(
+    std::size_t n, const std::function<void(std::size_t)>& task)>;
 
 /// The campaign's work list: the sampled (or exhaustive) injection points
 /// plus the shard partition over them. Produced by the campaign itself —
@@ -211,6 +221,10 @@ public:
     /// Called once per *executed* shard (not for resumed ones).
     std::function<void(const ShardResult&)> store;
     std::function<void(const ShardProgress&)> progress;
+    /// Shard fan-out executor; empty = a private ThreadPool per run. Never
+    /// affects results (shards still merge in shard-index order), only where
+    /// the work runs.
+    ShardExecutor execute;
   };
 
   /// Run the campaign in config.mode. Throws SoundnessError in Validate

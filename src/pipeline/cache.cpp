@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include <unistd.h>
+
 #include "pipeline/artifact.hpp"
 #include "util/assert.hpp"
 #include "util/hash.hpp"
@@ -28,30 +30,40 @@ std::filesystem::path ArtifactCache::path_for(const CacheKey& key) const {
   return dir_ / (key.stage + "-" + hex64(key.hash) + ".rpl");
 }
 
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
 std::optional<std::vector<std::uint8_t>> ArtifactCache::load(
     const CacheKey& key) {
   if (!enabled_) return std::nullopt;
 
+  const auto count = [this](std::size_t Stats::* field) {
+    std::lock_guard lock(mutex_);
+    ++(stats_.*field);
+  };
+
   const std::filesystem::path path = path_for(key);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    ++stats_.misses;
+    count(&Stats::misses);
     return std::nullopt;
   }
   std::vector<std::uint8_t> file(
       (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
   if (!in.good() && !in.eof()) {
-    ++stats_.misses;
+    count(&Stats::misses);
     return std::nullopt;
   }
 
   auto payload = unframe_artifact(key.stage, file);
   if (!payload) {
-    ++stats_.corrupt;
-    ++stats_.misses;
+    count(&Stats::corrupt);
+    count(&Stats::misses);
     return std::nullopt;
   }
-  ++stats_.hits;
+  count(&Stats::hits);
   return payload;
 }
 
@@ -61,7 +73,17 @@ void ArtifactCache::store(const CacheKey& key,
 
   const std::vector<std::uint8_t> framed = frame_artifact(key.stage, payload);
   const std::filesystem::path path = path_for(key);
-  const std::filesystem::path tmp = path.string() + ".tmp";
+  // Unique temp name: concurrent pipelines may store the same key at once;
+  // each writes its own temp file and the renames race benignly (identical
+  // content, atomic replace).
+  std::uint64_t seq;
+  {
+    std::lock_guard lock(mutex_);
+    seq = ++store_seq_;
+  }
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(seq);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -83,6 +105,7 @@ void ArtifactCache::store(const CacheKey& key,
     std::filesystem::remove(tmp, ec);
     return;
   }
+  std::lock_guard lock(mutex_);
   ++stats_.stores;
 }
 

@@ -3,12 +3,16 @@
 // Artifacts are addressed by (stage tag, 64-bit key); the key is a hash over
 // everything that determines the artifact's content — netlist fingerprint,
 // fault set, search parameters, trace length, artifact format version. Files
-// are written atomically (temp file + rename) and validated on load via the
-// artifact frame checksum, so a torn or foreign file degrades to a miss.
+// are written atomically (unique temp file + rename) and validated on load
+// via the artifact frame checksum, so a torn or foreign file degrades to a
+// miss. One cache may be shared by concurrent pipelines (the rippled daemon
+// runs every execution against a single instance): load/store are
+// thread-safe, and a racing store of the same key publishes one intact file.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -45,7 +49,9 @@ public:
     std::size_t stores = 0;
     std::size_t corrupt = 0; // present but failed frame validation
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Snapshot of the counters (by value: the cache may be shared by
+  /// concurrent pipelines).
+  [[nodiscard]] Stats stats() const;
 
   /// Cache file path for a key (exposed for tests/tooling).
   [[nodiscard]] std::filesystem::path path_for(const CacheKey& key) const;
@@ -53,7 +59,9 @@ public:
 private:
   std::filesystem::path dir_;
   bool enabled_ = false;
+  mutable std::mutex mutex_; // guards stats_ and the temp-name counter
   Stats stats_;
+  std::uint64_t store_seq_ = 0;
 };
 
 } // namespace ripple::pipeline

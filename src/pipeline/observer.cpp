@@ -63,7 +63,33 @@ void ProgressObserver::progress(std::string_view message) {
 }
 
 void JsonReportObserver::stage_end(const StageStats& stats) {
+  std::lock_guard lock(mutex_);
   stages_.push_back(stats);
+}
+
+std::vector<StageStats> JsonReportObserver::stages() const {
+  std::lock_guard lock(mutex_);
+  return stages_;
+}
+
+void JsonReportObserver::set_counter(const std::string& name, double value) {
+  std::lock_guard lock(mutex_);
+  for (auto& [k, v] : counters_) {
+    if (k == name) {
+      v = value;
+      return;
+    }
+  }
+  counters_.emplace_back(name, value);
+}
+
+void JsonReportObserver::add_cache_counters(const ArtifactCache& cache) {
+  const ArtifactCache::Stats cs = cache.stats();
+  set_counter("cache_enabled", cache.enabled() ? 1.0 : 0.0);
+  set_counter("cache_hits", static_cast<double>(cs.hits));
+  set_counter("cache_misses", static_cast<double>(cs.misses));
+  set_counter("cache_stores", static_cast<double>(cs.stores));
+  set_counter("cache_corrupt", static_cast<double>(cs.corrupt));
 }
 
 std::size_t peak_rss_bytes() {
@@ -80,13 +106,25 @@ std::size_t peak_rss_bytes() {
 #endif
 }
 
-void JsonReportObserver::write(std::ostream& os, std::string_view binary,
-                               const ArtifactCache& cache) const {
-  os << "{\n  \"binary\": \"" << mate::json_escape(binary) << "\",\n";
-  os << "  \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n";
+void JsonReportObserver::write(std::ostream& os, std::string_view tool,
+                               const ArtifactCache& cache) {
+  add_cache_counters(cache);
+  write(os, tool);
+}
+
+void JsonReportObserver::write(std::ostream& os, std::string_view tool) const {
+  std::vector<StageStats> stages;
+  std::vector<std::pair<std::string, double>> counters;
+  {
+    std::lock_guard lock(mutex_);
+    stages = stages_;
+    counters = counters_;
+  }
+  os << "{\n  \"tool\": \"" << mate::json_escape(tool) << "\",\n";
+  os << "  \"version\": " << kReportVersion << ",\n";
   os << "  \"stages\": [\n";
-  for (std::size_t i = 0; i < stages_.size(); ++i) {
-    const StageStats& s = stages_[i];
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageStats& s = stages[i];
     os << "    {\"stage\": \"" << mate::json_escape(s.stage) << "\"";
     if (!s.detail.empty()) {
       os << ", \"detail\": \"" << mate::json_escape(s.detail) << "\"";
@@ -108,19 +146,15 @@ void JsonReportObserver::write(std::ostream& os, std::string_view binary,
       }
       os << "}";
     }
-    os << "}" << (i + 1 < stages_.size() ? "," : "") << "\n";
+    os << "}" << (i + 1 < stages.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
 
-  const ArtifactCache::Stats& cs = cache.stats();
-  os << "  \"cache\": {\"enabled\": " << (cache.enabled() ? "true" : "false");
-  if (cache.enabled()) {
-    os << ", \"dir\": \"" << mate::json_escape(cache.dir().string()) << "\"";
+  os << "  \"counters\": {\"peak_rss_bytes\": " << peak_rss_bytes();
+  for (const auto& [name, value] : counters) {
+    os << ", \"" << mate::json_escape(name) << "\": " << json_number(value);
   }
-  os << ", \"hits\": " << cs.hits << ", \"misses\": " << cs.misses
-     << ", \"stores\": " << cs.stores << ", \"corrupt\": " << cs.corrupt
-     << "}\n";
-  os << "}\n";
+  os << "}\n}\n";
 }
 
 } // namespace ripple::pipeline

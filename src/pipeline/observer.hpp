@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -62,23 +63,39 @@ private:
   std::FILE* out_;
 };
 
-/// Collects stage records for the `--report=json` emitter.
+/// Version of the shared `--report=json` envelope every binary (benches,
+/// hafi_campaign, rippled, ripple-client) emits:
+///   {"tool": ..., "version": N, "stages": [...], "counters": {...}}
+/// `stages[]` carries the per-stage records (wall time, threads,
+/// utilization, cache outcome, stage counters); `counters{}` carries the
+/// tool-wide totals (peak_rss_bytes, cache_* when a cache is attached,
+/// service totals for the daemon). Documented in DESIGN.md §14.
+inline constexpr std::uint32_t kReportVersion = 1;
+
+/// Collects stage records for the `--report=json` emitter. Thread-safe: the
+/// rippled daemon feeds one instance from concurrent executions.
 class JsonReportObserver final : public StageObserver {
 public:
   void stage_end(const StageStats& stats) override;
 
-  [[nodiscard]] const std::vector<StageStats>& stages() const {
-    return stages_;
-  }
+  [[nodiscard]] std::vector<StageStats> stages() const;
 
-  /// Emit the report: binary name, process peak RSS, per-stage wall time /
-  /// threads / utilization / counters / cache outcome, and cache-wide
-  /// totals.
-  void write(std::ostream& os, std::string_view binary,
-             const ArtifactCache& cache) const;
+  /// Set a tool-wide envelope counter (last write per name wins).
+  void set_counter(const std::string& name, double value);
+  /// Fold a cache's totals into the envelope counters (cache_enabled,
+  /// cache_hits, cache_misses, cache_stores, cache_corrupt).
+  void add_cache_counters(const ArtifactCache& cache);
+
+  /// Emit the shared report envelope. peak_rss_bytes is always included in
+  /// counters{}; the overload taking a cache folds its totals in first.
+  void write(std::ostream& os, std::string_view tool) const;
+  void write(std::ostream& os, std::string_view tool,
+             const ArtifactCache& cache);
 
 private:
+  mutable std::mutex mutex_;
   std::vector<StageStats> stages_;
+  std::vector<std::pair<std::string, double>> counters_;
 };
 
 /// Process-wide peak resident set size in bytes (getrusage), 0 when

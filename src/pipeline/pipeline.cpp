@@ -13,6 +13,7 @@
 #include "cores/msp430/system.hpp"
 #include "mate/stream.hpp"
 #include "pipeline/artifact.hpp"
+#include "pipeline/registry.hpp"
 #include "util/hash.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -131,16 +132,29 @@ std::string_view core_name(CoreKind kind) {
 
 CampaignPipeline::CampaignPipeline(PipelineConfig config)
     : config_(std::move(config)),
-      cache_(config_.cache_dir, config_.use_cache) {}
+      cache_(std::make_shared<ArtifactCache>(config_.cache_dir,
+                                             config_.use_cache)) {}
 
-void CampaignPipeline::add_observer(StageObserver* observer) {
-  if (observer != nullptr) observers_.push_back(observer);
+CampaignPipeline::CampaignPipeline(PipelineConfig config,
+                                   std::shared_ptr<ArtifactCache> cache)
+    : config_(std::move(config)), cache_(std::move(cache)) {
+  RIPPLE_CHECK(cache_ != nullptr, "CampaignPipeline: null shared cache");
+}
+
+void CampaignPipeline::add_observer(std::shared_ptr<StageObserver> observer) {
+  if (observer != nullptr) observers_.push_back(std::move(observer));
+}
+
+void CampaignPipeline::remove_observer(
+    const std::shared_ptr<StageObserver>& observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
 }
 
 void CampaignPipeline::notify_begin(std::string_view stage,
                                     std::string_view detail) {
   sim::trace_memory::reset_peak();
-  for (StageObserver* o : observers_) o->stage_begin(stage, detail);
+  for (const auto& o : observers_) o->stage_begin(stage, detail);
 }
 
 void CampaignPipeline::notify_end(StageStats stats) {
@@ -153,7 +167,7 @@ void CampaignPipeline::notify_end(StageStats stats) {
     stats.counters.emplace_back("trace_bytes_peak",
                                 static_cast<double>(peak));
   }
-  for (StageObserver* o : observers_) o->stage_end(stats);
+  for (const auto& o : observers_) o->stage_end(stats);
 }
 
 void CampaignPipeline::progress(const char* fmt, ...) {
@@ -162,7 +176,7 @@ void CampaignPipeline::progress(const char* fmt, ...) {
   va_start(args, fmt);
   std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
-  for (StageObserver* o : observers_) o->progress(buf);
+  for (const auto& o : observers_) o->progress(buf);
 }
 
 mate::SearchParams CampaignPipeline::apply_threads(
@@ -270,11 +284,11 @@ sim::Trace CampaignPipeline::record_trace(
   stats.detail = strprintf("%.*s, %zu cycles",
                            static_cast<int>(workload.size()), workload.data(),
                            cycles);
-  stats.cacheable = cache_.enabled();
+  stats.cacheable = cache_->enabled();
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
-  if (auto payload = cache_.load(key)) {
+  if (auto payload = cache_->load(key)) {
     ByteReader r(*payload);
     sim::Trace t = read_trace(r);
     r.expect_done();
@@ -289,7 +303,7 @@ sim::Trace CampaignPipeline::record_trace(
   sim::Trace t = run();
   ByteWriter w;
   write_trace(w, t);
-  cache_.store(key, w.bytes());
+  cache_->store(key, w.bytes());
   stats.seconds = watch.seconds();
   stats.counters = {{"cycles", static_cast<double>(t.num_cycles())},
                     {"wires", static_cast<double>(t.num_wires())}};
@@ -315,11 +329,11 @@ mate::SearchResult CampaignPipeline::find_mates(
   StageStats stats;
   stats.stage = "find_mates";
   stats.detail = std::move(detail);
-  stats.cacheable = cache_.enabled();
+  stats.cacheable = cache_->enabled();
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
-  if (auto payload = cache_.load(key)) {
+  if (auto payload = cache_->load(key)) {
     ByteReader r(*payload);
     mate::SearchResult result = read_search_result(r);
     r.expect_done();
@@ -334,7 +348,7 @@ mate::SearchResult CampaignPipeline::find_mates(
       n, std::vector<WireId>(faulty.begin(), faulty.end()), run_params);
   ByteWriter w;
   write_search_result(w, result);
-  cache_.store(key, w.bytes());
+  cache_->store(key, w.bytes());
 
   stats.seconds = watch.seconds();
   stats.threads = std::max<std::size_t>(result.threads_used, 1);
@@ -368,11 +382,11 @@ mate::EvalResult CampaignPipeline::evaluate(const mate::MateSet& set,
   StageStats stats;
   stats.stage = "evaluate";
   stats.detail = std::move(detail);
-  stats.cacheable = cache_.enabled();
+  stats.cacheable = cache_->enabled();
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
-  if (auto payload = cache_.load(key)) {
+  if (auto payload = cache_->load(key)) {
     ByteReader r(*payload);
     mate::EvalResult result = read_eval_result(r);
     r.expect_done();
@@ -402,7 +416,7 @@ mate::EvalResult CampaignPipeline::evaluate(const mate::MateSet& set,
   }
   ByteWriter w;
   write_eval_result(w, result);
-  cache_.store(key, w.bytes());
+  cache_->store(key, w.bytes());
 
   stats.seconds = watch.seconds();
   fill_eval_counters(stats, result);
@@ -426,11 +440,11 @@ mate::SelectionResult CampaignPipeline::select(const mate::MateSet& set,
   StageStats stats;
   stats.stage = "select";
   stats.detail = std::move(detail);
-  stats.cacheable = cache_.enabled();
+  stats.cacheable = cache_->enabled();
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
-  if (auto payload = cache_.load(key)) {
+  if (auto payload = cache_->load(key)) {
     ByteReader r(*payload);
     mate::SelectionResult result = read_selection(r);
     r.expect_done();
@@ -455,7 +469,7 @@ mate::SelectionResult CampaignPipeline::select(const mate::MateSet& set,
   }
   ByteWriter w;
   write_selection(w, result);
-  cache_.store(key, w.bytes());
+  cache_->store(key, w.bytes());
   stats.seconds = watch.seconds();
   stats.counters = {{"ranked", static_cast<double>(result.ranking.size())}};
   fill_throughput_counters(stats, trace.num_cycles(), set.mates.size());
@@ -629,11 +643,11 @@ mate::EvalResult CampaignPipeline::evaluate_stream(
   StageStats stats;
   stats.stage = "evaluate";
   stats.detail = std::move(detail);
-  stats.cacheable = cache_.enabled();
+  stats.cacheable = cache_->enabled();
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
-  if (auto payload = cache_.load(key)) {
+  if (auto payload = cache_->load(key)) {
     ByteReader r(*payload);
     mate::EvalResult result = read_eval_result(r);
     r.expect_done();
@@ -649,7 +663,7 @@ mate::EvalResult CampaignPipeline::evaluate_stream(
                                   /*overlap=*/true);
   ByteWriter w;
   write_eval_result(w, result);
-  cache_.store(key, w.bytes());
+  cache_->store(key, w.bytes());
 
   stats.seconds = watch.seconds();
   fill_eval_counters(stats, result);
@@ -666,11 +680,11 @@ mate::SelectionResult CampaignPipeline::select_stream(
   StageStats stats;
   stats.stage = "select";
   stats.detail = std::move(detail);
-  stats.cacheable = cache_.enabled();
+  stats.cacheable = cache_->enabled();
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
-  if (auto payload = cache_.load(key)) {
+  if (auto payload = cache_->load(key)) {
     ByteReader r(*payload);
     mate::SelectionResult result = read_selection(r);
     r.expect_done();
@@ -685,7 +699,7 @@ mate::SelectionResult CampaignPipeline::select_stream(
       mate::rank_mates_stream(set, source, config_.threads, /*overlap=*/true);
   ByteWriter w;
   write_selection(w, result);
-  cache_.store(key, w.bytes());
+  cache_->store(key, w.bytes());
   stats.seconds = watch.seconds();
   stats.counters = {{"ranked", static_cast<double>(result.ranking.size())}};
   fill_throughput_counters(stats, source.num_cycles(), set.mates.size());
@@ -693,8 +707,8 @@ mate::SelectionResult CampaignPipeline::select_stream(
   return result;
 }
 
-hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
-                                                std::string detail) {
+hafi::CampaignResult CampaignPipeline::campaign(
+    ::ripple::pipeline::CampaignSpec spec, std::string detail) {
   // The pipeline's --threads applies when the spec leaves the campaign
   // thread count at "hardware concurrency" (0). Never part of any key.
   if (spec.config.threads == 0) spec.config.threads = config_.threads;
@@ -706,16 +720,17 @@ hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
   Stopwatch watch;
 
   // A bitpar campaign without a batch DUT factory silently degrades to the
-  // scalar engine; surface that (once, on stderr) and report it so
-  // --report=json consumers can tell which engine actually ran.
+  // scalar engine; surface that through the observers — a local
+  // ProgressObserver prints it to stderr, and a daemon session observer
+  // forwards it to the requesting client — and report it so --report=json
+  // consumers can tell which engine actually ran.
   const bool dut_engine_fallback =
       spec.config.dut_engine == hafi::DutEngine::BitParallel &&
       !spec.batch_factory;
   if (dut_engine_fallback) {
-    std::fprintf(stderr,
-                 "warning: --dut-engine=bitpar requested but no 64-lane "
-                 "batch DUT factory is available; campaign falls back to "
-                 "the scalar engine\n");
+    progress(
+        "warning: --dut-engine=bitpar requested but no 64-lane batch DUT "
+        "factory is available; campaign falls back to the scalar engine");
   }
 
   hafi::Campaign campaign(std::move(spec.factory), spec.config, spec.mates);
@@ -725,7 +740,7 @@ hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
   if (spec.plan.has_value()) campaign.use_plan(std::move(*spec.plan));
 
   const bool checkpoint =
-      spec.resume && spec.netlist_fingerprint != 0 && cache_.enabled();
+      spec.resume && spec.netlist_fingerprint != 0 && cache_->enabled();
   const std::uint64_t mates_fp =
       spec.config.mode != hafi::CampaignMode::Baseline
           ? fingerprint(*spec.mates)
@@ -761,7 +776,7 @@ hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
   hafi::Campaign::ShardHooks hooks;
   if (checkpoint) {
     hooks.load = [&](std::size_t shard) -> std::optional<hafi::ShardResult> {
-      auto payload = cache_.load(shard_cache_key(shard));
+      auto payload = cache_->load(shard_cache_key(shard));
       if (!payload) return std::nullopt;
       ByteReader r(*payload);
       hafi::ShardResult result = read_shard_result(r);
@@ -771,7 +786,7 @@ hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
     hooks.store = [&](const hafi::ShardResult& shard) {
       ByteWriter w;
       write_shard_result(w, shard);
-      cache_.store(shard_cache_key(shard.shard), w.bytes());
+      cache_->store(shard_cache_key(shard.shard), w.bytes());
     };
   }
   hooks.progress = [&](const hafi::Campaign::ShardProgress& p) {
@@ -798,6 +813,9 @@ hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
                eta.eta_seconds(remaining));
     }
   };
+  // The daemon's fair shared scheduler (when configured) replaces the
+  // campaign's private ThreadPool; results are identical either way.
+  if (config_.shard_executor) hooks.execute = config_.shard_executor;
 
   hafi::CampaignResult result = campaign.run(hooks);
 
@@ -849,6 +867,48 @@ hafi::CampaignResult CampaignPipeline::campaign(CampaignSpec spec,
   }
   notify_end(stats);
   return result;
+}
+
+hafi::CampaignResult CampaignPipeline::run(const CampaignRequest& request,
+                                           std::string detail) {
+  CoreRuntime rt = CoreRegistry::global().make(request.core, request.workload);
+  if (detail.empty()) detail = request_summary(request);
+
+  ::ripple::pipeline::CampaignSpec spec;
+  spec.factory = rt.factory;
+  spec.batch_factory = rt.batch_factory;
+  spec.config = request.config;
+  spec.netlist_fingerprint = rt.fingerprint;
+  spec.resume = request.resume;
+
+  // Pruned/Validate: derive the MATE set. `mates` owns the storage the spec
+  // borrows; it must outlive the campaign() call below.
+  mate::MateSet mates;
+  if (request.config.mode != hafi::CampaignMode::Baseline) {
+    mate::SearchParams params = default_params();
+    if (request.search_depth != 0) params.path_depth = request.search_depth;
+    mate::SearchResult search = find_mates(
+        *rt.netlist, rt.fingerprint, mate::all_flop_wires(*rt.netlist),
+        params, request.core + " all flops");
+    if (request.top_n > 0) {
+      const std::size_t cycles =
+          request.select_cycles != 0
+              ? static_cast<std::size_t>(request.select_cycles)
+              : request.config.run_cycles;
+      const sim::Trace trace =
+          record_trace(rt.fingerprint, rt.workload, cycles,
+                       [&rt, cycles] { return rt.record_trace(cycles); });
+      const mate::SelectionResult sel =
+          select(search.set, trace,
+                 strprintf("%s %s, %zu cycles", request.core.c_str(),
+                           rt.workload.c_str(), cycles));
+      mates = mate::top_n(search.set, sel, request.top_n);
+    } else {
+      mates = std::move(search.set);
+    }
+    spec.mates = &mates;
+  }
+  return campaign(std::move(spec), std::move(detail));
 }
 
 } // namespace ripple::pipeline

@@ -32,6 +32,7 @@
 #include "netlist/netlist.hpp"
 #include "pipeline/cache.hpp"
 #include "pipeline/observer.hpp"
+#include "pipeline/request.hpp"
 #include "sim/stream.hpp"
 #include "sim/trace.hpp"
 #include "sim/transposed.hpp"
@@ -85,6 +86,11 @@ struct PipelineConfig {
   /// Chunk length of the streaming trace path (`--trace-chunk-cycles`);
   /// must be a positive multiple of 64.
   std::size_t trace_chunk_cycles = sim::kDefaultChunkCycles;
+  /// Shard fan-out executor for the campaign stage; empty = a private
+  /// ThreadPool per campaign. The rippled daemon injects its fair shared
+  /// scheduler here so concurrent executions multiplex one pool. Runtime
+  /// state, never part of any cache key.
+  hafi::ShardExecutor shard_executor;
 };
 
 /// Minimal interface over a booted core system for the streaming trace
@@ -97,6 +103,39 @@ public:
 };
 
 class CampaignPipeline;
+
+/// Fault-injection campaign stage input. The merged campaign result is
+/// never cached — the campaign *is* the experiment (and its DUT factory
+/// captures arbitrary state) — but finished *shards* are persisted as
+/// versioned artifacts when `resume` is set, keyed by (netlist
+/// fingerprint, campaign config, MATE-set fingerprint, shard index), so a
+/// killed campaign picks up from its last finished shard.
+///
+/// This is the in-process form: it carries live factories and a borrowed
+/// MATE set. The serializable, wire-friendly form is CampaignRequest
+/// (request.hpp), which CampaignPipeline::run() lowers onto this struct via
+/// the CoreRegistry.
+struct CampaignSpec {
+  hafi::DutFactory factory;
+  /// 64-lane batch DUT for CampaignConfig::dut_engine == BitParallel; the
+  /// campaign falls back to the scalar factory when absent. Deliberately
+  /// absent from the shard-checkpoint keys: both engines produce
+  /// byte-identical results, so checkpoints are interchangeable.
+  hafi::BatchDutFactory batch_factory;
+  hafi::CampaignConfig config;
+  /// Required for Pruned/Validate mode; ignored for Baseline.
+  const mate::MateSet* mates = nullptr;
+  /// Fingerprint of the DUT netlist; keys the shard checkpoints. 0
+  /// disables checkpointing even with `resume` set.
+  std::uint64_t netlist_fingerprint = 0;
+  /// Persist finished shards to the artifact cache and skip shards already
+  /// present (interrupt/resume). Requires the cache and a fingerprint.
+  bool resume = false;
+  /// Reuse a plan produced by another campaign over the same DUT/config
+  /// (like-for-like baseline vs pruned comparisons). Stale shard
+  /// checkpoints that disagree with the plan re-execute.
+  std::optional<hafi::CampaignPlan> plan;
+};
 
 /// A workload trace streamed in fixed-size transposed chunks, each cached
 /// individually by (netlist fingerprint, workload, chunk_cycles, chunk
@@ -143,8 +182,17 @@ class CampaignPipeline {
 public:
   explicit CampaignPipeline(PipelineConfig config = {});
 
-  /// Observers are not owned and must outlive the pipeline.
-  void add_observer(StageObserver* observer);
+  /// Share an existing artifact cache between pipelines (the rippled daemon
+  /// gives every concurrent execution its own pipeline over one cache;
+  /// ArtifactCache is thread-safe). `cache` must be non-null.
+  CampaignPipeline(PipelineConfig config, std::shared_ptr<ArtifactCache> cache);
+
+  /// Register an observer; shared ownership keeps it alive for the
+  /// pipeline's lifetime (no more dangling raw pointers when a bench's
+  /// observer goes out of scope first).
+  void add_observer(std::shared_ptr<StageObserver> observer);
+  /// Unregister a previously added observer (no-op when absent).
+  void remove_observer(const std::shared_ptr<StageObserver>& observer);
 
   /// build_core + record_trace (x2 workloads). Traces are cached by
   /// (netlist fingerprint, workload, cycles); the netlist build itself is
@@ -216,48 +264,41 @@ public:
       const mate::MateSet& set, sim::TraceSource& source,
       std::uint64_t stream_fingerprint, std::string detail = {});
 
-  /// Fault-injection campaign stage input. The merged campaign result is
-  /// never cached — the campaign *is* the experiment (and its DUT factory
-  /// captures arbitrary state) — but finished *shards* are persisted as
-  /// versioned artifacts when `resume` is set, keyed by (netlist
-  /// fingerprint, campaign config, MATE-set fingerprint, shard index), so a
-  /// killed campaign picks up from its last finished shard.
-  struct CampaignSpec {
-    hafi::DutFactory factory;
-    /// 64-lane batch DUT for CampaignConfig::dut_engine == BitParallel; the
-    /// campaign falls back to the scalar factory when absent. Deliberately
-    /// absent from the shard-checkpoint keys: both engines produce
-    /// byte-identical results, so checkpoints are interchangeable.
-    hafi::BatchDutFactory batch_factory;
-    hafi::CampaignConfig config;
-    /// Required for Pruned/Validate mode; ignored for Baseline.
-    const mate::MateSet* mates = nullptr;
-    /// Fingerprint of the DUT netlist; keys the shard checkpoints. 0
-    /// disables checkpointing even with `resume` set.
-    std::uint64_t netlist_fingerprint = 0;
-    /// Persist finished shards to the artifact cache and skip shards already
-    /// present (interrupt/resume). Requires the cache and a fingerprint.
-    bool resume = false;
-    /// Reuse a plan produced by another campaign over the same DUT/config
-    /// (like-for-like baseline vs pruned comparisons). Stale shard
-    /// checkpoints that disagree with the plan re-execute.
-    std::optional<hafi::CampaignPlan> plan;
-  };
+  /// Deprecated name for the promoted top-level pipeline::CampaignSpec;
+  /// kept one release so out-of-tree call sites migrate gracefully.
+  using CampaignSpec [[deprecated(
+      "use pipeline::CampaignSpec (or the serializable "
+      "pipeline::CampaignRequest with run())")]] = ::ripple::pipeline::
+      CampaignSpec;
 
   /// Run the campaign stage: shard fan-out per CampaignConfig::threads
   /// (0 falls back to the pipeline's --threads), per-shard progress with
   /// injections/sec, pruned-rate and ETA via the observers, and optional
   /// shard checkpointing per `spec.resume`. Throws hafi::SoundnessError
   /// (with its per-shard violation report) in Validate mode.
-  [[nodiscard]] hafi::CampaignResult campaign(CampaignSpec spec,
+  [[nodiscard]] hafi::CampaignResult campaign(::ripple::pipeline::CampaignSpec
+                                                  spec,
                                               std::string detail = {});
+
+  /// Run a full serializable request end-to-end: resolve the core through
+  /// the CoreRegistry, derive the MATE set (find_mates, plus the cached
+  /// selection trace + greedy top-N when `request.top_n` asks for it), then
+  /// run the campaign stage. This is the daemon's entry point — everything
+  /// a request needs beyond pure data comes from the registry, and equal
+  /// request_checksum()s are guaranteed byte-identical results.
+  [[nodiscard]] hafi::CampaignResult run(const CampaignRequest& request,
+                                         std::string detail = {});
 
   /// Free-form narration routed to the observers (bench progress lines;
   /// keeps stdout clean for tables/CSV/JSON).
   void progress(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 
-  [[nodiscard]] ArtifactCache& cache() { return cache_; }
-  [[nodiscard]] const ArtifactCache& cache() const { return cache_; }
+  [[nodiscard]] ArtifactCache& cache() { return *cache_; }
+  [[nodiscard]] const ArtifactCache& cache() const { return *cache_; }
+  /// The shared cache handle (pass to another pipeline to share artifacts).
+  [[nodiscard]] std::shared_ptr<ArtifactCache> shared_cache() const {
+    return cache_;
+  }
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
 
   /// Default SearchParams with the pipeline's --threads applied.
@@ -283,8 +324,8 @@ private:
       std::size_t cycles, const std::function<sim::Trace()>& run);
 
   PipelineConfig config_;
-  ArtifactCache cache_;
-  std::vector<StageObserver*> observers_;
+  std::shared_ptr<ArtifactCache> cache_;
+  std::vector<std::shared_ptr<StageObserver>> observers_;
   std::unordered_map<std::uint64_t, sim::TransposedTrace> transposed_;
 };
 

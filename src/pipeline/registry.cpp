@@ -1,0 +1,133 @@
+#include "pipeline/registry.hpp"
+
+#include "cores/avr/core.hpp"
+#include "cores/avr/programs.hpp"
+#include "cores/avr/system.hpp"
+#include "cores/msp430/core.hpp"
+#include "cores/msp430/programs.hpp"
+#include "cores/msp430/system.hpp"
+#include "hafi/avr_dut.hpp"
+#include "hafi/msp430_dut.hpp"
+#include "pipeline/artifact.hpp"
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace ripple::pipeline {
+namespace {
+
+CoreRuntime make_avr_runtime(std::string_view workload) {
+  const std::string wl = workload.empty() ? "fib" : std::string(workload);
+  auto core = std::make_shared<const cores::avr::AvrCore>(
+      cores::avr::build_avr_core(true));
+  auto program = std::make_shared<const cores::avr::Program>(
+      cores::avr::workload_program(wl));
+
+  CoreRuntime rt;
+  rt.netlist =
+      std::shared_ptr<const netlist::Netlist>(core, &core->netlist);
+  rt.fingerprint = fingerprint(core->netlist);
+  rt.workload = wl;
+  // The inner factories capture `core`/`program` by reference; the wrapping
+  // lambdas hold the shared_ptrs so the references stay valid for as long as
+  // any copy of the runtime lives.
+  rt.factory = [core, program,
+                inner = hafi::make_avr_factory(*core, *program)] {
+    return inner();
+  };
+  rt.batch_factory = [core, program,
+                      inner = hafi::make_avr_batch_factory(*core, *program)] {
+    return inner();
+  };
+  rt.record_trace = [core, program](std::size_t cycles) {
+    cores::avr::AvrSystem sys(*core, *program);
+    return sys.run_trace(cycles);
+  };
+  return rt;
+}
+
+CoreRuntime make_msp430_runtime(std::string_view workload) {
+  const std::string wl = workload.empty() ? "fib" : std::string(workload);
+  auto core = std::make_shared<const cores::msp430::Msp430Core>(
+      cores::msp430::build_msp430_core(true));
+  auto image = std::make_shared<const cores::msp430::Image>(
+      cores::msp430::workload_image(wl));
+
+  CoreRuntime rt;
+  rt.netlist =
+      std::shared_ptr<const netlist::Netlist>(core, &core->netlist);
+  rt.fingerprint = fingerprint(core->netlist);
+  rt.workload = wl;
+  rt.factory = [core, image,
+                inner = hafi::make_msp430_factory(*core, *image)] {
+    return inner();
+  };
+  rt.batch_factory = [core, image,
+                      inner = hafi::make_msp430_batch_factory(*core,
+                                                              *image)] {
+    return inner();
+  };
+  rt.record_trace = [core, image](std::size_t cycles) {
+    cores::msp430::Msp430System sys(*core, *image);
+    return sys.run_trace(cycles);
+  };
+  return rt;
+}
+
+} // namespace
+
+CoreRegistry& CoreRegistry::global() {
+  static CoreRegistry* registry = [] {
+    auto* r = new CoreRegistry;
+    r->register_core("avr", make_avr_runtime);
+    r->register_core("msp430", make_msp430_runtime);
+    return r;
+  }();
+  return *registry;
+}
+
+void CoreRegistry::register_core(std::string name, Maker maker) {
+  RIPPLE_CHECK(!name.empty(), "core registry: empty name");
+  RIPPLE_CHECK(maker != nullptr, "core registry: empty maker for '", name,
+               "'");
+  std::lock_guard lock(mutex_);
+  makers_[std::move(name)] = std::move(maker);
+}
+
+bool CoreRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return makers_.count(name) != 0;
+}
+
+CoreRuntime CoreRegistry::make(const std::string& name,
+                               std::string_view workload) const {
+  Maker maker;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = makers_.find(name);
+    if (it == makers_.end()) {
+      std::string known;
+      for (const auto& [n, m] : makers_) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      throw Error(strprintf("unknown core '%s' (registered: %s)",
+                            name.c_str(), known.c_str()));
+    }
+    maker = it->second;
+  }
+  CoreRuntime rt = maker(workload);
+  RIPPLE_CHECK(rt.netlist != nullptr && rt.factory != nullptr,
+               "core registry: maker for '", name,
+               "' produced an incomplete runtime");
+  return rt;
+}
+
+std::vector<std::string> CoreRegistry::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(makers_.size());
+  for (const auto& [n, m] : makers_) names.push_back(n);
+  return names;
+}
+
+} // namespace ripple::pipeline

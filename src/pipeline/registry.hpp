@@ -1,0 +1,67 @@
+// Core registry: resolves a *name* to the runtime pieces a campaign needs.
+//
+// The serializable CampaignRequest (request.hpp) cannot carry function
+// pointers, so everything executable — DUT factories, the netlist build, the
+// workload trace recorder — lives here, keyed by core name. The built-in
+// cores ("avr", "msp430") are registered on first use; binaries with custom
+// targets (e.g. the avr_campaign example's checksum program) register their
+// own name before submitting requests. The rippled daemon serves exactly the
+// names registered in its process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hafi/batch_dut.hpp"
+#include "hafi/dut.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/trace.hpp"
+
+namespace ripple::pipeline {
+
+/// Everything CampaignPipeline::run needs from one resolved core build. The
+/// factories keep the underlying core alive through shared ownership, so a
+/// CoreRuntime is self-contained.
+struct CoreRuntime {
+  std::shared_ptr<const netlist::Netlist> netlist;
+  std::uint64_t fingerprint = 0; // content fingerprint of *netlist
+  hafi::DutFactory factory;
+  hafi::BatchDutFactory batch_factory; // empty: scalar-only target
+  /// Record the MATE-selection trace over the resolved workload.
+  std::function<sim::Trace(std::size_t cycles)> record_trace;
+  std::string workload; // resolved workload name (trace cache key)
+};
+
+class CoreRegistry {
+public:
+  /// Build a CoreRuntime for `workload` (a name from the core's workload
+  /// registry; built-ins default an empty string to "fib").
+  using Maker = std::function<CoreRuntime(std::string_view workload)>;
+
+  /// The process-wide registry with "avr" and "msp430" pre-registered.
+  [[nodiscard]] static CoreRegistry& global();
+
+  /// Register (or replace) a named core target.
+  void register_core(std::string name, Maker maker);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Resolve `name`; throws ripple::Error on an unknown core.
+  [[nodiscard]] CoreRuntime make(const std::string& name,
+                                 std::string_view workload = {}) const;
+
+  /// Registered names, sorted (daemon hello / error messages).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Maker> makers_;
+};
+
+} // namespace ripple::pipeline

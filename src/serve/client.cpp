@@ -1,0 +1,33 @@
+#include "serve/client.hpp"
+
+#include "util/assert.hpp"
+
+namespace ripple::serve {
+
+ServeClient ServeClient::connect(const std::string& socket_path) {
+  return ServeClient(Socket::connect_unix(socket_path));
+}
+
+ServeClient::Accepted ServeClient::submit(
+    const pipeline::CampaignRequest& request) {
+  send_frame(socket_, make_submit_frame(request));
+  auto frame = recv_frame(socket_);
+  RIPPLE_CHECK(frame.has_value(), "daemon closed the connection on submit");
+  if (frame->type == MsgType::kError) {
+    throw Error("daemon rejected the request: " +
+                decode_message(*frame).text);
+  }
+  RIPPLE_CHECK(frame->type == MsgType::kAccepted,
+               "expected Accepted, got frame type ",
+               static_cast<int>(frame->type));
+  const Message m = decode_message(*frame);
+  return {m.checksum, m.attached};
+}
+
+std::optional<Message> ServeClient::next() {
+  auto frame = recv_frame(socket_);
+  if (!frame.has_value()) return std::nullopt;
+  return decode_message(*frame);
+}
+
+} // namespace ripple::serve

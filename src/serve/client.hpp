@@ -1,0 +1,40 @@
+// Client side of the campaign service: connect, submit one request, then
+// pull decoded events until the terminal Result/Error message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "pipeline/request.hpp"
+#include "serve/protocol.hpp"
+#include "util/socket.hpp"
+
+namespace ripple::serve {
+
+class ServeClient {
+public:
+  /// Connect to a rippled daemon's Unix socket; throws on failure.
+  [[nodiscard]] static ServeClient connect(const std::string& socket_path);
+
+  struct Accepted {
+    std::uint64_t checksum = 0;
+    /// True when the daemon deduped this submission onto an execution that
+    /// was already in flight.
+    bool attached = false;
+  };
+
+  /// Submit one request and wait for the daemon's Accepted answer.
+  [[nodiscard]] Accepted submit(const pipeline::CampaignRequest& request);
+
+  /// Next daemon event, in order. Returns std::nullopt if the daemon
+  /// vanished without a terminal message. Stop after kResult/kError.
+  [[nodiscard]] std::optional<Message> next();
+
+private:
+  explicit ServeClient(Socket socket) : socket_(std::move(socket)) {}
+
+  Socket socket_;
+};
+
+} // namespace ripple::serve

@@ -1,0 +1,167 @@
+#include "serve/protocol.hpp"
+
+#include "util/assert.hpp"
+
+namespace ripple::serve {
+
+void write_stage_stats(ByteWriter& w, const pipeline::StageStats& stats) {
+  w.str(stats.stage);
+  w.str(stats.detail);
+  w.f64(stats.seconds);
+  w.u64(stats.threads);
+  w.f64(stats.utilization);
+  w.b(stats.cacheable);
+  w.b(stats.cache_hit);
+  w.u64(stats.counters.size());
+  for (const auto& [name, value] : stats.counters) {
+    w.str(name);
+    w.f64(value);
+  }
+}
+
+pipeline::StageStats read_stage_stats(ByteReader& r) {
+  pipeline::StageStats stats;
+  stats.stage = r.str();
+  stats.detail = r.str();
+  stats.seconds = r.f64();
+  stats.threads = static_cast<std::size_t>(r.u64());
+  stats.utilization = r.f64();
+  stats.cacheable = r.b();
+  stats.cache_hit = r.b();
+  const std::size_t n = r.count();
+  stats.counters.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    const double value = r.f64();
+    stats.counters.emplace_back(std::move(name), value);
+  }
+  return stats;
+}
+
+void send_frame(Socket& socket, const Frame& frame) {
+  RIPPLE_CHECK(frame.payload.size() <= kMaxFrameBytes,
+               "frame payload too large: ", frame.payload.size(), " bytes");
+  ByteWriter header;
+  header.u32(static_cast<std::uint32_t>(frame.payload.size()));
+  header.u8(static_cast<std::uint8_t>(frame.type));
+  socket.send_all(header.bytes());
+  socket.send_all(frame.payload);
+}
+
+std::optional<Frame> recv_frame(Socket& socket) {
+  std::uint8_t header[5];
+  if (!socket.recv_all(header)) return std::nullopt;
+  ByteReader r(header);
+  const std::uint32_t len = r.u32();
+  const std::uint8_t type = r.u8();
+  RIPPLE_CHECK(len <= kMaxFrameBytes, "frame length ", len,
+               " exceeds the protocol maximum");
+  RIPPLE_CHECK(type >= static_cast<std::uint8_t>(MsgType::kSubmit) &&
+                   type <= static_cast<std::uint8_t>(MsgType::kError),
+               "unknown frame type ", type);
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload.resize(len);
+  if (len > 0) {
+    RIPPLE_CHECK(socket.recv_all(frame.payload),
+                 "connection closed inside a frame");
+  }
+  return frame;
+}
+
+Frame make_submit_frame(const pipeline::CampaignRequest& request) {
+  ByteWriter w;
+  w.u32(kProtocolVersion);
+  pipeline::write_request(w, request);
+  return {MsgType::kSubmit, w.take()};
+}
+
+Frame make_accepted_frame(std::uint64_t checksum, bool attached) {
+  ByteWriter w;
+  w.u32(kProtocolVersion);
+  w.u64(checksum);
+  w.b(attached);
+  return {MsgType::kAccepted, w.take()};
+}
+
+Frame make_log_frame(std::string_view text) {
+  ByteWriter w;
+  w.str(text);
+  return {MsgType::kLog, w.take()};
+}
+
+Frame make_stage_begin_frame(std::string_view stage, std::string_view detail) {
+  ByteWriter w;
+  w.str(stage);
+  w.str(detail);
+  return {MsgType::kStageBegin, w.take()};
+}
+
+Frame make_stage_end_frame(const pipeline::StageStats& stats) {
+  ByteWriter w;
+  write_stage_stats(w, stats);
+  return {MsgType::kStageEnd, w.take()};
+}
+
+Frame make_result_frame(std::uint64_t checksum,
+                        std::span<const std::uint8_t> bytes) {
+  ByteWriter w;
+  w.u64(checksum);
+  w.u64(bytes.size());
+  for (std::uint8_t byte : bytes) w.u8(byte);
+  return {MsgType::kResult, w.take()};
+}
+
+Frame make_error_frame(std::string_view text) {
+  ByteWriter w;
+  w.str(text);
+  return {MsgType::kError, w.take()};
+}
+
+Message decode_message(const Frame& frame) {
+  Message m;
+  m.type = frame.type;
+  ByteReader r(frame.payload);
+  switch (frame.type) {
+    case MsgType::kAccepted:
+      m.protocol_version = r.u32();
+      RIPPLE_CHECK(m.protocol_version == kProtocolVersion,
+                   "daemon speaks protocol version ", m.protocol_version,
+                   ", this client expects ", kProtocolVersion);
+      m.checksum = r.u64();
+      m.attached = r.b();
+      break;
+    case MsgType::kLog:
+    case MsgType::kError: m.text = r.str(); break;
+    case MsgType::kStageBegin:
+      m.stage = r.str();
+      m.detail = r.str();
+      break;
+    case MsgType::kStageEnd: m.stats = read_stage_stats(r); break;
+    case MsgType::kResult: {
+      m.checksum = r.u64();
+      const std::uint64_t body = r.u64();
+      m.result_bytes = r.blob(body);
+      break;
+    }
+    case MsgType::kSubmit:
+      throw Error("unexpected Submit frame from the daemon");
+  }
+  r.expect_done();
+  return m;
+}
+
+pipeline::CampaignRequest decode_submit(const Frame& frame) {
+  RIPPLE_CHECK(frame.type == MsgType::kSubmit,
+               "expected a Submit frame, got type ",
+               static_cast<int>(frame.type));
+  ByteReader r(frame.payload);
+  const std::uint32_t version = r.u32();
+  RIPPLE_CHECK(version == kProtocolVersion, "client speaks protocol version ",
+               version, ", this daemon expects ", kProtocolVersion);
+  pipeline::CampaignRequest request = pipeline::read_request(r);
+  r.expect_done();
+  return request;
+}
+
+} // namespace ripple::serve

@@ -1,0 +1,102 @@
+// Wire protocol of the campaign service (rippled <-> ripple-client).
+//
+// Transport: a Unix-domain stream socket carrying length-prefixed frames
+//
+//   [u32 payload length, little-endian][u8 message type][payload bytes]
+//
+// The payload is the canonical ByteWriter encoding of the message body, so
+// the protocol inherits the artifact serializer's versioning and bounds
+// checking. A session is: client sends one Submit, daemon answers Accepted,
+// then streams Log/StageBegin/StageEnd events until a terminal Result or
+// ServeError frame. The client may disconnect at any point; the daemon
+// detaches the session without disturbing the (possibly shared) execution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipeline/observer.hpp"
+#include "pipeline/request.hpp"
+#include "util/socket.hpp"
+
+namespace ripple::serve {
+
+/// Bump on any frame-layout change; Accepted echoes it so clients can
+/// detect a daemon from another release.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frames too large to be real protect the reader from garbage length
+/// prefixes (a full campaign result over the AVR core is ~100 KiB).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class MsgType : std::uint8_t {
+  kSubmit = 1,     // client->daemon: protocol version + CampaignRequest
+  kAccepted = 2,   // daemon->client: checksum + attached-to-in-flight flag
+  kLog = 3,        // daemon->client: free-form progress line
+  kStageBegin = 4, // daemon->client: stage + detail
+  kStageEnd = 5,   // daemon->client: full StageStats record
+  kResult = 6,     // daemon->client: terminal, serialized CampaignResult
+  kError = 7,      // daemon->client: terminal, error text
+};
+
+/// A decoded daemon->client message (the union of all event payloads; the
+/// `type` selects which fields are meaningful).
+struct Message {
+  MsgType type = MsgType::kLog;
+  std::uint64_t checksum = 0;        // kAccepted, kResult
+  std::uint32_t protocol_version = 0; // kAccepted
+  bool attached = false;             // kAccepted: joined an in-flight run
+  std::string text;                  // kLog, kError
+  std::string stage;                 // kStageBegin
+  std::string detail;                // kStageBegin
+  pipeline::StageStats stats;        // kStageEnd
+  /// kResult: the canonical write_campaign_result() bytes — kept encoded so
+  /// byte-identity across clients/runs is checkable without re-serializing.
+  std::vector<std::uint8_t> result_bytes;
+};
+
+/// StageStats body used by kStageEnd frames (and nothing else — stage
+/// records never enter the artifact cache).
+void write_stage_stats(ByteWriter& w, const pipeline::StageStats& stats);
+[[nodiscard]] pipeline::StageStats read_stage_stats(ByteReader& r);
+
+// --- frame I/O ------------------------------------------------------------
+
+/// One encoded frame (type + payload, pre-serialization of the length
+/// prefix). The daemon records these in an execution's event history, so
+/// late-attaching clients replay the exact bytes earlier ones received.
+struct Frame {
+  MsgType type = MsgType::kLog;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Send one [len][type][payload] frame.
+void send_frame(Socket& socket, const Frame& frame);
+
+/// Receive one frame; returns std::nullopt on clean peer EOF at a frame
+/// boundary, throws on truncation, oversized lengths or socket errors.
+[[nodiscard]] std::optional<Frame> recv_frame(Socket& socket);
+
+// --- frame builders -------------------------------------------------------
+
+[[nodiscard]] Frame make_submit_frame(const pipeline::CampaignRequest& r);
+[[nodiscard]] Frame make_accepted_frame(std::uint64_t checksum, bool attached);
+[[nodiscard]] Frame make_log_frame(std::string_view text);
+[[nodiscard]] Frame make_stage_begin_frame(std::string_view stage,
+                                           std::string_view detail);
+[[nodiscard]] Frame make_stage_end_frame(const pipeline::StageStats& stats);
+/// Terminal frame carrying the canonical write_campaign_result() bytes
+/// inline (kMaxFrameBytes bounds the result size).
+[[nodiscard]] Frame make_result_frame(std::uint64_t checksum,
+                                      std::span<const std::uint8_t> bytes);
+[[nodiscard]] Frame make_error_frame(std::string_view text);
+
+/// Decode a daemon->client frame into a Message.
+[[nodiscard]] Message decode_message(const Frame& frame);
+
+/// Decode a client->daemon Submit frame (validates the protocol version).
+[[nodiscard]] pipeline::CampaignRequest decode_submit(const Frame& frame);
+
+} // namespace ripple::serve

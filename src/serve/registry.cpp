@@ -1,0 +1,81 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+
+namespace ripple::serve {
+
+Execution::Execution(std::uint64_t checksum,
+                     pipeline::CampaignRequest request)
+    : checksum_(checksum), request_(std::move(request)) {}
+
+void Execution::attach(const std::shared_ptr<EventSink>& sink) {
+  std::lock_guard lock(mutex_);
+  // Replay under the lock so no broadcast can interleave with the history:
+  // the sink sees every frame exactly once, in order.
+  for (const Frame& frame : history_) {
+    if (!sink->deliver(frame)) return; // died during replay; don't keep it
+  }
+  if (!finished_) sinks_.push_back(sink);
+}
+
+void Execution::detach(const std::shared_ptr<EventSink>& sink) {
+  std::lock_guard lock(mutex_);
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+void Execution::broadcast(const Frame& frame) {
+  std::lock_guard lock(mutex_);
+  history_.push_back(frame);
+  std::erase_if(sinks_, [&](const std::shared_ptr<EventSink>& sink) {
+    return !sink->deliver(frame);
+  });
+}
+
+void Execution::finish(const Frame& frame) {
+  std::lock_guard lock(mutex_);
+  history_.push_back(frame);
+  for (const auto& sink : sinks_) (void)sink->deliver(frame);
+  sinks_.clear();
+  finished_ = true;
+}
+
+bool Execution::finished() const {
+  std::lock_guard lock(mutex_);
+  return finished_;
+}
+
+std::size_t Execution::num_sinks() const {
+  std::lock_guard lock(mutex_);
+  return sinks_.size();
+}
+
+ExecutionRegistry::Submission ExecutionRegistry::submit(
+    const pipeline::CampaignRequest& request) {
+  const std::uint64_t checksum = pipeline::request_checksum(request);
+  std::lock_guard lock(mutex_);
+  ++counters_.submitted;
+  if (auto it = executions_.find(checksum); it != executions_.end()) {
+    ++counters_.deduped;
+    return {it->second, /*is_new=*/false};
+  }
+  auto execution = std::make_shared<Execution>(checksum, request);
+  executions_.emplace(checksum, execution);
+  return {std::move(execution), /*is_new=*/true};
+}
+
+void ExecutionRegistry::erase(std::uint64_t checksum) {
+  std::lock_guard lock(mutex_);
+  executions_.erase(checksum);
+}
+
+ExecutionRegistry::Counters ExecutionRegistry::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+std::size_t ExecutionRegistry::in_flight() const {
+  std::lock_guard lock(mutex_);
+  return executions_.size();
+}
+
+} // namespace ripple::serve

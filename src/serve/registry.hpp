@@ -1,0 +1,99 @@
+// In-flight execution registry: the daemon's dedup and fan-out layer.
+//
+// Each distinct request checksum maps to at most one Execution. A client
+// submitting a request whose checksum is already in flight *attaches* to
+// the existing Execution instead of starting a second one — the checksum is
+// computed over exactly the result-affecting fields (request.hpp), so both
+// clients are guaranteed the same bytes. Every daemon->client event is
+// recorded in the execution's history and replayed to late attachers, so an
+// attaching client sees the full stage timeline, not just the tail.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "pipeline/request.hpp"
+#include "serve/protocol.hpp"
+
+namespace ripple::serve {
+
+/// Where execution events go (one per attached client session). deliver()
+/// returns false when the sink is dead (client gone); the execution drops
+/// it and keeps running.
+class EventSink {
+public:
+  virtual ~EventSink() = default;
+  [[nodiscard]] virtual bool deliver(const Frame& frame) = 0;
+};
+
+/// One in-flight (or just-finished) campaign run shared by every client
+/// whose request hashed to `checksum`.
+class Execution {
+public:
+  Execution(std::uint64_t checksum, pipeline::CampaignRequest request);
+
+  [[nodiscard]] std::uint64_t checksum() const { return checksum_; }
+  [[nodiscard]] const pipeline::CampaignRequest& request() const {
+    return request_;
+  }
+
+  /// Attach a client sink: replays the recorded history (and the terminal
+  /// frame, when the run already finished) into it, then keeps it for
+  /// future broadcasts.
+  void attach(const std::shared_ptr<EventSink>& sink);
+  void detach(const std::shared_ptr<EventSink>& sink);
+
+  /// Record `frame` in the history and deliver it to every live sink.
+  void broadcast(const Frame& frame);
+
+  /// Record the terminal frame (kResult or kError), deliver it, and mark
+  /// the execution finished; subsequent attaches replay it immediately.
+  void finish(const Frame& frame);
+
+  [[nodiscard]] bool finished() const;
+  [[nodiscard]] std::size_t num_sinks() const;
+
+private:
+  const std::uint64_t checksum_;
+  const pipeline::CampaignRequest request_;
+
+  mutable std::mutex mutex_;
+  std::vector<Frame> history_;
+  std::vector<std::shared_ptr<EventSink>> sinks_;
+  bool finished_ = false;
+};
+
+/// Checksum -> Execution map plus the service counters the report envelope
+/// exposes.
+class ExecutionRegistry {
+public:
+  struct Submission {
+    std::shared_ptr<Execution> execution;
+    bool is_new = false; // false: deduped onto an in-flight run
+  };
+
+  /// Find-or-create the execution for `request`. `is_new` tells the caller
+  /// whether it must actually run the campaign.
+  [[nodiscard]] Submission submit(const pipeline::CampaignRequest& request);
+
+  /// Drop a finished execution so a later identical submission starts a
+  /// fresh run (which then replays shard checkpoints from the cache).
+  void erase(std::uint64_t checksum);
+
+  struct Counters {
+    std::size_t submitted = 0; // total submissions
+    std::size_t deduped = 0;   // submissions attached to an in-flight run
+  };
+  [[nodiscard]] Counters counters() const;
+  [[nodiscard]] std::size_t in_flight() const;
+
+private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Execution>> executions_;
+  Counters counters_;
+};
+
+} // namespace ripple::serve

@@ -1,0 +1,84 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+namespace ripple::serve {
+
+FairScheduler::FairScheduler(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker(); });
+  }
+}
+
+FairScheduler::~FairScheduler() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void FairScheduler::run(std::size_t n,
+                        const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  std::unique_lock lock(mutex_);
+  auto it = streams_.emplace(streams_.end());
+  it->task = &task;
+  it->total = n;
+  it->next = 0;
+  it->remaining = n;
+  work_cv_.notify_all();
+  it->done_cv.wait(lock, [&] { return it->remaining == 0; });
+  const std::exception_ptr error = it->error;
+  streams_.erase(it);
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void FairScheduler::worker() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    if (stopping_) return;
+    Stream* stream = nullptr;
+    for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+      if (it->next < it->total) {
+        stream = &*it;
+        // Rotate the claimed stream to the back: the next claim goes to a
+        // different execution when one is waiting.
+        streams_.splice(streams_.end(), streams_, it);
+        break;
+      }
+    }
+    if (stream == nullptr) {
+      work_cv_.wait(lock);
+      continue;
+    }
+    const std::size_t index = stream->next++;
+    const auto* task = stream->task;
+    lock.unlock();
+
+    std::exception_ptr error;
+    try {
+      (*task)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    lock.lock();
+    --stream->remaining;
+    if (error) {
+      if (!stream->error) stream->error = error;
+      // Abandon this stream's unclaimed indices; in-flight ones drain.
+      stream->remaining -= stream->total - stream->next;
+      stream->next = stream->total;
+    }
+    if (stream->remaining == 0) stream->done_cv.notify_all();
+  }
+}
+
+} // namespace ripple::serve

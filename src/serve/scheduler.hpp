@@ -1,0 +1,63 @@
+// Fair shard scheduler: one shared worker pool multiplexing the shard
+// fan-out of every in-flight campaign execution.
+//
+// Each execution calls run(n, task) — the hafi::ShardExecutor signature —
+// which registers a *stream* of n shard indices and blocks until all are
+// done. Workers pick the next index round-robin across the active streams,
+// so a freshly submitted small campaign starts making progress immediately
+// instead of queueing behind thousands of shards of an earlier one. Shard
+// execution order never affects results (hafi merges shard results by
+// index), so fairness is purely a latency policy.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ripple::serve {
+
+class FairScheduler {
+public:
+  /// `threads` workers; 0 = hardware concurrency.
+  explicit FairScheduler(std::size_t threads = 0);
+  ~FairScheduler();
+
+  FairScheduler(const FairScheduler&) = delete;
+  FairScheduler& operator=(const FairScheduler&) = delete;
+
+  /// Run task(0..n-1) on the shared pool; blocks until every index
+  /// finished. Rethrows the first task exception (remaining unclaimed
+  /// indices of that stream are abandoned). Callable concurrently from any
+  /// number of executions; matches hafi::ShardExecutor.
+  void run(std::size_t n, const std::function<void(std::size_t)>& task);
+
+  [[nodiscard]] std::size_t threads() const { return workers_.size(); }
+
+private:
+  struct Stream {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::size_t total = 0;
+    std::size_t next = 0;      // next index to claim
+    std::size_t remaining = 0; // claimed-but-unfinished + unclaimed
+    std::exception_ptr error;
+    std::condition_variable done_cv;
+  };
+
+  void worker();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  /// Active streams in claim order; claiming an index splices the stream to
+  /// the back, which is what makes the discipline round-robin. std::list
+  /// for stable node addresses across splices.
+  std::list<Stream> streams_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+} // namespace ripple::serve

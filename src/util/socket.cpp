@@ -1,0 +1,148 @@
+#include "util/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace ripple {
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  RIPPLE_CHECK(path.size() < sizeof(addr.sun_path),
+               "unix socket path too long (", path.size(), " bytes): ", path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+[[noreturn]] void throw_errno(const char* what, const std::string& detail) {
+  throw Error(strprintf("%s failed (%s): %s", what, detail.c_str(),
+                        std::strerror(errno)));
+}
+
+} // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Socket Socket::connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket", path);
+  Socket s(fd);
+  const sockaddr_un addr = make_addr(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect", path);
+  }
+  return s;
+}
+
+void Socket::send_all(std::span<const std::uint8_t> data) {
+  RIPPLE_CHECK(valid(), "send on a closed socket");
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send", strprintf("fd %d", fd_));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_all(std::span<std::uint8_t> data) {
+  RIPPLE_CHECK(valid(), "recv on a closed socket");
+  std::size_t got = 0;
+  while (got < data.size()) {
+    const ssize_t n = ::recv(fd_, data.data() + got, data.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv", strprintf("fd %d", fd_));
+    }
+    if (n == 0) {
+      if (got == 0) return false; // clean EOF on a message boundary
+      throw Error(strprintf("connection closed mid-message (%zu of %zu bytes)",
+                            got, data.size()));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UnixListener::UnixListener(std::string path, int backlog)
+    : path_(std::move(path)) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket", path_);
+  // A previous daemon's stale socket file would fail the bind; binding is
+  // the ownership claim, so removing it first is safe.
+  ::unlink(path_.c_str());
+  const sockaddr_un addr = make_addr(path_);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw_errno("bind", path_);
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    ::unlink(path_.c_str());
+    throw_errno("listen", path_);
+  }
+  fd_ = fd;
+}
+
+UnixListener::~UnixListener() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+Socket UnixListener::accept() {
+  while (!closing_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // close() shut the socket down (accept fails with EINVAL) — or a real
+    // error hit; either way report shutdown rather than throwing from the
+    // daemon's accept loop.
+    break;
+  }
+  return Socket();
+}
+
+void UnixListener::close() noexcept {
+  // shutdown() unblocks a concurrent accept() on Linux; the fd itself is
+  // only closed by the destructor (after the accepting thread is joined),
+  // so accept() never operates on a closed/reused descriptor.
+  closing_.store(true, std::memory_order_release);
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+} // namespace ripple

@@ -1,0 +1,83 @@
+// Minimal RAII wrappers over AF_UNIX stream sockets for the campaign
+// service. Blocking I/O only — the daemon uses one thread per connection,
+// so nothing here needs readiness notification. All helpers throw
+// ripple::Error on system-call failure; orderly peer shutdown is reported
+// as a clean `false` from recv_all, never an exception.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ripple {
+
+/// A connected stream socket (one endpoint). Move-only; closes on
+/// destruction.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  /// Connect to a Unix-domain socket at `path`; throws on failure.
+  [[nodiscard]] static Socket connect_unix(const std::string& path);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Write the whole span (MSG_NOSIGNAL — a vanished peer surfaces as an
+  /// Error, not SIGPIPE).
+  void send_all(std::span<const std::uint8_t> data);
+
+  /// Read exactly `data.size()` bytes. Returns false when the peer closed
+  /// the connection cleanly before the first byte; throws on a mid-message
+  /// EOF or any error.
+  [[nodiscard]] bool recv_all(std::span<std::uint8_t> data);
+
+  /// Shut down both directions (unblocks a peer's pending recv); the fd
+  /// stays open until destruction.
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+private:
+  int fd_ = -1;
+};
+
+/// A listening Unix-domain socket. Binds at construction (unlinking any
+/// stale socket file first), unlinks the path on destruction.
+class UnixListener {
+public:
+  explicit UnixListener(std::string path, int backlog = 16);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Block until a client connects. Returns an invalid Socket when the
+  /// listener was closed (the daemon's shutdown path); throws on error.
+  [[nodiscard]] Socket accept();
+
+  /// Shut the listener down: a blocked (or future) accept() returns an
+  /// invalid Socket. Safe to call from any thread while another is blocked
+  /// in accept(); the fd itself stays open until destruction, so the
+  /// accepting thread never races a close.
+  void close() noexcept;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+  std::string path_;
+  int fd_ = -1; // written only at construction/destruction
+  std::atomic<bool> closing_{false};
+};
+
+} // namespace ripple

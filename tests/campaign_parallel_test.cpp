@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 #include <map>
 #include <stdexcept>
 
@@ -196,14 +197,14 @@ TEST(CampaignParallel, PipelineResumeReplaysShardsFromCache) {
     }
   };
 
-  const auto run_once = [&](Recorder& rec) {
+  const auto run_once = [&](const std::shared_ptr<Recorder>& rec) {
     pipeline::PipelineConfig config;
     config.cache_dir = cache_dir;
     config.threads = 2;
     pipeline::CampaignPipeline pipe(config);
-    pipe.add_observer(&rec);
+    pipe.add_observer(rec);
 
-    pipeline::CampaignPipeline::CampaignSpec spec;
+    pipeline::CampaignSpec spec;
     spec.factory = make_avr_factory(core(), fib());
     spec.config = small_config();
     spec.netlist_fingerprint = pipeline::fingerprint(core().netlist);
@@ -211,13 +212,14 @@ TEST(CampaignParallel, PipelineResumeReplaysShardsFromCache) {
     return result_bytes(pipe.campaign(std::move(spec), "resume test"));
   };
 
-  Recorder cold, warm;
+  const auto cold = std::make_shared<Recorder>();
+  const auto warm = std::make_shared<Recorder>();
   const std::vector<std::uint8_t> first = run_once(cold);
   const std::vector<std::uint8_t> second = run_once(warm);
 
-  EXPECT_EQ(cold.counter("shards_resumed"), 0.0);
-  EXPECT_EQ(warm.counter("shards_resumed"), warm.counter("shards"));
-  EXPECT_GT(warm.counter("shards"), 0.0);
+  EXPECT_EQ(cold->counter("shards_resumed"), 0.0);
+  EXPECT_EQ(warm->counter("shards_resumed"), warm->counter("shards"));
+  EXPECT_GT(warm->counter("shards"), 0.0);
   EXPECT_EQ(first, second);
 
   std::error_code ec;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 
 #include <unistd.h>
 
@@ -46,14 +47,14 @@ TEST(CampaignSmoke, InterruptedCampaignResumesByteIdentical) {
   const cores::avr::Program program = cores::avr::fib_program();
   const std::uint64_t netlist_fp = pipeline::fingerprint(core.netlist);
 
-  const auto run_once = [&](Recorder& rec) {
+  const auto run_once = [&](const std::shared_ptr<Recorder>& rec) {
     pipeline::PipelineConfig config;
     config.cache_dir = cache_dir;
     config.threads = 2;
     pipeline::CampaignPipeline pipe(config);
-    pipe.add_observer(&rec);
+    pipe.add_observer(rec);
 
-    pipeline::CampaignPipeline::CampaignSpec spec;
+    pipeline::CampaignSpec spec;
     spec.factory = make_avr_factory(core, program);
     spec.config.run_cycles = 200;
     spec.config.sample = 24;
@@ -68,13 +69,14 @@ TEST(CampaignSmoke, InterruptedCampaignResumesByteIdentical) {
     return w.take();
   };
 
-  Recorder cold, warm;
+  const auto cold = std::make_shared<Recorder>();
+  const auto warm = std::make_shared<Recorder>();
   const std::vector<std::uint8_t> first = run_once(cold);
   const std::vector<std::uint8_t> second = run_once(warm);
 
-  EXPECT_EQ(cold.counter("shards_resumed"), 0.0);
-  EXPECT_EQ(warm.counter("shards"), 4.0);
-  EXPECT_EQ(warm.counter("shards_resumed"), 4.0);
+  EXPECT_EQ(cold->counter("shards_resumed"), 0.0);
+  EXPECT_EQ(warm->counter("shards"), 4.0);
+  EXPECT_EQ(warm->counter("shards_resumed"), 4.0);
   EXPECT_EQ(first, second);
 
   std::error_code ec;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 
 #include <unistd.h>
 
@@ -30,7 +31,7 @@ struct Recorder : StageObserver {
 };
 
 struct RunResult {
-  Recorder rec;
+  std::shared_ptr<Recorder> rec = std::make_shared<Recorder>();
   std::vector<std::uint8_t> search_bytes;
   std::vector<std::uint8_t> selection_bytes;
 };
@@ -40,7 +41,7 @@ void run_once(const std::filesystem::path& cache_dir, RunResult& out) {
   config.cache_dir = cache_dir;
   config.threads = 2;
   CampaignPipeline pipe(config);
-  pipe.add_observer(&out.rec);
+  pipe.add_observer(out.rec);
 
   // 500 cycles keep the smoke run short; a subset of the FF-w/o-RF fault
   // set with modest budgets keeps the search itself in the sub-second range.
@@ -84,16 +85,16 @@ TEST(PipelineSmoke, SecondRunReplaysFromCache) {
   run_once(cache_dir, warm);
 
   // First run computes everything...
-  EXPECT_FALSE(cold.rec.stage("find_mates").cache_hit);
-  EXPECT_FALSE(cold.rec.stage("record_trace").cache_hit);
-  EXPECT_FALSE(cold.rec.stage("evaluate").cache_hit);
-  EXPECT_FALSE(cold.rec.stage("select").cache_hit);
+  EXPECT_FALSE(cold.rec->stage("find_mates").cache_hit);
+  EXPECT_FALSE(cold.rec->stage("record_trace").cache_hit);
+  EXPECT_FALSE(cold.rec->stage("evaluate").cache_hit);
+  EXPECT_FALSE(cold.rec->stage("select").cache_hit);
 
   // ...the second run replays the cached artifacts.
-  EXPECT_TRUE(warm.rec.stage("record_trace").cache_hit);
-  EXPECT_TRUE(warm.rec.stage("find_mates").cache_hit);
-  EXPECT_TRUE(warm.rec.stage("evaluate").cache_hit);
-  EXPECT_TRUE(warm.rec.stage("select").cache_hit);
+  EXPECT_TRUE(warm.rec->stage("record_trace").cache_hit);
+  EXPECT_TRUE(warm.rec->stage("find_mates").cache_hit);
+  EXPECT_TRUE(warm.rec->stage("evaluate").cache_hit);
+  EXPECT_TRUE(warm.rec->stage("select").cache_hit);
 
   // Identical results, byte for byte (canonical serialization as the deep
   // equality oracle).

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <fstream>
 
 #include <unistd.h>
@@ -150,8 +151,9 @@ TEST(Pipeline, ObserverSeesCacheHitFlag) {
   PipelineConfig config;
   config.cache_dir = tmp.path;
   CampaignPipeline pipe(config);
-  Recorder rec;
-  pipe.add_observer(&rec);
+  const auto rec_owner = std::make_shared<Recorder>();
+  Recorder& rec = *rec_owner;
+  pipe.add_observer(rec_owner);
 
   mate::SearchParams params;
   params.threads = 1;
@@ -193,8 +195,9 @@ TEST(Pipeline, ChunkedStreamTailExtensionReusesPrefixChunks) {
   config.cache_dir = tmp.path;
   config.trace_chunk_cycles = 128;
   CampaignPipeline pipe(config);
-  Recorder rec;
-  pipe.add_observer(&rec);
+  const auto rec_owner = std::make_shared<Recorder>();
+  Recorder& rec = *rec_owner;
+  pipe.add_observer(rec_owner);
 
   // 256 cycles = 2 chunks, cold cache: both simulate and are stored.
   const auto s1 = pipe.trace_stream(CoreKind::Avr, "fib", 256);

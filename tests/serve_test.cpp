@@ -1,0 +1,440 @@
+// The campaign service, in-process: FairScheduler and ExecutionRegistry
+// units, then a real Server over real Unix sockets — concurrent clients
+// deduped onto one execution with byte-identical results, client
+// disconnects mid-campaign, daemon restart resuming from shard checkpoints,
+// and the bitpar-fallback warning reaching the requesting client.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "pipeline/artifact.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/registry.hpp"
+#include "pipeline/request.hpp"
+#include "serve/client.hpp"
+#include "serve/registry.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "util/serialize.hpp"
+
+namespace ripple::serve {
+namespace {
+
+struct TempDir {
+  std::filesystem::path path;
+
+  explicit TempDir(const char* tag) {
+    const auto base = std::filesystem::temp_directory_path();
+    for (int i = 0;; ++i) {
+      auto candidate = base / (std::string(tag) + "_" +
+                               std::to_string(::getpid()) + "_" +
+                               std::to_string(i));
+      if (std::filesystem::create_directories(candidate)) {
+        path = std::move(candidate);
+        return;
+      }
+    }
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+// --- FairScheduler units ---------------------------------------------------
+
+TEST(FairSchedulerTest, RunsEveryIndexExactlyOnce) {
+  FairScheduler scheduler(4);
+  constexpr std::size_t kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  scheduler.run(kN, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(FairSchedulerTest, MultiplexesConcurrentStreams) {
+  FairScheduler scheduler(3);
+  constexpr std::size_t kStreams = 4;
+  constexpr std::size_t kN = 64;
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kStreams);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    callers.emplace_back([&scheduler, &total] {
+      scheduler.run(kN, [&total](std::size_t) { total.fetch_add(1); });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), kStreams * kN);
+}
+
+TEST(FairSchedulerTest, RethrowsTaskExceptionToTheCaller) {
+  FairScheduler scheduler(2);
+  EXPECT_THROW(scheduler.run(16,
+                             [](std::size_t i) {
+                               if (i == 5) throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+  // The pool survives a failed stream and keeps serving.
+  std::atomic<std::size_t> done{0};
+  scheduler.run(8, [&done](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 8u);
+}
+
+// --- ExecutionRegistry / Execution units -----------------------------------
+
+pipeline::CampaignRequest small_request(std::uint64_t seed = 5) {
+  pipeline::CampaignRequest request;
+  request.core = "avr";
+  request.config.run_cycles = 200;
+  request.config.sample = 24;
+  request.config.seed = seed;
+  request.config.threads = 2;
+  request.config.shard_size = 6; // 4 shards
+  return request;
+}
+
+TEST(ExecutionRegistryTest, DedupesInFlightChecksums) {
+  ExecutionRegistry registry;
+  const auto a = registry.submit(small_request());
+  EXPECT_TRUE(a.is_new);
+  const auto b = registry.submit(small_request());
+  EXPECT_FALSE(b.is_new);
+  EXPECT_EQ(a.execution.get(), b.execution.get());
+
+  // Scheduling knobs hash identically -> same execution.
+  pipeline::CampaignRequest knobs = small_request();
+  knobs.config.threads = 7;
+  knobs.resume = true;
+  EXPECT_FALSE(registry.submit(knobs).is_new);
+
+  // A different seed is a different campaign.
+  const auto other = registry.submit(small_request(6));
+  EXPECT_TRUE(other.is_new);
+  EXPECT_EQ(registry.in_flight(), 2u);
+
+  const auto counters = registry.counters();
+  EXPECT_EQ(counters.submitted, 4u);
+  EXPECT_EQ(counters.deduped, 2u);
+
+  registry.erase(a.execution->checksum());
+  EXPECT_TRUE(registry.submit(small_request()).is_new);
+}
+
+struct RecordingSink final : EventSink {
+  std::vector<Frame> frames;
+  bool alive = true;
+  bool deliver(const Frame& frame) override {
+    if (!alive) return false;
+    frames.push_back(frame);
+    return true;
+  }
+};
+
+TEST(ExecutionTest, LateAttacherReplaysFullHistory) {
+  Execution execution(0x1234, small_request());
+  execution.broadcast(make_log_frame("one"));
+  execution.broadcast(make_log_frame("two"));
+
+  const auto late = std::make_shared<RecordingSink>();
+  execution.attach(late);
+  ASSERT_EQ(late->frames.size(), 2u);
+  EXPECT_EQ(decode_message(late->frames[0]).text, "one");
+  EXPECT_EQ(decode_message(late->frames[1]).text, "two");
+
+  execution.broadcast(make_log_frame("three"));
+  EXPECT_EQ(late->frames.size(), 3u);
+
+  execution.finish(make_error_frame("done"));
+  EXPECT_TRUE(execution.finished());
+  EXPECT_EQ(late->frames.size(), 4u);
+
+  // Attaching after the finish replays history + terminal immediately.
+  const auto after = std::make_shared<RecordingSink>();
+  execution.attach(after);
+  ASSERT_EQ(after->frames.size(), 4u);
+  EXPECT_EQ(after->frames.back().type, MsgType::kError);
+  EXPECT_EQ(execution.num_sinks(), 0u); // finished runs keep no sinks
+}
+
+TEST(ExecutionTest, DeadSinksAreDroppedNotFatal) {
+  Execution execution(0x99, small_request());
+  const auto dead = std::make_shared<RecordingSink>();
+  const auto live = std::make_shared<RecordingSink>();
+  execution.attach(dead);
+  execution.attach(live);
+  dead->alive = false; // the client vanished
+  execution.broadcast(make_log_frame("tick"));
+  EXPECT_EQ(execution.num_sinks(), 1u);
+  EXPECT_EQ(live->frames.size(), 1u);
+}
+
+// --- the real service over real sockets ------------------------------------
+
+struct Drained {
+  std::vector<std::string> logs;
+  std::vector<pipeline::StageStats> stage_ends;
+  std::vector<std::uint8_t> result_bytes;
+  std::string error;
+};
+
+Drained drain(ServeClient& client) {
+  Drained out;
+  while (true) {
+    auto message = client.next();
+    if (!message.has_value()) {
+      out.error = "daemon vanished";
+      return out;
+    }
+    switch (message->type) {
+      case MsgType::kLog: out.logs.push_back(message->text); break;
+      case MsgType::kStageEnd: out.stage_ends.push_back(message->stats); break;
+      case MsgType::kResult:
+        out.result_bytes = std::move(message->result_bytes);
+        return out;
+      case MsgType::kError:
+        out.error = message->text;
+        return out;
+      default: break;
+    }
+  }
+}
+
+double counter(const pipeline::StageStats& s, const char* name) {
+  for (const auto& [key, value] : s.counters) {
+    if (key == name) return value;
+  }
+  return -1.0;
+}
+
+const pipeline::StageStats* find_stage(const Drained& d, const char* name) {
+  for (const auto& s : d.stage_ends) {
+    if (s.stage == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string socket_path(const TempDir& dir) {
+  // Unix socket paths are length-limited (~108 bytes); temp dirs are short
+  // enough, but keep the leaf terse anyway.
+  return (dir.path / "d.sock").string();
+}
+
+/// The same request executed in-process — the byte-identity oracle every
+/// service-path result is compared against.
+std::vector<std::uint8_t> reference_bytes(
+    const pipeline::CampaignRequest& request) {
+  TempDir cache("ripple_serve_ref");
+  pipeline::PipelineConfig config;
+  config.cache_dir = cache.path;
+  config.threads = 2;
+  pipeline::CampaignPipeline pipe(config);
+  ByteWriter w;
+  pipeline::write_campaign_result(w, pipe.run(request));
+  return w.take();
+}
+
+TEST(ServeTest, ConcurrentClientsShareOneExecutionByteIdentical) {
+  TempDir dir("ripple_serve_dedup");
+  ServerConfig config;
+  config.socket_path = socket_path(dir);
+  config.cache_dir = dir.path / "cache";
+  config.threads = 2;
+  Server server(config);
+  server.start();
+
+  const pipeline::CampaignRequest request = small_request();
+
+  // A submits first; B submits the identical request while A's execution is
+  // still building its core (seconds away from the result), so the daemon
+  // must attach B to A's run.
+  ServeClient a = ServeClient::connect(config.socket_path);
+  const auto a_accepted = a.submit(request);
+  EXPECT_FALSE(a_accepted.attached);
+
+  ServeClient b = ServeClient::connect(config.socket_path);
+  const auto b_accepted = b.submit(request);
+  EXPECT_EQ(b_accepted.checksum, a_accepted.checksum);
+  EXPECT_TRUE(b_accepted.attached);
+
+  const Drained from_a = drain(a);
+  const Drained from_b = drain(b);
+  ASSERT_TRUE(from_a.error.empty()) << from_a.error;
+  ASSERT_TRUE(from_b.error.empty()) << from_b.error;
+  ASSERT_FALSE(from_a.result_bytes.empty());
+
+  // One execution, two submissions, byte-identical results for both — and
+  // identical to an in-process run of the same request.
+  EXPECT_EQ(from_a.result_bytes, from_b.result_bytes);
+  EXPECT_EQ(from_a.result_bytes, reference_bytes(request));
+
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.submissions, 2u);
+  EXPECT_EQ(stats.deduped, 1u);
+  EXPECT_EQ(stats.executions, 1u);
+  server.stop();
+}
+
+TEST(ServeTest, ClientDisconnectMidCampaignIsHarmless) {
+  TempDir dir("ripple_serve_drop");
+  ServerConfig config;
+  config.socket_path = socket_path(dir);
+  config.cache_dir = dir.path / "cache";
+  config.threads = 2;
+  Server server(config);
+  server.start();
+
+  const pipeline::CampaignRequest request = small_request(11);
+
+  {
+    // Submit, then vanish without reading a single event — the daemon must
+    // drop the dead sink and keep the execution alive.
+    ServeClient dropper = ServeClient::connect(config.socket_path);
+    (void)dropper.submit(request);
+  }
+
+  // A second client attaches to (or restarts) the same campaign and still
+  // gets the full, correct result.
+  ServeClient patient = ServeClient::connect(config.socket_path);
+  (void)patient.submit(request);
+  const Drained drained = drain(patient);
+  ASSERT_TRUE(drained.error.empty()) << drained.error;
+  EXPECT_EQ(drained.result_bytes, reference_bytes(request));
+  server.stop();
+}
+
+TEST(ServeTest, RestartedDaemonResumesFromShardCheckpoints) {
+  TempDir dir("ripple_serve_restart");
+  const std::filesystem::path cache_dir = dir.path / "cache";
+  const pipeline::CampaignRequest request = small_request(13);
+
+  std::vector<std::uint8_t> first_bytes;
+  {
+    ServerConfig config;
+    config.socket_path = socket_path(dir);
+    config.cache_dir = cache_dir;
+    config.threads = 2;
+    Server server(config);
+    server.start();
+
+    ServeClient client = ServeClient::connect(config.socket_path);
+    (void)client.submit(request);
+    const Drained drained = drain(client);
+    ASSERT_TRUE(drained.error.empty()) << drained.error;
+    first_bytes = drained.result_bytes;
+
+    const pipeline::StageStats* campaign = find_stage(drained, "campaign");
+    ASSERT_NE(campaign, nullptr);
+    EXPECT_EQ(counter(*campaign, "shards_resumed"), 0.0);
+    EXPECT_EQ(counter(*campaign, "shards"), 4.0);
+    server.stop(); // the daemon dies; its shard checkpoints stay in the cache
+  }
+
+  // A fresh daemon over the same cache serves the identical request by
+  // replaying every checkpointed shard instead of re-executing it — the
+  // restart-resume contract (the daemon forces resume on server-side).
+  {
+    ServerConfig config;
+    config.socket_path = socket_path(dir);
+    config.cache_dir = cache_dir;
+    config.threads = 2;
+    Server server(config);
+    server.start();
+
+    ServeClient client = ServeClient::connect(config.socket_path);
+    (void)client.submit(request);
+    const Drained drained = drain(client);
+    ASSERT_TRUE(drained.error.empty()) << drained.error;
+    EXPECT_EQ(drained.result_bytes, first_bytes);
+
+    const pipeline::StageStats* campaign = find_stage(drained, "campaign");
+    ASSERT_NE(campaign, nullptr);
+    EXPECT_EQ(counter(*campaign, "shards"), 4.0);
+    EXPECT_EQ(counter(*campaign, "shards_resumed"), 4.0);
+    server.stop();
+  }
+}
+
+TEST(ServeTest, BitparFallbackWarningReachesTheClient) {
+  // A core with no 64-lane batch factory: requesting the bitpar engine must
+  // fall back to scalar *and* tell the requesting client so — the warning
+  // travels the wire as a Log event instead of dying in the daemon's stderr.
+  pipeline::CoreRegistry::global().register_core(
+      "avr-scalar-only", [](std::string_view workload) {
+        pipeline::CoreRuntime rt =
+            pipeline::CoreRegistry::global().make("avr", workload);
+        rt.batch_factory = nullptr;
+        return rt;
+      });
+
+  TempDir dir("ripple_serve_fallback");
+  ServerConfig config;
+  config.socket_path = socket_path(dir);
+  config.cache_dir = dir.path / "cache";
+  config.threads = 2;
+  Server server(config);
+  server.start();
+
+  pipeline::CampaignRequest request = small_request(17);
+  request.core = "avr-scalar-only";
+  request.config.dut_engine = hafi::DutEngine::BitParallel;
+
+  ServeClient client = ServeClient::connect(config.socket_path);
+  (void)client.submit(request);
+  const Drained drained = drain(client);
+  ASSERT_TRUE(drained.error.empty()) << drained.error;
+  ASSERT_FALSE(drained.result_bytes.empty());
+
+  bool warned = false;
+  for (const std::string& line : drained.logs) {
+    if (line.find("falls back to the scalar engine") != std::string::npos) {
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned) << "fallback warning never reached the client";
+
+  // Same request on the scalar engine explicitly: byte-identical (the
+  // fallback is an engine swap, never a result change). Scheduling knobs
+  // hash identically, so this dedupes/resumes rather than re-running.
+  pipeline::CampaignRequest scalar = request;
+  scalar.config.dut_engine = hafi::DutEngine::Scalar;
+  ServeClient again = ServeClient::connect(config.socket_path);
+  (void)again.submit(scalar);
+  const Drained scalar_drained = drain(again);
+  ASSERT_TRUE(scalar_drained.error.empty()) << scalar_drained.error;
+  EXPECT_EQ(scalar_drained.result_bytes, drained.result_bytes);
+  server.stop();
+}
+
+TEST(ServeTest, UnknownCoreAnswersWithAnErrorFrame) {
+  TempDir dir("ripple_serve_err");
+  ServerConfig config;
+  config.socket_path = socket_path(dir);
+  config.cache_dir = dir.path / "cache";
+  config.threads = 2;
+  Server server(config);
+  server.start();
+
+  pipeline::CampaignRequest request = small_request(19);
+  request.core = "z80";
+  ServeClient client = ServeClient::connect(config.socket_path);
+  (void)client.submit(request);
+  const Drained drained = drain(client);
+  EXPECT_TRUE(drained.result_bytes.empty());
+  EXPECT_NE(drained.error.find("z80"), std::string::npos);
+  server.stop();
+}
+
+} // namespace
+} // namespace ripple::serve

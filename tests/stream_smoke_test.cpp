@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -94,8 +95,9 @@ TEST(StreamSmoke, MillionCycleCrcBoundedMemory) {
   config.cache_dir = tmp.path;
   config.trace_chunk_cycles = kChunkCycles;
   CampaignPipeline pipe(config);
-  Recorder rec;
-  pipe.add_observer(&rec);
+  const auto rec_owner = std::make_shared<Recorder>();
+  Recorder& rec = *rec_owner;
+  pipe.add_observer(rec_owner);
 
   const auto stream = pipe.trace_stream(CoreKind::Avr, "crc", kCycles);
   const std::size_t wires = stream->num_wires();

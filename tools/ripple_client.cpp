@@ -1,0 +1,178 @@
+// ripple-client — submit one campaign request to a rippled daemon and
+// stream its progress.
+//
+// The request is pure data (core/workload names, campaign config, MATE
+// derivation); the daemon resolves it through its CoreRegistry and streams
+// back the same stage events a local run would produce, so --report=json
+// works here exactly like in the benches. With --result-out=FILE the
+// terminal result's canonical bytes are written out verbatim — two clients
+// of one deduped execution (or a client and a standalone run) can be
+// compared byte for byte.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "pipeline/artifact.hpp"
+#include "pipeline/observer.hpp"
+#include "pipeline/options.hpp"
+#include "serve/client.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+ripple::hafi::CampaignMode parse_mode(const std::string& mode) {
+  if (mode.empty() || mode == "baseline")
+    return ripple::hafi::CampaignMode::Baseline;
+  if (mode == "pruned") return ripple::hafi::CampaignMode::Pruned;
+  if (mode == "validate") return ripple::hafi::CampaignMode::Validate;
+  throw ripple::Error("unknown --mode '" + mode +
+                      "' (expected baseline, pruned or validate)");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace ripple;
+
+  std::string socket_path;
+  std::string core = "avr";
+  std::string workload;
+  std::string mode;
+  std::string result_out;
+  std::string report;
+  std::size_t top_n = 0;
+  std::size_t depth = 0;
+  std::size_t select_cycles = 0;
+  pipeline::CampaignOptions campaign_opts;
+
+  OptionParser parser(
+      "ripple-client",
+      "Submit a campaign request to a rippled daemon and stream its "
+      "progress. Identical concurrent requests share one execution.");
+  parser.add_value("socket", "rippled Unix-domain socket path", &socket_path);
+  parser.add_value("core", "core name registered in the daemon (avr, msp430)",
+                   &core);
+  parser.add_value("workload", "workload name (default: the core's default)",
+                   &workload);
+  parser.add_value("mode", "campaign mode: baseline (default), pruned or "
+                   "validate", &mode);
+  parser.add_value("top-n", "keep only the top-N MATEs of the greedy "
+                   "selection (0 = full set)", &top_n);
+  parser.add_value("depth", "MATE search depth override (0 = default)",
+                   &depth);
+  parser.add_value("select-cycles", "selection trace length (0 = "
+                   "--run-cycles)", &select_cycles);
+  parser.add_value("result-out", "write the result's canonical bytes to FILE",
+                   &result_out);
+  parser.add_value("report", "json or json:FILE — emit the shared report "
+                   "envelope", &report);
+  pipeline::register_campaign_options(parser, campaign_opts);
+  switch (parser.parse(argc, argv)) {
+    case OptionParser::Result::Ok: break;
+    case OptionParser::Result::Help: return 0;
+    case OptionParser::Result::Error: return 2;
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr,
+                 "ripple-client: --socket=PATH is required\nsee --help\n");
+    return 2;
+  }
+
+  int exit_code = 0;
+  try {
+    pipeline::CampaignRequest request;
+    request.core = core;
+    request.workload = workload;
+    hafi::CampaignConfig config;
+    config.mode = parse_mode(mode);
+    if (config.mode == hafi::CampaignMode::Pruned &&
+        campaign_opts.validate_pruned) {
+      config.mode = hafi::CampaignMode::Validate;
+    }
+    request.config = campaign_opts.apply(config);
+    request.top_n = static_cast<std::uint32_t>(top_n);
+    request.search_depth = static_cast<std::uint32_t>(depth);
+    request.select_cycles = select_cycles;
+    request.resume = campaign_opts.resume; // daemon forces this on anyway
+
+    serve::ServeClient client = serve::ServeClient::connect(socket_path);
+    const auto accepted = client.submit(request);
+    std::fprintf(stderr, "[ripple-client] accepted, checksum %016llx%s\n",
+                 static_cast<unsigned long long>(accepted.checksum),
+                 accepted.attached ? " (attached to an in-flight execution)"
+                                   : "");
+
+    pipeline::ProgressObserver progress;
+    pipeline::JsonReportObserver report_observer;
+    bool done = false;
+    while (!done) {
+      auto message = client.next();
+      if (!message.has_value()) {
+        std::fprintf(stderr,
+                     "ripple-client: daemon vanished before the result\n");
+        return 1;
+      }
+      switch (message->type) {
+        case serve::MsgType::kLog: progress.progress(message->text); break;
+        case serve::MsgType::kStageBegin:
+          progress.stage_begin(message->stage, message->detail);
+          break;
+        case serve::MsgType::kStageEnd:
+          progress.stage_end(message->stats);
+          report_observer.stage_end(message->stats);
+          break;
+        case serve::MsgType::kResult: {
+          ByteReader r(message->result_bytes);
+          const hafi::CampaignResult result =
+              pipeline::read_campaign_result(r);
+          r.expect_done();
+          std::printf(
+              "total %zu  pruned %zu  executed %zu  benign %zu  latent %zu  "
+              "sdc %zu\n",
+              result.total, result.pruned, result.executed, result.benign,
+              result.latent, result.sdc);
+          if (!result_out.empty()) {
+            std::ofstream out(result_out, std::ios::binary);
+            RIPPLE_CHECK(static_cast<bool>(out),
+                         "cannot write result file ", result_out);
+            out.write(
+                reinterpret_cast<const char*>(message->result_bytes.data()),
+                static_cast<std::streamsize>(message->result_bytes.size()));
+          }
+          done = true;
+          break;
+        }
+        case serve::MsgType::kError:
+          std::fprintf(stderr, "ripple-client: daemon error: %s\n",
+                       message->text.c_str());
+          exit_code = 1;
+          done = true;
+          break;
+        default: break;
+      }
+    }
+
+    if (report == "json" || report.rfind("json:", 0) == 0) {
+      const std::string file =
+          report.size() > 5 ? report.substr(5) : std::string();
+      if (file.empty()) {
+        report_observer.write(std::cerr, "ripple-client");
+      } else {
+        std::ofstream out(file);
+        RIPPLE_CHECK(static_cast<bool>(out), "cannot write report file ",
+                     file);
+        report_observer.write(out, "ripple-client");
+      }
+    } else if (!report.empty()) {
+      std::fprintf(stderr, "ripple-client: unknown --report '%s'\n",
+                   report.c_str());
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ripple-client: %s\n", e.what());
+    return 1;
+  }
+  return exit_code;
+}
