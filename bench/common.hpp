@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mate/search.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/options.hpp"
 #include "util/assert.hpp"
 #include "pipeline/pipeline.hpp"
@@ -65,12 +66,25 @@ public:
       report_ = std::make_shared<pipeline::JsonReportObserver>();
       pipe_->add_observer(report_);
     }
+    if (!opts_.trace_out.empty()) {
+      recorder_ = std::make_unique<obs::TraceRecorder>();
+      obs::TraceRecorder::install(recorder_.get());
+    }
   }
 
   Harness(const Harness&) = delete;
   Harness& operator=(const Harness&) = delete;
 
   ~Harness() {
+    if (recorder_ != nullptr) {
+      std::ofstream out(opts_.trace_out);
+      if (out) {
+        recorder_->write_chrome_json(out);
+      } else {
+        std::fprintf(stderr, "%s: cannot write trace file '%s'\n",
+                     program_.c_str(), opts_.trace_out.c_str());
+      }
+    }
     if (!report_) return;
     const std::string file = opts_.report_file();
     if (file.empty()) {
@@ -139,6 +153,9 @@ private:
       std::make_shared<pipeline::ProgressObserver>();
   std::shared_ptr<pipeline::JsonReportObserver> report_;
   std::optional<pipeline::CampaignPipeline> pipe_;
+  /// --trace-out recorder; installed for the harness lifetime and exported
+  /// in the destructor (its own dtor uninstalls).
+  std::unique_ptr<obs::TraceRecorder> recorder_;
 };
 
 // --- compatibility shims --------------------------------------------------

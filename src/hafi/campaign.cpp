@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "mate/faultspace.hpp"
+#include "obs/trace.hpp"
 #include "sim/trace.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -259,6 +260,8 @@ CampaignResult Campaign::run_impl(const ShardHooks& hooks) {
 
   const auto execute_shard = [&](std::size_t pending_index) {
     const std::size_t s = pending[pending_index];
+    obs::Span shard_span("hafi", "shard");
+    if (shard_span.active()) shard_span.set_detail(strprintf("shard %zu", s));
     Stopwatch watch;
     ShardResult& result = shards[s];
     result.shard = static_cast<std::uint32_t>(s);
@@ -291,6 +294,10 @@ CampaignResult Campaign::run_impl(const ShardHooks& hooks) {
           group.push_back(result.experiments[exec[i]].point);
         }
         BatchRunStats pass;
+        obs::Span pass_span("hafi", "dut_pass");
+        if (pass_span.active()) {
+          pass_span.set_detail(strprintf("%zu lanes", group.size()));
+        }
         const std::vector<Outcome> outcomes =
             batch_dut->run(group, config_.run_cycles, &pass);
         for (std::size_t i = g; i < end; ++i) {
@@ -304,6 +311,7 @@ CampaignResult Campaign::run_impl(const ShardHooks& hooks) {
         stats.lane_cycles_saved += pass.lane_cycles_saved;
       }
     } else {
+      obs::Span pass_span("hafi", "dut_pass", "scalar");
       for (const std::size_t i : exec) {
         execute_scalar(result.experiments[i]);
       }

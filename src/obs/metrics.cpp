@@ -1,0 +1,191 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ripple::obs {
+namespace {
+
+/// fetch_add for atomic<double> via CAS (atomic<double>::fetch_add is
+/// C++20-library-optional; this compiles everywhere and the loop is
+/// contention-free in practice — one writer per metric per event).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+} // namespace
+
+void CounterSet::set(std::string_view name, double value) {
+  for (Entry& e : entries_) {
+    if (e.first == name) {
+      e.second = value;
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(name), value);
+}
+
+void CounterSet::add(std::string_view name, double delta) {
+  for (Entry& e : entries_) {
+    if (e.first == name) {
+      e.second += delta;
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(name), delta);
+}
+
+const double* CounterSet::find(std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.first == name) return &e.second;
+  }
+  return nullptr;
+}
+
+double CounterSet::value_or(std::string_view name, double fallback) const {
+  const double* value = find(name);
+  return value != nullptr ? *value : fallback;
+}
+
+void Counter::add(double delta) { atomic_add(value_, delta); }
+
+Histogram::Histogram(std::string name, std::span<const double> bounds)
+    : name_(std::move(name)),
+      bounds_(bounds.begin(), bounds.end()),
+      buckets_(new std::atomic<std::uint64_t>[bounds.size() + 1]) {
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    // Misordered bounds would silently skew quantiles; fail loudly instead.
+    if (bounds_[i] >= bounds_[i + 1]) {
+      std::abort();
+    }
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::record(double value) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.name = name_;
+  s.bounds = bounds_;
+  s.buckets.resize(bounds_.size() + 1);
+  // Buckets are read individually relaxed; a snapshot taken concurrently
+  // with recording is approximate (sound for reporting, never torn).
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::quantile(double p) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (cumulative + in_bucket < target && i + 1 < buckets.size()) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    // The overflow bucket has no finite width: clamp to the last bound so
+    // quantiles stay monotone and never invent values beyond the range the
+    // histogram can resolve.
+    const double upper = i < bounds.size() ? bounds[i] : lower;
+    const double fraction =
+        in_bucket > 0.0
+            ? std::clamp((target - cumulative) / in_bucket, 0.0, 1.0)
+            : 1.0;
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  for (const auto& c : counters_) {
+    if (c->name() == name) return *c;
+  }
+  counters_.push_back(std::make_unique<Counter>(std::string(name)));
+  return *counters_.back();
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  for (const auto& g : gauges_) {
+    if (g->name() == name) return *g;
+  }
+  gauges_.push_back(std::make_unique<Gauge>(std::string(name)));
+  return *gauges_.back();
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::span<const double> bounds) {
+  std::lock_guard lock(mutex_);
+  for (const auto& h : histograms_) {
+    if (h->name() == name) return *h;
+  }
+  histograms_.push_back(
+      std::make_unique<Histogram>(std::string(name), bounds));
+  return *histograms_.back();
+}
+
+CounterSet MetricRegistry::counters() const {
+  std::lock_guard lock(mutex_);
+  CounterSet set;
+  set.reserve(counters_.size() + gauges_.size());
+  for (const auto& c : counters_) set.emplace_back(c->name(), c->value());
+  for (const auto& g : gauges_) set.emplace_back(g->name(), g->value());
+  return set;
+}
+
+std::vector<Histogram::Snapshot> MetricRegistry::histograms() const {
+  std::vector<Histogram::Snapshot> snapshots;
+  {
+    std::lock_guard lock(mutex_);
+    snapshots.reserve(histograms_.size());
+    for (const auto& h : histograms_) snapshots.push_back(h->snapshot());
+  }
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const Histogram::Snapshot& a, const Histogram::Snapshot& b) {
+              return a.name < b.name;
+            });
+  return snapshots;
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (const auto& c : counters_) c->reset();
+  for (const auto& g : gauges_) g->reset();
+  for (const auto& h : histograms_) h->reset();
+}
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+} // namespace ripple::obs

@@ -1,0 +1,191 @@
+// Unified metrics for the observability layer (DESIGN.md §15).
+//
+// Three primitives, all safe to update from any thread:
+//   * CounterSet      -- an ordered name -> value list; the common currency
+//                        of StageStats counters, the --report=json envelope
+//                        and the serve-protocol StageEnd frames (replaces
+//                        the ad-hoc vector<pair<string,double>> plumbing).
+//                        NOT thread-safe itself; it is plain data owned by
+//                        whoever builds the record.
+//   * Histogram       -- fixed-bucket latency/ratio histogram with lock-free
+//                        recording and p50/p90/p99 snapshots.
+//   * MetricRegistry  -- named counters/gauges/histograms with get-or-create
+//                        registration; the process-global() instance collects
+//                        cross-layer metrics (shard latency, lane
+//                        utilization, chunk queue depth, cache hit ratio)
+//                        that JsonReportObserver folds into report v2.
+//
+// The registry never invalidates references: metric objects live as long as
+// the registry, so hot paths resolve a Histogram& once and record through it
+// with two relaxed atomic adds.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ripple::obs {
+
+/// Ordered (name, value) counter list. Preserves insertion order (reports
+/// print counters in the order stages emitted them); set()/add() upsert by
+/// name. Lookup is linear — counter sets are small by construction.
+class CounterSet {
+public:
+  using Entry = std::pair<std::string, double>;
+  using iterator = std::vector<Entry>::iterator;
+  using const_iterator = std::vector<Entry>::const_iterator;
+
+  CounterSet() = default;
+  CounterSet(std::initializer_list<Entry> entries) : entries_(entries) {}
+
+  /// Upsert: overwrite an existing name in place (keeping its position) or
+  /// append a new entry.
+  void set(std::string_view name, double value);
+  /// Upsert-accumulate: add `delta` to an existing name or append it.
+  void add(std::string_view name, double delta);
+
+  /// Pointer to the value for `name`, nullptr when absent.
+  [[nodiscard]] const double* find(std::string_view name) const;
+  [[nodiscard]] double value_or(std::string_view name,
+                                double fallback = 0.0) const;
+
+  /// Append without the upsert scan (callers that know the name is new).
+  void emplace_back(std::string name, double value) {
+    entries_.emplace_back(std::move(name), value);
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] Entry& operator[](std::size_t i) { return entries_[i]; }
+  [[nodiscard]] const Entry& operator[](std::size_t i) const {
+    return entries_[i];
+  }
+
+  [[nodiscard]] iterator begin() { return entries_.begin(); }
+  [[nodiscard]] iterator end() { return entries_.end(); }
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+
+  friend bool operator==(const CounterSet&, const CounterSet&) = default;
+
+private:
+  std::vector<Entry> entries_;
+};
+
+/// Monotonic counter; add() is a relaxed atomic read-modify-write.
+class Counter {
+public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void add(double delta = 1.0);
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+  const std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-write-wins gauge (e.g. cache_hit_ratio).
+class Gauge {
+public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+  const std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram over non-negative values. `bounds` are ascending
+/// bucket upper limits; values above the last bound land in an implicit
+/// overflow bucket. record() is two relaxed atomic adds — safe from any
+/// thread, no locking on the hot path.
+class Histogram {
+public:
+  Histogram(std::string name, std::span<const double> bounds);
+
+  void record(double value);
+
+  struct Snapshot {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<double> bounds;          // ascending upper limits
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (overflow last)
+
+    /// Quantile estimate by linear interpolation inside the hit bucket;
+    /// the overflow bucket clamps to the last finite bound, so
+    /// quantile(p) is monotone in p by construction. 0 when empty.
+    [[nodiscard]] double quantile(double p) const;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void reset();
+
+private:
+  const std::string name_;
+  const std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named-metric registry: get-or-create by name under a mutex (hot paths
+/// resolve once, then update lock-free through the returned reference —
+/// references stay valid for the registry's lifetime; reset() zeroes values
+/// without invalidating them).
+class MetricRegistry {
+public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// `bounds` apply only when the histogram is first created; a later call
+  /// with the same name returns the existing instance unchanged.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::span<const double> bounds);
+
+  /// All counters then all gauges, each group in registration order.
+  [[nodiscard]] CounterSet counters() const;
+  /// Snapshots of every histogram, sorted by name (deterministic reports).
+  [[nodiscard]] std::vector<Histogram::Snapshot> histograms() const;
+
+  /// Zero every metric's value. Registered objects survive (references
+  /// held by hot paths stay valid); intended for tests and between-run
+  /// isolation, not for concurrent use with recording.
+  void reset();
+
+  /// The process-wide registry deep layers (campaign shards, stream sinks,
+  /// cache accounting) record into.
+  [[nodiscard]] static MetricRegistry& global();
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace ripple::obs

@@ -1,0 +1,166 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ripple::obs {
+namespace {
+
+/// Minimal JSON string escaper (quotes, backslashes, control characters).
+/// Local on purpose: obs sits below every other library and must not link
+/// against mate/util helpers.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microseconds with sub-ns-derived precision for the ts/dur fields.
+std::string microseconds(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+/// Per-thread cache of the buffer registered with a specific recorder.
+/// Keyed by the recorder's unique id (never reused), so a stale cache from
+/// a destroyed recorder can never be revived by address reuse.
+struct TlsCache {
+  std::uint64_t recorder_id = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsCache t_cache;
+
+} // namespace
+
+struct TraceRecorder::ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Event> ring;
+  std::size_t capacity = 0;
+  std::size_t next = 0;          // overwrite cursor once the ring is full
+  std::uint64_t written = 0;     // total events offered (>= ring.size())
+  std::uint32_t tid = 0;
+};
+
+TraceRecorder::TraceRecorder(std::size_t events_per_thread)
+    : id_(next_recorder_id_.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(std::max<std::size_t>(1, events_per_thread)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() {
+  // Leaving a destroyed recorder installed would hand out dangling pointers.
+  TraceRecorder* self = this;
+  current_.compare_exchange_strong(self, nullptr);
+}
+
+void TraceRecorder::install(TraceRecorder* recorder) {
+  current_.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  if (t_cache.recorder_id == id_) {
+    return *static_cast<ThreadBuffer*>(t_cache.buffer);
+  }
+  std::lock_guard lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer& buffer = *buffers_.back();
+  buffer.capacity = capacity_;
+  buffer.tid = next_tid_++;
+  t_cache = {id_, &buffer};
+  return buffer;
+}
+
+void TraceRecorder::record(const char* cat, const char* name,
+                           std::string detail, std::uint64_t start_ns,
+                           std::uint64_t end_ns) {
+  ThreadBuffer& buffer = local_buffer();
+  Event event;
+  event.start_ns = start_ns;
+  event.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  event.cat = cat;
+  event.name = name;
+  event.detail = std::move(detail);
+  event.tid = buffer.tid;
+  // The buffer belongs to this thread; the mutex only synchronizes with
+  // snapshot() readers, so recording is contention-free.
+  std::lock_guard lock(buffer.mutex);
+  if (buffer.ring.size() < buffer.capacity) {
+    buffer.ring.push_back(std::move(event));
+  } else {
+    buffer.ring[buffer.next] = std::move(event);
+    buffer.next = (buffer.next + 1) % buffer.capacity;
+  }
+  ++buffer.written;
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::snapshot() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard buffer_lock(buffer->mutex);
+      events.insert(events.end(), buffer->ring.begin(), buffer->ring.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.dur_ns > b.dur_ns; // enclosing span first
+            });
+  return events;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t dropped = 0;
+  std::lock_guard lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard buffer_lock(buffer->mutex);
+    if (buffer->written > buffer->ring.size()) {
+      dropped += buffer->written - buffer->ring.size();
+    }
+  }
+  return dropped;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  const std::vector<Event> events = snapshot();
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"ts\": " << microseconds(e.start_ns)
+       << ", \"dur\": " << microseconds(e.dur_ns) << ", \"cat\": \""
+       << json_escape(e.cat) << "\", \"name\": \"" << json_escape(e.name)
+       << "\"";
+    if (!e.detail.empty()) {
+      os << ", \"args\": {\"detail\": \"" << json_escape(e.detail) << "\"}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+} // namespace ripple::obs

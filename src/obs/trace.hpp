@@ -1,0 +1,146 @@
+// Low-overhead span tracing (DESIGN.md §15).
+//
+// A TraceRecorder collects timed spans into per-thread ring buffers; RAII
+// Span scopes emit them from every layer (pipeline stages, ThreadPool
+// batches, campaign shards and DUT passes, streaming trace chunks, daemon
+// scheduler slices). The recorder is installed process-globally; when none
+// is installed, constructing a Span costs one relaxed atomic load and a
+// branch — observability off is (near) free, and recording never feeds back
+// into results (spans only read the clock).
+//
+// Export is the Chrome trace-event JSON format ("X" complete events), which
+// chrome://tracing and ui.perfetto.dev open directly.
+//
+// Threading contract: record() takes only the calling thread's buffer
+// mutex, so concurrent recording from any number of threads is race-free
+// (TSan-provable — obs_smoke runs under -DRIPPLE_SANITIZE). The recorder
+// must outlive every thread that may still be inside a Span: uninstall via
+// install(nullptr) and join workers before destroying it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ripple::obs {
+
+class TraceRecorder {
+public:
+  struct Event {
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;
+    const char* cat = "";   // layer: "pipeline", "hafi", "stream", ...
+    const char* name = "";  // static span name: "stage:campaign", "shard"
+    std::string detail;     // dynamic label ("shard 3"), may be empty
+    std::uint32_t tid = 0;  // recorder-local sequential thread id
+  };
+
+  /// `events_per_thread` bounds each thread's ring; the oldest events are
+  /// overwritten on overflow (dropped() reports how many).
+  explicit TraceRecorder(std::size_t events_per_thread = std::size_t{1} << 16);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The installed recorder, or nullptr when tracing is off. Inline so a
+  /// disabled Span compiles down to this load plus a branch.
+  [[nodiscard]] static TraceRecorder* current() {
+    return current_.load(std::memory_order_acquire);
+  }
+  /// Install `recorder` process-wide (nullptr turns tracing off). Not a
+  /// synchronization point: install before spawning traced work, uninstall
+  /// after joining it.
+  static void install(TraceRecorder* recorder);
+
+  /// Nanoseconds since this recorder was constructed (steady clock).
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Append one complete span to the calling thread's ring buffer.
+  void record(const char* cat, const char* name, std::string detail,
+              std::uint64_t start_ns, std::uint64_t end_ns);
+
+  /// All recorded events, merged across threads and sorted by
+  /// (start_ns, tid). Intended for export and tests, not hot paths.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  /// Events lost to ring overflow across all threads.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Chrome trace-event JSON ("X" complete events, ts/dur in microseconds).
+  void write_chrome_json(std::ostream& os) const;
+
+private:
+  struct ThreadBuffer;
+
+  [[nodiscard]] ThreadBuffer& local_buffer();
+
+  inline static std::atomic<TraceRecorder*> current_{nullptr};
+  inline static std::atomic<std::uint64_t> next_recorder_id_{1};
+
+  const std::uint64_t id_;
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_; // guards buffers_ registration and snapshot
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII span: times the enclosing scope and records it on destruction.
+/// With no recorder installed the constructor is a load + branch and the
+/// destructor a branch — guard any extra labeling work with active():
+///
+///   obs::Span span("hafi", "shard");
+///   if (span.active()) span.set_detail(strprintf("shard %zu", s));
+class Span {
+public:
+  Span(const char* cat, const char* name)
+      : recorder_(TraceRecorder::current()) {
+    if (recorder_ == nullptr) return;
+    cat_ = cat;
+    name_ = name;
+    start_ns_ = recorder_->now_ns();
+  }
+  Span(const char* cat, const char* name, std::string detail)
+      : Span(cat, name) {
+    if (recorder_ != nullptr) detail_ = std::move(detail);
+  }
+
+  ~Span() {
+    // Re-check the installation so a span that straddles an uninstall is
+    // dropped instead of writing into a recorder being torn down.
+    if (recorder_ != nullptr && TraceRecorder::current() == recorder_) {
+      recorder_->record(cat_, name_, std::move(detail_), start_ns_,
+                        recorder_->now_ns());
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  [[nodiscard]] bool active() const { return recorder_ != nullptr; }
+  void set_detail(std::string detail) {
+    if (recorder_ != nullptr) detail_ = std::move(detail);
+  }
+
+private:
+  TraceRecorder* recorder_;
+  const char* cat_ = "";
+  const char* name_ = "";
+  std::string detail_;
+  std::uint64_t start_ns_ = 0;
+};
+
+} // namespace ripple::obs

@@ -24,19 +24,44 @@ std::string json_number(double v) {
 
 } // namespace
 
-ProgressObserver::ProgressObserver(std::FILE* out)
-    : out_(out != nullptr ? out : stderr) {}
+std::string format_campaign_progress(const CampaignProgress& p) {
+  if (p.resumed) {
+    return strprintf("[campaign] shard %zu/%zu resumed from checkpoint",
+                     p.shards_done, p.num_shards);
+  }
+  return strprintf("[campaign] shard %zu/%zu done: %.0f inj/s, ETA %.1f s",
+                   p.shards_done, p.num_shards, p.inj_per_sec, p.eta_seconds);
+}
+
+ProgressObserver::ProgressObserver(std::FILE* out, std::string label)
+    : out_(out != nullptr ? out : stderr), label_(std::move(label)) {}
+
+void ProgressObserver::write_line(std::string_view line) {
+  // One buffer, one fwrite: lines from concurrent executions (the daemon
+  // runs one labeled observer per campaign on a shared stderr) come out
+  // whole instead of interleaved mid-line.
+  std::string buffer;
+  buffer.reserve(label_.size() + line.size() + 4);
+  if (!label_.empty()) {
+    buffer += '[';
+    buffer += label_;
+    buffer += "] ";
+  }
+  buffer += line;
+  buffer += '\n';
+  std::fwrite(buffer.data(), 1, buffer.size(), out_);
+  std::fflush(out_);
+}
 
 void ProgressObserver::stage_begin(std::string_view stage,
                                    std::string_view detail) {
-  if (detail.empty()) {
-    std::fprintf(out_, "[%.*s] ...\n", static_cast<int>(stage.size()),
-                 stage.data());
-  } else {
-    std::fprintf(out_, "[%.*s] %.*s ...\n", static_cast<int>(stage.size()),
-                 stage.data(), static_cast<int>(detail.size()), detail.data());
+  std::string line = "[" + std::string(stage) + "]";
+  if (!detail.empty()) {
+    line += " ";
+    line += detail;
   }
-  std::fflush(out_);
+  line += " ...";
+  write_line(line);
 }
 
 void ProgressObserver::stage_end(const StageStats& stats) {
@@ -52,14 +77,15 @@ void ProgressObserver::stage_end(const StageStats& stats) {
       line += strprintf(" (%.0f %% busy)", 100.0 * stats.utilization);
     }
   }
-  std::fprintf(out_, "%s\n", line.c_str());
-  std::fflush(out_);
+  write_line(line);
 }
 
 void ProgressObserver::progress(std::string_view message) {
-  std::fprintf(out_, "%.*s\n", static_cast<int>(message.size()),
-               message.data());
-  std::fflush(out_);
+  write_line(message);
+}
+
+void ProgressObserver::campaign_progress(const CampaignProgress& p) {
+  write_line(format_campaign_progress(p));
 }
 
 void JsonReportObserver::stage_end(const StageStats& stats) {
@@ -74,13 +100,7 @@ std::vector<StageStats> JsonReportObserver::stages() const {
 
 void JsonReportObserver::set_counter(const std::string& name, double value) {
   std::lock_guard lock(mutex_);
-  for (auto& [k, v] : counters_) {
-    if (k == name) {
-      v = value;
-      return;
-    }
-  }
-  counters_.emplace_back(name, value);
+  counters_.set(name, value);
 }
 
 void JsonReportObserver::add_cache_counters(const ArtifactCache& cache) {
@@ -90,6 +110,19 @@ void JsonReportObserver::add_cache_counters(const ArtifactCache& cache) {
   set_counter("cache_misses", static_cast<double>(cs.misses));
   set_counter("cache_stores", static_cast<double>(cs.stores));
   set_counter("cache_corrupt", static_cast<double>(cs.corrupt));
+  const std::size_t lookups = cs.hits + cs.misses;
+  if (lookups > 0) {
+    const double ratio =
+        static_cast<double>(cs.hits) / static_cast<double>(lookups);
+    set_counter("cache_hit_ratio", ratio);
+    obs::MetricRegistry::global().gauge("cache_hit_ratio").set(ratio);
+  }
+}
+
+void JsonReportObserver::set_metric_registry(
+    const obs::MetricRegistry* registry) {
+  std::lock_guard lock(mutex_);
+  registry_ = registry;
 }
 
 std::size_t peak_rss_bytes() {
@@ -114,11 +147,17 @@ void JsonReportObserver::write(std::ostream& os, std::string_view tool,
 
 void JsonReportObserver::write(std::ostream& os, std::string_view tool) const {
   std::vector<StageStats> stages;
-  std::vector<std::pair<std::string, double>> counters;
+  const obs::MetricRegistry* registry = nullptr;
+  obs::CounterSet counters;
   {
     std::lock_guard lock(mutex_);
     stages = stages_;
-    counters = counters_;
+    registry = registry_;
+    // Registry counters/gauges first, explicit envelope counters on top
+    // (an explicit set_counter wins over a registry metric of the same
+    // name); entry order stays deterministic either way.
+    if (registry != nullptr) counters = registry->counters();
+    for (const auto& [name, value] : counters_) counters.set(name, value);
   }
   os << "{\n  \"tool\": \"" << mate::json_escape(tool) << "\",\n";
   os << "  \"version\": " << kReportVersion << ",\n";
@@ -153,6 +192,25 @@ void JsonReportObserver::write(std::ostream& os, std::string_view tool) const {
   os << "  \"counters\": {\"peak_rss_bytes\": " << peak_rss_bytes();
   for (const auto& [name, value] : counters) {
     os << ", \"" << mate::json_escape(name) << "\": " << json_number(value);
+  }
+  os << "},\n";
+
+  // Report v2: quantile summaries of every registry histogram, sorted by
+  // name. Always present (possibly empty) so consumers need not probe.
+  os << "  \"histograms\": {";
+  if (registry != nullptr) {
+    const auto snapshots = registry->histograms();
+    for (std::size_t i = 0; i < snapshots.size(); ++i) {
+      const obs::Histogram::Snapshot& h = snapshots[i];
+      if (i != 0) os << ",";
+      os << "\n    \"" << mate::json_escape(h.name)
+         << "\": {\"count\": " << h.count
+         << ", \"sum\": " << json_number(h.sum)
+         << ", \"p50\": " << json_number(h.quantile(0.50))
+         << ", \"p90\": " << json_number(h.quantile(0.90))
+         << ", \"p99\": " << json_number(h.quantile(0.99)) << "}";
+    }
+    if (!snapshots.empty()) os << "\n  ";
   }
   os << "}\n}\n";
 }

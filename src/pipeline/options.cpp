@@ -128,6 +128,9 @@ void register_pipeline_options(OptionParser& parser, PipelineOptions& opts) {
                    &opts.trace_chunk_cycles);
   parser.add_value("report", "stage/cache report format: json[:FILE]",
                    &opts.report);
+  parser.add_value("trace-out",
+                   "export recorded spans as Chrome trace-event JSON to FILE",
+                   &opts.trace_out);
 }
 
 } // namespace ripple::pipeline

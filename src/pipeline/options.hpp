@@ -14,6 +14,7 @@
 //                      (default) or off (per-wire oracle)
 //   --trace-chunk-cycles=N  streaming trace chunk length (multiple of 64)
 //   --report=json[:F]  emit the stage/cache report as JSON (stderr, or file F)
+//   --trace-out=FILE   record spans and export a Chrome trace-event JSON
 #pragma once
 
 #include <cstddef>
@@ -37,6 +38,7 @@ struct PipelineOptions {
   std::string search_dedup; // "", "on" or "off"
   std::string report;     // "", "json" or "json:FILE"
   std::size_t trace_chunk_cycles = 0; // 0 = kDefaultChunkCycles
+  std::string trace_out;  // empty = span recording off (near-zero cost)
 
   /// PipelineConfig derived from the flags (env fallback applied). Throws
   /// ripple::Error on an unknown --eval-engine value.

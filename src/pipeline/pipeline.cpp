@@ -12,8 +12,11 @@
 #include "cores/msp430/programs.hpp"
 #include "cores/msp430/system.hpp"
 #include "mate/stream.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/artifact.hpp"
 #include "pipeline/registry.hpp"
+#include "util/eta.hpp"
 #include "util/hash.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -170,6 +173,11 @@ void CampaignPipeline::notify_end(StageStats stats) {
   for (const auto& o : observers_) o->stage_end(stats);
 }
 
+void CampaignPipeline::notify_campaign_progress(
+    const CampaignProgress& progress) {
+  for (const auto& o : observers_) o->campaign_progress(progress);
+}
+
 void CampaignPipeline::progress(const char* fmt, ...) {
   char buf[1024];
   std::va_list args;
@@ -201,6 +209,7 @@ const sim::TransposedTrace& CampaignPipeline::transposed(
 
 CoreSetup CampaignPipeline::setup(const CoreSetupSpec& spec) {
   const std::string name{core_name(spec.kind)};
+  obs::Span span("pipeline", "setup", name);
   notify_begin("build_core", name);
   Stopwatch watch;
 
@@ -285,6 +294,8 @@ sim::Trace CampaignPipeline::record_trace(
                            static_cast<int>(workload.size()), workload.data(),
                            cycles);
   stats.cacheable = cache_->enabled();
+  obs::Span span("pipeline", "stage:record_trace");
+  if (span.active()) span.set_detail(stats.detail);
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
@@ -330,6 +341,8 @@ mate::SearchResult CampaignPipeline::find_mates(
   stats.stage = "find_mates";
   stats.detail = std::move(detail);
   stats.cacheable = cache_->enabled();
+  obs::Span span("pipeline", "stage:find_mates");
+  if (span.active()) span.set_detail(stats.detail);
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
@@ -383,6 +396,8 @@ mate::EvalResult CampaignPipeline::evaluate(const mate::MateSet& set,
   stats.stage = "evaluate";
   stats.detail = std::move(detail);
   stats.cacheable = cache_->enabled();
+  obs::Span span("pipeline", "stage:evaluate");
+  if (span.active()) span.set_detail(stats.detail);
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
@@ -441,6 +456,8 @@ mate::SelectionResult CampaignPipeline::select(const mate::MateSet& set,
   stats.stage = "select";
   stats.detail = std::move(detail);
   stats.cacheable = cache_->enabled();
+  obs::Span span("pipeline", "stage:select");
+  if (span.active()) span.set_detail(stats.detail);
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
@@ -544,6 +561,8 @@ void ChunkedTraceStream::stream(sim::TraceSink& sink) {
   stats.detail =
       strprintf("%s, %zu cycles (streamed)", workload_.c_str(), cycles_);
   stats.cacheable = cache.enabled();
+  obs::Span stage_span("pipeline", "stage:record_trace");
+  if (stage_span.active()) stage_span.set_detail(stats.detail);
   pipeline_->notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
@@ -560,6 +579,7 @@ void ChunkedTraceStream::stream(sim::TraceSink& sink) {
         "trace_chunk",
         chunk_key(netlist_fingerprint_, workload_, chunk_cycles_, ci, len)};
 
+    obs::Span chunk_span("stream", "chunk");
     if (auto payload = cache.load(key)) {
       ByteReader r(*payload);
       sim::TransposedTrace t = read_transposed_trace(r);
@@ -567,11 +587,17 @@ void ChunkedTraceStream::stream(sim::TraceSink& sink) {
       RIPPLE_CHECK(t.num_wires() == num_wires_ && t.num_cycles() == len,
                    "cached trace chunk has the wrong shape");
       ++hits;
+      if (chunk_span.active()) {
+        chunk_span.set_detail(strprintf("chunk %zu (hit)", ci));
+      }
       sink.on_chunk(sim::make_owned_chunk(ci, base, std::move(t)));
       continue;
     }
 
     ++misses;
+    if (chunk_span.active()) {
+      chunk_span.set_detail(strprintf("chunk %zu (sim)", ci));
+    }
     if (!runner) runner = boot_();
     if (sim_pos < base) {
       // Fast-forward (untraced) across the cached span to this miss.
@@ -644,6 +670,8 @@ mate::EvalResult CampaignPipeline::evaluate_stream(
   stats.stage = "evaluate";
   stats.detail = std::move(detail);
   stats.cacheable = cache_->enabled();
+  obs::Span span("pipeline", "stage:evaluate");
+  if (span.active()) span.set_detail(stats.detail);
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
@@ -681,6 +709,8 @@ mate::SelectionResult CampaignPipeline::select_stream(
   stats.stage = "select";
   stats.detail = std::move(detail);
   stats.cacheable = cache_->enabled();
+  obs::Span span("pipeline", "stage:select");
+  if (span.active()) span.set_detail(stats.detail);
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
@@ -716,6 +746,8 @@ hafi::CampaignResult CampaignPipeline::campaign(
   StageStats stats;
   stats.stage = "campaign";
   stats.detail = std::move(detail);
+  obs::Span span("pipeline", "stage:campaign");
+  if (span.active()) span.set_detail(stats.detail);
   notify_begin(stats.stage, stats.detail);
   Stopwatch watch;
 
@@ -789,29 +821,51 @@ hafi::CampaignResult CampaignPipeline::campaign(
       cache_->store(shard_cache_key(shard.shard), w.bytes());
     };
   }
+  // Executed-shard wall times feed the shard_seconds histogram (report v2)
+  // alongside the lane-utilization distribution; resolved once so the
+  // per-shard hot path is two relaxed atomic adds per record.
+  constexpr double kShardSecondsBounds[] = {0.001, 0.003, 0.01, 0.03, 0.1,
+                                            0.3,   1.0,   3.0,  10.0, 30.0,
+                                            100.0};
+  constexpr double kRatioBounds[] = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                     0.6, 0.7, 0.8, 0.9, 1.0};
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  obs::Histogram& shard_seconds_hist =
+      registry.histogram("shard_seconds", kShardSecondsBounds);
+  obs::Histogram& lane_utilization_hist =
+      registry.histogram("lane_utilization", kRatioBounds);
+
   hooks.progress = [&](const hafi::Campaign::ShardProgress& p) {
     if (p.resumed) {
       ++shards_resumed;
     } else {
       eta.add(p.seconds);
       busy_seconds += p.seconds;
+      shard_seconds_hist.record(p.seconds);
+      if (p.lane_slots > 0) {
+        lane_utilization_hist.record(static_cast<double>(p.executed) /
+                                     static_cast<double>(p.lane_slots));
+      }
     }
     executed_injections += p.executed;
     dut_passes += p.dut_passes;
     lane_slots += p.lane_slots;
     lanes_retired_early += p.lanes_retired_early;
     lane_cycles_saved += p.lane_cycles_saved;
-    const std::size_t remaining = p.num_shards - p.shards_done;
-    if (p.resumed) {
-      progress("[campaign] shard %zu/%zu resumed from checkpoint",
-               p.shards_done, p.num_shards);
-    } else {
-      const double inj_per_sec =
-          p.seconds > 0.0 ? static_cast<double>(p.executed) / p.seconds : 0.0;
-      progress("[campaign] shard %zu/%zu done: %.0f inj/s, ETA %.1f s",
-               p.shards_done, p.num_shards, inj_per_sec,
-               eta.eta_seconds(remaining));
+
+    CampaignProgress cp;
+    cp.shard = p.shard;
+    cp.shards_done = p.shards_done;
+    cp.num_shards = p.num_shards;
+    cp.resumed = p.resumed;
+    cp.seconds = p.seconds;
+    cp.executed = p.executed;
+    cp.executed_total = executed_injections;
+    if (!p.resumed && p.seconds > 0.0) {
+      cp.inj_per_sec = static_cast<double>(p.executed) / p.seconds;
     }
+    cp.eta_seconds = eta.eta_seconds(p.num_shards - p.shards_done);
+    notify_campaign_progress(cp);
   };
   // The daemon's fair shared scheduler (when configured) replaces the
   // campaign's private ThreadPool; results are identical either way.

@@ -318,6 +318,7 @@ private:
 
   void notify_begin(std::string_view stage, std::string_view detail);
   void notify_end(StageStats stats);
+  void notify_campaign_progress(const CampaignProgress& progress);
 
   [[nodiscard]] sim::Trace record_trace(
       std::uint64_t netlist_fingerprint, std::string_view workload,

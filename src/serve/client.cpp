@@ -30,4 +30,19 @@ std::optional<Message> ServeClient::next() {
   return decode_message(*frame);
 }
 
+ServiceStats ServeClient::stats() {
+  send_frame(socket_, make_stats_request_frame());
+  auto frame = recv_frame(socket_);
+  RIPPLE_CHECK(frame.has_value(),
+               "daemon closed the connection on a stats request");
+  if (frame->type == MsgType::kError) {
+    throw Error("daemon rejected the stats request: " +
+                decode_message(*frame).text);
+  }
+  RIPPLE_CHECK(frame->type == MsgType::kStats,
+               "expected Stats, got frame type ",
+               static_cast<int>(frame->type));
+  return decode_message(*frame).service_stats;
+}
+
 } // namespace ripple::serve

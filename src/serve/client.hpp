@@ -31,6 +31,11 @@ public:
   /// vanished without a terminal message. Stop after kResult/kError.
   [[nodiscard]] std::optional<Message> next();
 
+  /// Ask the daemon for a live ServiceStats snapshot (`ripple-client
+  /// --stats`). Must be the first request on this connection — a session
+  /// serves either one Submit or one StatsRequest.
+  [[nodiscard]] ServiceStats stats();
+
 private:
   explicit ServeClient(Socket socket) : socket_(std::move(socket)) {}
 

@@ -57,7 +57,7 @@ std::optional<Frame> recv_frame(Socket& socket) {
   RIPPLE_CHECK(len <= kMaxFrameBytes, "frame length ", len,
                " exceeds the protocol maximum");
   RIPPLE_CHECK(type >= static_cast<std::uint8_t>(MsgType::kSubmit) &&
-                   type <= static_cast<std::uint8_t>(MsgType::kError),
+                   type <= static_cast<std::uint8_t>(MsgType::kStats),
                "unknown frame type ", type);
   Frame frame;
   frame.type = static_cast<MsgType>(type);
@@ -118,6 +118,82 @@ Frame make_error_frame(std::string_view text) {
   return {MsgType::kError, w.take()};
 }
 
+Frame make_stats_request_frame() {
+  ByteWriter w;
+  w.u32(kProtocolVersion);
+  return {MsgType::kStatsRequest, w.take()};
+}
+
+namespace {
+
+void write_service_stats(ByteWriter& w, const ServiceStats& s) {
+  w.u64(s.sessions);
+  w.u64(s.submissions);
+  w.u64(s.deduped);
+  w.u64(s.executions);
+  w.u64(s.in_flight);
+  w.u64(s.scheduler_threads);
+  w.u64(s.scheduler_streams);
+  w.u64(s.scheduler_queued);
+  w.b(s.cache_enabled);
+  w.u64(s.cache_hits);
+  w.u64(s.cache_misses);
+  w.u64(s.cache_stores);
+  w.u64(s.campaigns.size());
+  for (const CampaignStats& c : s.campaigns) {
+    w.u64(c.checksum);
+    w.str(c.summary);
+    w.u64(c.shards_done);
+    w.u64(c.num_shards);
+    w.u64(c.executed);
+    w.f64(c.inj_per_sec);
+    w.f64(c.eta_seconds);
+    w.b(c.finished);
+    w.u64(c.clients);
+  }
+}
+
+ServiceStats read_service_stats(ByteReader& r) {
+  ServiceStats s;
+  s.sessions = r.u64();
+  s.submissions = r.u64();
+  s.deduped = r.u64();
+  s.executions = r.u64();
+  s.in_flight = r.u64();
+  s.scheduler_threads = r.u64();
+  s.scheduler_streams = r.u64();
+  s.scheduler_queued = r.u64();
+  s.cache_enabled = r.b();
+  s.cache_hits = r.u64();
+  s.cache_misses = r.u64();
+  s.cache_stores = r.u64();
+  const std::size_t n = r.count();
+  s.campaigns.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CampaignStats c;
+    c.checksum = r.u64();
+    c.summary = r.str();
+    c.shards_done = r.u64();
+    c.num_shards = r.u64();
+    c.executed = r.u64();
+    c.inj_per_sec = r.f64();
+    c.eta_seconds = r.f64();
+    c.finished = r.b();
+    c.clients = r.u64();
+    s.campaigns.push_back(std::move(c));
+  }
+  return s;
+}
+
+} // namespace
+
+Frame make_stats_frame(const ServiceStats& stats) {
+  ByteWriter w;
+  w.u32(kProtocolVersion);
+  write_service_stats(w, stats);
+  return {MsgType::kStats, w.take()};
+}
+
 Message decode_message(const Frame& frame) {
   Message m;
   m.type = frame.type;
@@ -144,8 +220,16 @@ Message decode_message(const Frame& frame) {
       m.result_bytes = r.blob(body);
       break;
     }
+    case MsgType::kStats:
+      m.protocol_version = r.u32();
+      RIPPLE_CHECK(m.protocol_version == kProtocolVersion,
+                   "daemon speaks protocol version ", m.protocol_version,
+                   ", this client expects ", kProtocolVersion);
+      m.service_stats = read_service_stats(r);
+      break;
     case MsgType::kSubmit:
-      throw Error("unexpected Submit frame from the daemon");
+    case MsgType::kStatsRequest:
+      throw Error("unexpected client frame from the daemon");
   }
   r.expect_done();
   return m;

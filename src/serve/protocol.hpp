@@ -24,8 +24,9 @@
 namespace ripple::serve {
 
 /// Bump on any frame-layout change; Accepted echoes it so clients can
-/// detect a daemon from another release.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// detect a daemon from another release. Version 2 added the StatsRequest /
+/// Stats frame pair (live service introspection).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Frames too large to be real protect the reader from garbage length
 /// prefixes (a full campaign result over the AVR core is ~100 KiB).
@@ -39,6 +40,43 @@ enum class MsgType : std::uint8_t {
   kStageEnd = 5,   // daemon->client: full StageStats record
   kResult = 6,     // daemon->client: terminal, serialized CampaignResult
   kError = 7,      // daemon->client: terminal, error text
+  kStatsRequest = 8, // client->daemon: protocol version, ask for live stats
+  kStats = 9,        // daemon->client: terminal, ServiceStats snapshot
+};
+
+/// Live progress of one in-flight (or recently finished) execution, as
+/// reported in a Stats response. Progress fields mirror
+/// pipeline::CampaignProgress and are zero until the campaign stage starts.
+struct CampaignStats {
+  std::uint64_t checksum = 0;   // request identity
+  std::string summary;          // request summary line (core, mode, ...)
+  std::uint64_t shards_done = 0;
+  std::uint64_t num_shards = 0;
+  std::uint64_t executed = 0;   // injections executed so far
+  double inj_per_sec = 0.0;     // last finished shard's throughput
+  double eta_seconds = 0.0;     // EtaTracker projection at the last shard
+  bool finished = false;        // terminal frame already broadcast
+  std::uint64_t clients = 0;    // sessions currently attached
+};
+
+/// Daemon-wide snapshot answering a StatsRequest: service totals, fair
+/// scheduler load, artifact-cache totals and one CampaignStats per tracked
+/// execution (sorted by checksum). Taken from counters only — it never
+/// blocks or perturbs running executions.
+struct ServiceStats {
+  std::uint64_t sessions = 0;    // client sessions accepted since start
+  std::uint64_t submissions = 0; // Submit frames handled
+  std::uint64_t deduped = 0;     // submissions attached to an in-flight run
+  std::uint64_t executions = 0;  // pipeline executions started
+  std::uint64_t in_flight = 0;   // executions not yet finished
+  std::uint64_t scheduler_threads = 0;
+  std::uint64_t scheduler_streams = 0;
+  std::uint64_t scheduler_queued = 0; // unclaimed shard indices
+  bool cache_enabled = false;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_stores = 0;
+  std::vector<CampaignStats> campaigns;
 };
 
 /// A decoded daemon->client message (the union of all event payloads; the
@@ -55,6 +93,7 @@ struct Message {
   /// kResult: the canonical write_campaign_result() bytes — kept encoded so
   /// byte-identity across clients/runs is checkable without re-serializing.
   std::vector<std::uint8_t> result_bytes;
+  ServiceStats service_stats;        // kStats
 };
 
 /// StageStats body used by kStageEnd frames (and nothing else — stage
@@ -92,6 +131,8 @@ void send_frame(Socket& socket, const Frame& frame);
 [[nodiscard]] Frame make_result_frame(std::uint64_t checksum,
                                       std::span<const std::uint8_t> bytes);
 [[nodiscard]] Frame make_error_frame(std::string_view text);
+[[nodiscard]] Frame make_stats_request_frame();
+[[nodiscard]] Frame make_stats_frame(const ServiceStats& stats);
 
 /// Decode a daemon->client frame into a Message.
 [[nodiscard]] Message decode_message(const Frame& frame);

@@ -49,6 +49,16 @@ std::size_t Execution::num_sinks() const {
   return sinks_.size();
 }
 
+void Execution::update_progress(const pipeline::CampaignProgress& p) {
+  std::lock_guard lock(mutex_);
+  progress_ = p;
+}
+
+pipeline::CampaignProgress Execution::progress() const {
+  std::lock_guard lock(mutex_);
+  return progress_;
+}
+
 ExecutionRegistry::Submission ExecutionRegistry::submit(
     const pipeline::CampaignRequest& request) {
   const std::uint64_t checksum = pipeline::request_checksum(request);
@@ -76,6 +86,16 @@ ExecutionRegistry::Counters ExecutionRegistry::counters() const {
 std::size_t ExecutionRegistry::in_flight() const {
   std::lock_guard lock(mutex_);
   return executions_.size();
+}
+
+std::vector<std::shared_ptr<Execution>> ExecutionRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::shared_ptr<Execution>> out;
+  out.reserve(executions_.size());
+  for (const auto& [checksum, execution] : executions_) {
+    out.push_back(execution);
+  }
+  return out;
 }
 
 } // namespace ripple::serve

@@ -56,6 +56,11 @@ public:
   [[nodiscard]] bool finished() const;
   [[nodiscard]] std::size_t num_sinks() const;
 
+  /// Latest campaign shard-progress tick (fed by the daemon's pipeline
+  /// observer); the Stats response reads it without touching the pipeline.
+  void update_progress(const pipeline::CampaignProgress& p);
+  [[nodiscard]] pipeline::CampaignProgress progress() const;
+
 private:
   const std::uint64_t checksum_;
   const pipeline::CampaignRequest request_;
@@ -64,6 +69,7 @@ private:
   std::vector<Frame> history_;
   std::vector<std::shared_ptr<EventSink>> sinks_;
   bool finished_ = false;
+  pipeline::CampaignProgress progress_;
 };
 
 /// Checksum -> Execution map plus the service counters the report envelope
@@ -89,6 +95,11 @@ public:
   };
   [[nodiscard]] Counters counters() const;
   [[nodiscard]] std::size_t in_flight() const;
+
+  /// All tracked executions, for the Stats response. The shared_ptrs keep
+  /// each execution alive while the caller reads its progress lock-free of
+  /// the registry map.
+  [[nodiscard]] std::vector<std::shared_ptr<Execution>> snapshot() const;
 
 private:
   mutable std::mutex mutex_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+#include "util/strings.hpp"
+
 namespace ripple::serve {
 
 FairScheduler::FairScheduler(std::size_t threads) {
@@ -40,6 +43,15 @@ void FairScheduler::run(std::size_t n,
   if (error) std::rethrow_exception(error);
 }
 
+FairScheduler::Stats FairScheduler::stats() const {
+  Stats s;
+  s.threads = workers_.size();
+  std::lock_guard lock(mutex_);
+  s.streams = streams_.size();
+  for (const Stream& stream : streams_) s.queued += stream.total - stream.next;
+  return s;
+}
+
 void FairScheduler::worker() {
   std::unique_lock lock(mutex_);
   while (true) {
@@ -64,6 +76,8 @@ void FairScheduler::worker() {
 
     std::exception_ptr error;
     try {
+      obs::Span span("sched", "slice");
+      if (span.active()) span.set_detail(strprintf("index %zu", index));
       (*task)(index);
     } catch (...) {
       error = std::current_exception();

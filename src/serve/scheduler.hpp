@@ -38,6 +38,14 @@ public:
 
   [[nodiscard]] std::size_t threads() const { return workers_.size(); }
 
+  /// Point-in-time load snapshot for the daemon's Stats response.
+  struct Stats {
+    std::size_t threads = 0; // pool size
+    std::size_t streams = 0; // executions currently blocked in run()
+    std::size_t queued = 0;  // unclaimed shard indices across all streams
+  };
+  [[nodiscard]] Stats stats() const;
+
 private:
   struct Stream {
     const std::function<void(std::size_t)>* task = nullptr;
@@ -50,7 +58,7 @@ private:
 
   void worker();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   /// Active streams in claim order; claiming an index splices the stream to
   /// the back, which is what makes the discipline round-robin. std::list

@@ -55,6 +55,13 @@ public:
   void progress(std::string_view message) override {
     execution_->broadcast(make_log_frame(message));
   }
+  void campaign_progress(const pipeline::CampaignProgress& p) override {
+    // Record first so a Stats snapshot taken between the two calls already
+    // sees the tick, then narrate it to the attached clients.
+    execution_->update_progress(p);
+    execution_->broadcast(
+        make_log_frame(pipeline::format_campaign_progress(p)));
+  }
 
 private:
   std::shared_ptr<Execution> execution_;
@@ -117,7 +124,15 @@ void Server::handle_session(const std::shared_ptr<Session>& session) {
   std::shared_ptr<SocketSink> sink;
   try {
     auto frame = recv_frame(session->socket);
-    if (frame.has_value()) {
+    if (frame.has_value() && frame->type == MsgType::kStatsRequest) {
+      ByteReader r(frame->payload);
+      const std::uint32_t version = r.u32();
+      RIPPLE_CHECK(version == kProtocolVersion,
+                   "client speaks protocol version ", version,
+                   ", this daemon expects ", kProtocolVersion);
+      r.expect_done();
+      send_frame(session->socket, make_stats_frame(service_stats()));
+    } else if (frame.has_value()) {
       pipeline::CampaignRequest request = decode_submit(*frame);
       // The daemon always checkpoints: an identical re-submission after a
       // restart replays finished shards instead of re-executing them.
@@ -174,6 +189,12 @@ void Server::execute(const std::shared_ptr<Execution>& execution) {
     pipeline::CampaignPipeline pipeline(pipeline_config, cache_);
     pipeline.add_observer(std::make_shared<BroadcastObserver>(execution));
     pipeline.add_observer(report_);
+    // Local narration too: each concurrent execution gets its own observer
+    // labeled with the short request checksum, and every line is a single
+    // atomic write, so interleaved campaigns stay readable on stderr.
+    pipeline.add_observer(std::make_shared<pipeline::ProgressObserver>(
+        stderr, strprintf("%08llx", static_cast<unsigned long long>(
+                                        execution->checksum() >> 32))));
 
     execution->broadcast(make_log_frame(
         strprintf("[rippled] executing %s (checksum %016llx)",
@@ -188,6 +209,52 @@ void Server::execute(const std::shared_ptr<Execution>& execution) {
     execution->finish(make_error_frame(e.what()));
   }
   registry_.erase(execution->checksum());
+}
+
+ServiceStats Server::service_stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard lock(mutex_);
+    s.sessions = sessions_accepted_;
+  }
+  const ExecutionRegistry::Counters counters = registry_.counters();
+  s.submissions = counters.submitted;
+  s.deduped = counters.deduped;
+  s.executions = executions_started_;
+  s.in_flight = registry_.in_flight();
+
+  const FairScheduler::Stats sched = scheduler_.stats();
+  s.scheduler_threads = sched.threads;
+  s.scheduler_streams = sched.streams;
+  s.scheduler_queued = sched.queued;
+
+  s.cache_enabled = cache_->enabled();
+  const pipeline::ArtifactCache::Stats cs = cache_->stats();
+  s.cache_hits = cs.hits;
+  s.cache_misses = cs.misses;
+  s.cache_stores = cs.stores;
+
+  auto executions = registry_.snapshot();
+  std::sort(executions.begin(), executions.end(),
+            [](const auto& a, const auto& b) {
+              return a->checksum() < b->checksum();
+            });
+  s.campaigns.reserve(executions.size());
+  for (const auto& execution : executions) {
+    const pipeline::CampaignProgress p = execution->progress();
+    CampaignStats c;
+    c.checksum = execution->checksum();
+    c.summary = pipeline::request_summary(execution->request());
+    c.shards_done = p.shards_done;
+    c.num_shards = p.num_shards;
+    c.executed = p.executed_total;
+    c.inj_per_sec = p.inj_per_sec;
+    c.eta_seconds = p.eta_seconds;
+    c.finished = execution->finished();
+    c.clients = execution->num_sinks();
+    s.campaigns.push_back(std::move(c));
+  }
+  return s;
 }
 
 Server::Stats Server::stats() const {

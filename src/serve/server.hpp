@@ -81,6 +81,11 @@ public:
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Full live snapshot answering a client StatsRequest: service totals,
+  /// scheduler load, cache totals, per-campaign progress. Reads counters and
+  /// per-execution progress records only — never blocks an execution.
+  [[nodiscard]] ServiceStats service_stats() const;
+
 private:
   struct Session;
   class SocketSink;

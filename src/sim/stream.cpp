@@ -7,7 +7,10 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
+#include "util/strings.hpp"
 
 namespace ripple::sim {
 
@@ -195,6 +198,9 @@ struct AsyncTraceSink::Impl {
   std::exception_ptr error;
   double busy_seconds = 0.0;
   std::thread worker;
+  /// Queue depth observed at each enqueue (consumer backlog); resolved once
+  /// so the producer hot path pays two relaxed atomic adds per chunk.
+  obs::Histogram* queue_depth_hist = nullptr;
 
   void worker_loop() {
     std::unique_lock lock(mutex);
@@ -217,10 +223,16 @@ struct AsyncTraceSink::Impl {
       lock.unlock();
       Stopwatch watch;
       std::exception_ptr thrown;
-      try {
-        inner->on_chunk(std::move(chunk));
-      } catch (...) {
-        thrown = std::current_exception();
+      {
+        obs::Span span("stream", "chunk_consume");
+        if (span.active()) {
+          span.set_detail(strprintf("chunk %zu", chunk.index));
+        }
+        try {
+          inner->on_chunk(std::move(chunk));
+        } catch (...) {
+          thrown = std::current_exception();
+        }
       }
       const double seconds = watch.seconds();
       lock.lock();
@@ -236,6 +248,10 @@ AsyncTraceSink::AsyncTraceSink(TraceSink& inner, std::size_t max_queue)
     : impl_(std::make_unique<Impl>()) {
   impl_->inner = &inner;
   impl_->max_queue = std::max<std::size_t>(1, max_queue);
+  constexpr double kDepthBounds[] = {1.0, 2.0, 3.0, 4.0, 8.0, 16.0};
+  impl_->queue_depth_hist =
+      &obs::MetricRegistry::global().histogram("chunk_queue_depth",
+                                               kDepthBounds);
   impl_->worker = std::thread([this] { impl_->worker_loop(); });
 }
 
@@ -260,6 +276,8 @@ void AsyncTraceSink::on_chunk(TraceChunk chunk) {
   });
   if (impl_->error != nullptr) std::rethrow_exception(impl_->error);
   impl_->queue.push_back(std::move(chunk));
+  impl_->queue_depth_hist->record(
+      static_cast<double>(impl_->queue.size() + (impl_->busy ? 1 : 0)));
   impl_->cv.notify_all();
 }
 

@@ -23,31 +23,4 @@ private:
   clock::time_point start_;
 };
 
-/// ETA estimation over a stream of equally shaped work units (e.g. campaign
-/// shards): feed per-unit wall times, ask for the projected remaining time.
-/// Units served from a cache/checkpoint should not be fed — they would
-/// drag the average toward zero.
-class EtaTracker {
-public:
-  void add(double seconds) {
-    ++units_;
-    total_seconds_ += seconds;
-  }
-
-  [[nodiscard]] std::size_t units() const { return units_; }
-  [[nodiscard]] double total_seconds() const { return total_seconds_; }
-
-  /// Projected seconds for `remaining` more units; 0 before the first add()
-  /// (no basis for an estimate yet).
-  [[nodiscard]] double eta_seconds(std::size_t remaining) const {
-    if (units_ == 0) return 0.0;
-    return total_seconds_ / static_cast<double>(units_) *
-           static_cast<double>(remaining);
-  }
-
-private:
-  std::size_t units_ = 0;
-  double total_seconds_ = 0.0;
-};
-
 } // namespace ripple

@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace ripple {
@@ -60,6 +61,7 @@ struct ForLoopState {
       const std::size_t begin = next.fetch_add(grain);
       if (begin >= n) return;
       const std::size_t end = std::min(n, begin + grain);
+      obs::Span span("pool", "batch");
       for (std::size_t i = begin; i < end; ++i) {
         try {
           if (!failed.load(std::memory_order_relaxed)) (*fn)(i);

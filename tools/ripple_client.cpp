@@ -7,20 +7,83 @@
 // works here exactly like in the benches. With --result-out=FILE the
 // terminal result's canonical bytes are written out verbatim — two clients
 // of one deduped execution (or a client and a standalone run) can be
-// compared byte for byte.
+// compared byte for byte. --stats skips submission entirely and prints a
+// live snapshot of the daemon (per-campaign progress, scheduler load, cache
+// totals) without disturbing running executions.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "pipeline/artifact.hpp"
 #include "pipeline/observer.hpp"
 #include "pipeline/options.hpp"
 #include "serve/client.hpp"
 #include "util/options.hpp"
+#include "util/strings.hpp"
 
 namespace {
+
+/// Map a daemon stage name onto a static string for the synthetic client
+/// spans (--trace-out): span names must outlive the recorder, and the stage
+/// vocabulary is closed.
+const char* stage_span_name(const std::string& stage) {
+  if (stage == "setup") return "stage:setup";
+  if (stage == "record_trace") return "stage:record_trace";
+  if (stage == "find_mates") return "stage:find_mates";
+  if (stage == "evaluate") return "stage:evaluate";
+  if (stage == "select") return "stage:select";
+  if (stage == "campaign") return "stage:campaign";
+  return "stage:other";
+}
+
+void print_service_stats(const ripple::serve::ServiceStats& s) {
+  std::printf("sessions %llu  submissions %llu  deduped %llu  "
+              "executions %llu  in-flight %llu\n",
+              static_cast<unsigned long long>(s.sessions),
+              static_cast<unsigned long long>(s.submissions),
+              static_cast<unsigned long long>(s.deduped),
+              static_cast<unsigned long long>(s.executions),
+              static_cast<unsigned long long>(s.in_flight));
+  std::printf("scheduler: %llu threads, %llu streams, %llu queued shards\n",
+              static_cast<unsigned long long>(s.scheduler_threads),
+              static_cast<unsigned long long>(s.scheduler_streams),
+              static_cast<unsigned long long>(s.scheduler_queued));
+  if (s.cache_enabled) {
+    std::printf("cache: %llu hits, %llu misses, %llu stores\n",
+                static_cast<unsigned long long>(s.cache_hits),
+                static_cast<unsigned long long>(s.cache_misses),
+                static_cast<unsigned long long>(s.cache_stores));
+  } else {
+    std::printf("cache: disabled\n");
+  }
+  for (const auto& c : s.campaigns) {
+    std::string line = ripple::strprintf(
+        "campaign %016llx: %s — ",
+        static_cast<unsigned long long>(c.checksum), c.summary.c_str());
+    if (c.num_shards > 0) {
+      line += ripple::strprintf(
+          "%llu/%llu shards, %llu injections",
+          static_cast<unsigned long long>(c.shards_done),
+          static_cast<unsigned long long>(c.num_shards),
+          static_cast<unsigned long long>(c.executed));
+      if (c.inj_per_sec > 0.0) {
+        line += ripple::strprintf(", %.0f inj/s, ETA %.1f s", c.inj_per_sec,
+                                  c.eta_seconds);
+      }
+    } else {
+      line += "before the campaign stage";
+    }
+    if (c.finished) line += " (finished)";
+    line += ripple::strprintf(", %llu client%s",
+                              static_cast<unsigned long long>(c.clients),
+                              c.clients == 1 ? "" : "s");
+    std::printf("%s\n", line.c_str());
+  }
+}
 
 ripple::hafi::CampaignMode parse_mode(const std::string& mode) {
   if (mode.empty() || mode == "baseline")
@@ -42,6 +105,8 @@ int main(int argc, char** argv) {
   std::string mode;
   std::string result_out;
   std::string report;
+  std::string trace_out;
+  bool stats = false;
   std::size_t top_n = 0;
   std::size_t depth = 0;
   std::size_t select_cycles = 0;
@@ -68,6 +133,10 @@ int main(int argc, char** argv) {
                    &result_out);
   parser.add_value("report", "json or json:FILE — emit the shared report "
                    "envelope", &report);
+  parser.add_value("trace-out", "export the streamed stage timeline as "
+                   "Chrome trace-event JSON to FILE", &trace_out);
+  parser.add_flag("stats", "print a live stats snapshot of the daemon "
+                  "instead of submitting a request", &stats);
   pipeline::register_campaign_options(parser, campaign_opts);
   switch (parser.parse(argc, argv)) {
     case OptionParser::Result::Ok: break;
@@ -78,6 +147,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "ripple-client: --socket=PATH is required\nsee --help\n");
     return 2;
+  }
+
+  if (stats) {
+    try {
+      serve::ServeClient client = serve::ServeClient::connect(socket_path);
+      print_service_stats(client.stats());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ripple-client: %s\n", e.what());
+      return 1;
+    }
+    return 0;
   }
 
   int exit_code = 0;
@@ -106,6 +186,12 @@ int main(int argc, char** argv) {
 
     pipeline::ProgressObserver progress;
     pipeline::JsonReportObserver report_observer;
+    // --trace-out: synthesize one span per streamed StageEnd, anchored so
+    // it *ends* at arrival time — the daemon's wire frames carry durations,
+    // not timestamps, so the timeline is exact in widths and approximate in
+    // gaps (network/replay latency).
+    std::unique_ptr<obs::TraceRecorder> recorder;
+    if (!trace_out.empty()) recorder = std::make_unique<obs::TraceRecorder>();
     bool done = false;
     while (!done) {
       auto message = client.next();
@@ -122,6 +208,14 @@ int main(int argc, char** argv) {
         case serve::MsgType::kStageEnd:
           progress.stage_end(message->stats);
           report_observer.stage_end(message->stats);
+          if (recorder != nullptr) {
+            const std::uint64_t end = recorder->now_ns();
+            const auto dur =
+                static_cast<std::uint64_t>(message->stats.seconds * 1e9);
+            recorder->record("pipeline", stage_span_name(message->stats.stage),
+                             message->stats.detail,
+                             end > dur ? end - dur : 0, end);
+          }
           break;
         case serve::MsgType::kResult: {
           ByteReader r(message->result_bytes);
@@ -152,6 +246,13 @@ int main(int argc, char** argv) {
           break;
         default: break;
       }
+    }
+
+    if (recorder != nullptr) {
+      std::ofstream out(trace_out);
+      RIPPLE_CHECK(static_cast<bool>(out), "cannot write trace file ",
+                   trace_out);
+      recorder->write_chrome_json(out);
     }
 
     if (report == "json" || report.rfind("json:", 0) == 0) {

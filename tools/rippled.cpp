@@ -15,8 +15,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "pipeline/options.hpp"
 #include "serve/server.hpp"
 #include "util/options.hpp"
@@ -66,6 +68,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Span recording across every execution the daemon runs; exported once at
+  // shutdown. Off (default) the spans cost one branch each.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!opts.trace_out.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    obs::TraceRecorder::install(recorder.get());
+  }
+
   serve::Server server(config);
   try {
     server.start();
@@ -85,6 +95,16 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "[rippled] shutting down\n");
   server.stop();
+
+  if (recorder != nullptr) {
+    std::ofstream out(opts.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "rippled: cannot write trace file '%s'\n",
+                   opts.trace_out.c_str());
+      return 1;
+    }
+    recorder->write_chrome_json(out);
+  }
 
   const serve::Server::Stats stats = server.stats();
   std::fprintf(stderr,
